@@ -1,0 +1,487 @@
+// Package repro's benchmark harness: one benchmark per paper table/figure
+// (regenerating the artefact end to end at reduced scale) plus component
+// micro-benchmarks for the hot paths (channel sampling, training epochs,
+// single-sample inference — the §IV-B latency claim).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks measure the full regenerate-this-table cost;
+// cmd/experiments runs the same code at paper scale and prints the tables.
+package repro
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/agents"
+	"repro/internal/core"
+	"repro/internal/csi"
+	"repro/internal/dataset"
+	"repro/internal/envsim"
+	"repro/internal/linmodel"
+	"repro/internal/nn"
+	"repro/internal/rf"
+	"repro/internal/tensor"
+	"repro/internal/xai"
+)
+
+// benchData lazily generates a shared reduced-scale trace: the full 74 h
+// scenario thinned to one sample every 40 s (≈6.7k records), split like
+// Table III.
+var (
+	benchOnce  sync.Once
+	benchSet   *dataset.Dataset
+	benchSplit *dataset.Split
+)
+
+func benchFixture(b *testing.B) (*dataset.Dataset, *dataset.Split) {
+	b.Helper()
+	benchOnce.Do(func() {
+		d, err := dataset.Generate(dataset.DefaultGenConfig(1.0/40, 1))
+		if err != nil {
+			panic(err)
+		}
+		s, err := d.PaperSplit()
+		if err != nil {
+			panic(err)
+		}
+		benchSet, benchSplit = d, s
+	})
+	return benchSet, benchSplit
+}
+
+// benchCfg is the reduced-scale experiment configuration the table
+// benchmarks share.
+func benchCfg() core.ExperimentConfig {
+	cfg := core.DefaultExperimentConfig()
+	cfg.MaxTrainSamples = 2000
+	cfg.MaxEvalSamples = 500
+	cfg.Hidden = []int{64, 32}
+	cfg.NNTrain.Epochs = 5
+	cfg.RF.NumTrees = 10
+	cfg.RF.MaxDepth = 12
+	return cfg
+}
+
+// --- Table I / data generation ---------------------------------------------
+
+// BenchmarkTable1Generate measures end-to-end trace generation (agents +
+// thermal model + channel model) per simulated sample.
+func BenchmarkTable1Generate(b *testing.B) {
+	cfg := dataset.DefaultGenConfig(20, 3)
+	cfg.Start = time.Date(2022, 1, 5, 10, 0, 0, 0, time.UTC)
+	cfg.Duration = time.Duration(b.N) * 50 * time.Millisecond
+	if cfg.Duration < time.Second {
+		cfg.Duration = time.Second
+	}
+	b.ResetTimer()
+	n := 0
+	err := dataset.Stream(cfg, func(dataset.Record) error { n++; return nil })
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(n)/float64(b.N), "records/op")
+}
+
+// --- Table II ---------------------------------------------------------------
+
+// BenchmarkTable2Profile regenerates the occupancy distribution.
+func BenchmarkTable2Profile(b *testing.B) {
+	d, _ := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := d.Profile()
+		if p.Total != d.Len() {
+			b.Fatal("bad profile")
+		}
+	}
+}
+
+// --- Table III ---------------------------------------------------------------
+
+// BenchmarkTable3Folds regenerates the fold split and per-fold statistics.
+func BenchmarkTable3Folds(b *testing.B) {
+	d, _ := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := d.PaperSplit()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := s.TableIII()
+		if len(rows) != 6 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// --- Table IV: one benchmark per model family -------------------------------
+
+// BenchmarkTable4Logistic trains + evaluates the logistic baseline on CSI.
+func BenchmarkTable4Logistic(b *testing.B) {
+	_, split := benchFixture(b)
+	cfg := benchCfg()
+	x, y := split.Train.Matrix(dataset.FeatCSI)
+	scaler := linmodel.FitScaler(x)
+	xs := scaler.Transform(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var lr linmodel.Logistic
+		lr.Fit(xs, y, cfg.Logistic)
+		for _, fold := range split.Folds {
+			xf, _ := fold.Matrix(dataset.FeatCSI)
+			lr.Predict(scaler.Transform(xf))
+		}
+	}
+}
+
+// BenchmarkTable4RandomForest trains + evaluates the RF baseline on CSI.
+func BenchmarkTable4RandomForest(b *testing.B) {
+	_, split := benchFixture(b)
+	cfg := benchCfg()
+	x, y := split.Train.Matrix(dataset.FeatCSI)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := rf.FitClassifier(x, y, cfg.RF)
+		for _, fold := range split.Folds {
+			xf, _ := fold.Matrix(dataset.FeatCSI)
+			f.Predict(xf)
+		}
+	}
+}
+
+// BenchmarkTable4MLP trains + evaluates the paper's MLP on CSI.
+func BenchmarkTable4MLP(b *testing.B) {
+	_, split := benchFixture(b)
+	cfg := benchCfg()
+	x, y := split.Train.Matrix(dataset.FeatCSI)
+	scaler := linmodel.FitScaler(x)
+	xs := scaler.Transform(x)
+	yf := tensor.NewMatrix(len(y), 1)
+	for i, v := range y {
+		yf.Set(i, 0, float64(v))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := nn.NewMLP(64, cfg.Hidden, 1, rand.New(rand.NewSource(1)))
+		net.Fit(xs, yf, nn.BCEWithLogits{}, cfg.NNTrain)
+		for _, fold := range split.Folds {
+			xf, _ := fold.Matrix(dataset.FeatCSI)
+			net.PredictBinary(scaler.Transform(xf))
+		}
+	}
+}
+
+// BenchmarkTable4Full regenerates the entire 3×3×5 grid.
+func BenchmarkTable4Full(b *testing.B) {
+	_, split := benchFixture(b)
+	cfg := benchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunTable4(split, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table V -----------------------------------------------------------------
+
+// BenchmarkTable5Linear regenerates the OLS half of Table V.
+func BenchmarkTable5Linear(b *testing.B) {
+	_, split := benchFixture(b)
+	x, _ := split.Train.Matrix(dataset.FeatCSI)
+	y := split.Train.EnvTargets()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lin, err := linmodel.FitLinear(x, y, 1e-8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, fold := range split.Folds {
+			xf, _ := fold.Matrix(dataset.FeatCSI)
+			lin.Predict(xf)
+		}
+	}
+}
+
+// BenchmarkTable5Neural regenerates the NN half of Table V.
+func BenchmarkTable5Neural(b *testing.B) {
+	_, split := benchFixture(b)
+	cfg := benchCfg()
+	ecfg := core.EnvRegressorConfig{Hidden: cfg.Hidden, Train: cfg.NNTrain, Seed: 1}
+	train := split.Train
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg, err := core.TrainEnvRegressor(train, ecfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, fold := range split.Folds {
+			reg.Predict(fold)
+		}
+	}
+}
+
+// --- Figure 3 ----------------------------------------------------------------
+
+// BenchmarkFigure3GradCAM measures the Grad-CAM attribution pass on a
+// trained C+E detector over a 512-sample batch.
+func BenchmarkFigure3GradCAM(b *testing.B) {
+	_, split := benchFixture(b)
+	dcfg := core.DefaultDetectorConfig()
+	dcfg.Hidden = []int{64, 32}
+	dcfg.Train.Epochs = 2
+	det, err := core.TrainDetector(split.Train, dcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, _ := split.Folds[0].Matrix(dataset.FeatCSIEnv)
+	if x.Rows > 512 {
+		x = tensor.FromSlice(512, x.Cols, x.Data[:512*x.Cols])
+	}
+	xs := det.Scaler.Transform(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := xai.GradCAM(det.Net, xs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- §V-A profiling -----------------------------------------------------------
+
+// BenchmarkProfileVA regenerates the correlation + ADF profile.
+func BenchmarkProfileVA(b *testing.B) {
+	d, _ := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunProfile(d, 4000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- §V-B time-only ablation ---------------------------------------------------
+
+// BenchmarkTimeOnly regenerates the time-of-day ablation.
+func BenchmarkTimeOnly(b *testing.B) {
+	_, split := benchFixture(b)
+	cfg := benchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunTimeOnly(split, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- §IV-B deployment numbers ----------------------------------------------
+
+// BenchmarkInferenceMLPSingle measures single-sample forward latency on the
+// paper architecture (the 10.781 ms/sample claim; a modern x86 core is
+// orders of magnitude faster than the paper's target MCU).
+func BenchmarkInferenceMLPSingle(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := nn.NewMLP(66, core.PaperHidden, 1, rng)
+	x := tensor.NewMatrix(1, 66).RandomizeNormal(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.PredictProbs(x)
+	}
+}
+
+// BenchmarkInferenceMLPBatch256 measures amortised batch inference.
+func BenchmarkInferenceMLPBatch256(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	net := nn.NewMLP(66, core.PaperHidden, 1, rng)
+	x := tensor.NewMatrix(256, 66).RandomizeNormal(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.PredictProbs(x)
+	}
+	b.ReportMetric(256, "samples/op")
+}
+
+// BenchmarkInferenceRFSingle contrasts the RF per-sample cost (§V-B argues
+// RF is too heavy for embedded real-time use).
+func BenchmarkInferenceRFSingle(b *testing.B) {
+	_, split := benchFixture(b)
+	cfg := benchCfg()
+	x, y := split.Train.Matrix(dataset.FeatCSI)
+	f := rf.FitClassifier(x, y, cfg.RF)
+	row := x.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictProb(row)
+	}
+}
+
+// --- component micro-benchmarks ----------------------------------------------
+
+// BenchmarkCSISampleEmpty measures one channel-model tick of an empty room.
+func BenchmarkCSISampleEmpty(b *testing.B) {
+	s := csi.NewSampler(csi.Config{Seed: 1})
+	empty := benchSnapshot(0)
+	env := envsim.State{Temp: 21, Humidity: 40}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(empty, env, 0.05)
+	}
+}
+
+// BenchmarkCSISampleBusy measures a tick with four occupants.
+func BenchmarkCSISampleBusy(b *testing.B) {
+	s := csi.NewSampler(csi.Config{Seed: 1})
+	busy := benchSnapshot(4)
+	env := envsim.State{Temp: 21, Humidity: 40}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(busy, env, 0.05)
+	}
+}
+
+// BenchmarkTrainEpochMLP measures one epoch on 2 000×64 inputs with the
+// paper architecture.
+func BenchmarkTrainEpochMLP(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.NewMatrix(2000, 64).RandomizeNormal(rng, 1)
+	y := tensor.NewMatrix(2000, 1)
+	for i := 0; i < 2000; i++ {
+		if rng.Float64() < 0.5 {
+			y.Set(i, 0, 1)
+		}
+	}
+	cfg := nn.DefaultTrainConfig()
+	cfg.Epochs = 1
+	net := nn.NewMLP(64, core.PaperHidden, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Fit(x, y, nn.BCEWithLogits{}, cfg)
+	}
+	b.ReportMetric(2000, "samples/op")
+}
+
+// BenchmarkMatMul measures the 256×256 matmul kernel underlying everything.
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	a := tensor.NewMatrix(256, 256).RandomizeNormal(rng, 1)
+	c := tensor.NewMatrix(256, 256).RandomizeNormal(rng, 1)
+	dst := tensor.NewMatrix(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(dst, a, c)
+	}
+}
+
+// helpers ---------------------------------------------------------------------
+
+// benchSnapshot builds a fixed occupant snapshot with the given headcount.
+func benchSnapshot(people int) *agents.Snapshot {
+	snap := &agents.Snapshot{
+		Time: time.Date(2022, 1, 5, 10, 0, 0, 0, time.UTC),
+		Furniture: []agents.Point{
+			{X: 2, Y: 2}, {X: 10, Y: 4}, {X: 6, Y: 1},
+		},
+	}
+	for i := 0; i < people; i++ {
+		snap.Present = append(snap.Present, agents.PersonView{
+			ID:  i,
+			Pos: agents.Point{X: 3 + float64(i)*2, Y: 2 + float64(i%2)*2},
+			Activity: func() agents.Activity {
+				if i%2 == 0 {
+					return agents.AtDesk
+				}
+				return agents.Walking
+			}(),
+			Speed: float64(i%2) * 1.1,
+		})
+	}
+	snap.Count = len(snap.Present)
+	return snap
+}
+
+// --- extension benchmarks ------------------------------------------------
+
+// BenchmarkExtActivity regenerates the activity-recognition extension table.
+func BenchmarkExtActivity(b *testing.B) {
+	_, split := benchFixture(b)
+	cfg := benchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunActivity(split, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtCounting regenerates the occupant-counting extension table.
+func BenchmarkExtCounting(b *testing.B) {
+	_, split := benchFixture(b)
+	cfg := benchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunCounting(split, 5, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationArchitecture runs the topology sweep.
+func BenchmarkAblationArchitecture(b *testing.B) {
+	_, split := benchFixture(b)
+	cfg := benchCfg()
+	cfg.NNTrain.Epochs = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunArchitectureAblation(split, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAgentsStep measures one occupant-simulator tick at 20 Hz.
+func BenchmarkAgentsStep(b *testing.B) {
+	sim := agents.New(agents.Config{Seed: 5})
+	t0 := time.Date(2022, 1, 5, 10, 0, 0, 0, time.UTC)
+	dt := 50 * time.Millisecond
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step(t0.Add(time.Duration(i)*dt), dt)
+	}
+}
+
+// BenchmarkEnvsimStep measures one thermal-model tick at 20 Hz.
+func BenchmarkEnvsimStep(b *testing.B) {
+	sim := envsim.NewSimulator(envsim.DefaultConfig(), rand.New(rand.NewSource(5)))
+	t0 := time.Date(2022, 1, 5, 10, 0, 0, 0, time.UTC)
+	dt := 50 * time.Millisecond
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step(t0.Add(time.Duration(i)*dt), dt, 3)
+	}
+}
+
+// BenchmarkGradientStep measures one forward+backward+AdamW step on a
+// 256-sample batch with the paper architecture.
+func BenchmarkGradientStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	net := nn.NewMLP(66, core.PaperHidden, 1, rng)
+	x := tensor.NewMatrix(256, 66).RandomizeNormal(rng, 1)
+	y := tensor.NewMatrix(256, 1)
+	for i := 0; i < 256; i++ {
+		if rng.Float64() < 0.5 {
+			y.Set(i, 0, 1)
+		}
+	}
+	opt := nn.NewAdamW(5e-3, 1e-4)
+	loss := nn.BCEWithLogits{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.FitOnline(x, y, loss, opt, 5)
+	}
+	b.ReportMetric(256, "samples/op")
+}

@@ -1,0 +1,104 @@
+// Command ablate sweeps the design choices behind the paper's detector on
+// the synthetic trace: MLP topology, feature standardisation, training-set
+// size, and epoch count — quantifying the §IV-B claim that the small
+// 128-256-128 network is enough.
+//
+// Usage:
+//
+//	ablate [-rate hz] [-seed n] [-train n] [-eval n] [-only dim]
+//
+// where dim ∈ {arch, std, size, epochs, family, preproc}.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		rate  = flag.Float64("rate", 0.1, "sampling rate in Hz for the 74 h trace")
+		seed  = flag.Int64("seed", 1, "master random seed")
+		train = flag.Int("train", 12000, "max training samples after thinning")
+		eval  = flag.Int("eval", 3000, "max evaluation samples per fold")
+		only  = flag.String("only", "", "run a single sweep: arch, std, size, epochs, family, preproc")
+	)
+	flag.Parse()
+
+	ecfg := core.DefaultExperimentConfig()
+	ecfg.Seed = *seed
+	ecfg.MaxTrainSamples = *train
+	ecfg.MaxEvalSamples = *eval
+
+	want := func(name string) bool { return *only == "" || strings.EqualFold(*only, name) }
+
+	fmt.Printf("Generating 74 h trace at %.3g Hz...\n", *rate)
+	t0 := time.Now()
+	d, err := dataset.Generate(dataset.DefaultGenConfig(*rate, *seed))
+	check(err)
+	split, err := d.PaperSplit()
+	check(err)
+	fmt.Printf("  %d records in %.1fs\n\n", d.Len(), time.Since(t0).Seconds())
+
+	if want("arch") {
+		res, err := core.RunArchitectureAblation(split, ecfg)
+		check(err)
+		printAblation(res)
+	}
+	if want("std") {
+		res, err := core.RunStandardizationAblation(split, ecfg)
+		check(err)
+		printAblation(res)
+	}
+	if want("size") {
+		res, err := core.RunTrainSizeAblation(split, ecfg, nil)
+		check(err)
+		printAblation(res)
+	}
+	if want("epochs") {
+		res, err := core.RunEpochsAblation(split, ecfg, nil)
+		check(err)
+		printAblation(res)
+	}
+	if want("family") {
+		res, err := core.RunModelFamilyAblation(split, ecfg)
+		check(err)
+		printAblation(res)
+	}
+	if want("preproc") {
+		res, err := core.RunPreprocessAblation(split, ecfg)
+		check(err)
+		printAblation(res)
+	}
+}
+
+func printAblation(res *core.AblationResult) {
+	t := report.New(fmt.Sprintf("ABLATION — %s (CSI occupancy, fold-average accuracy)", res.Dimension),
+		"Config", "Avg acc %", "Per fold", "Params", "Train time")
+	for _, p := range res.Points {
+		folds := make([]string, len(p.PerFold))
+		for i, v := range p.PerFold {
+			folds[i] = fmt.Sprintf("%.0f", v)
+		}
+		t.AddRowStrings(p.Name,
+			fmt.Sprintf("%.1f", p.Acc),
+			strings.Join(folds, " "),
+			fmt.Sprintf("%d", p.Params),
+			p.TrainTime.Round(time.Millisecond).String())
+	}
+	fmt.Println(t)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ablate:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,131 @@
+// Command csigen generates a synthetic CSI + environment + occupancy trace
+// in the paper's Table I CSV format. It is the stand-in for the paper's
+// 74-hour Nexmon capture pipeline (§IV-A).
+//
+// Usage:
+//
+//	csigen -out trace.csv [-rate hz] [-hours h] [-seed n] [-start RFC3339]
+//
+// The default scenario scripts the Table III fold structure (empty nights,
+// mixed morning with heater outage + aeration, fully-occupied boosted
+// afternoon). With -plain the scripted events are removed and only the
+// regular office schedule remains.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/agents"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "trace.csv", "output CSV path")
+		rate  = flag.Float64("rate", 1, "sampling rate in Hz (paper hardware: 20)")
+		hours = flag.Float64("hours", 74, "trace duration in hours")
+		seed  = flag.Int64("seed", 1, "random seed")
+		start = flag.String("start", "", "trace start (RFC3339; default: the paper's Jan 4 2022 15:08:40)")
+		plain = flag.Bool("plain", false, "disable the scripted fold-4/5 events")
+		quiet = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	cfg := dataset.DefaultGenConfig(*rate, *seed)
+	cfg.Duration = time.Duration(*hours * float64(time.Hour))
+	if *start != "" {
+		t, err := time.Parse(time.RFC3339, *start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csigen: bad -start: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Start = t
+	}
+	if *plain {
+		cfg.Agents.ForcedEmpty = nil
+		cfg.Agents.ForcedBusy = nil
+		cfg.Env.Outages = nil
+		cfg.Env.Boosts = nil
+		cfg.Env.Aerations = nil
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csigen:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	// Stream straight to disk so arbitrarily long high-rate traces fit in
+	// constant memory.
+	n := 0
+	var d dataset.Dataset
+	flush := func() error {
+		if n == 0 {
+			if err := d.WriteCSV(f); err != nil {
+				return err
+			}
+		} else {
+			// Append without re-writing the header.
+			tmp := dataset.Dataset{Records: d.Records}
+			var sb lineBuffer
+			if err := tmp.WriteCSV(&sb); err != nil {
+				return err
+			}
+			if _, err := f.Write(sb.AfterHeader()); err != nil {
+				return err
+			}
+		}
+		n += d.Len()
+		d.Records = d.Records[:0]
+		return nil
+	}
+	t0 := time.Now()
+	err = dataset.Stream(cfg, func(r dataset.Record) error {
+		d.Records = append(d.Records, r)
+		if d.Len() >= 50000 {
+			return flush()
+		}
+		return nil
+	})
+	if err == nil {
+		err = flush()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csigen:", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Printf("csigen: wrote %d records to %s in %.1fs (seed=%d rate=%gHz agents=%d)\n",
+			n, *out, time.Since(t0).Seconds(), *seed, *rate, agentCount(cfg.Agents))
+	}
+}
+
+func agentCount(a agents.Config) int {
+	if a.NumPersons == 0 {
+		return agents.DefaultConfig().NumPersons
+	}
+	return a.NumPersons
+}
+
+// lineBuffer captures CSV output so the repeated header can be stripped on
+// append flushes.
+type lineBuffer struct{ data []byte }
+
+func (b *lineBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+// AfterHeader returns the bytes after the first newline.
+func (b *lineBuffer) AfterHeader() []byte {
+	for i, c := range b.data {
+		if c == '\n' {
+			return b.data[i+1:]
+		}
+	}
+	return nil
+}

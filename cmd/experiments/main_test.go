@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// TestResultsJSONRoundtrip ensures the -json export marshals cleanly,
+// including the FeatureSet-keyed Table IV maps (which rely on the
+// TextMarshaler implementation) and omits absent sections.
+func TestResultsJSONRoundtrip(t *testing.T) {
+	res := &resultsJSON{
+		Seed:    7,
+		RateHz:  0.5,
+		Records: 100,
+		Table4: &core.Table4Result{
+			Acc: [][]map[dataset.FeatureSet]float64{
+				{{dataset.FeatCSI: 99.5}, {dataset.FeatEnv: 88}, {dataset.FeatCSIEnv: 77}},
+			},
+			Avg: []map[dataset.FeatureSet]float64{{dataset.FeatCSI: 99.5}},
+		},
+		TimeOnly: &core.TimeOnlyResult{PerFold: []float64{90}, Avg: 90},
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{`"seed":7`, `"CSI":99.5`, `"C+E":77`, `"time_only"`} {
+		if !contains(s, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, s)
+		}
+	}
+	for _, absent := range []string{"table5", "figure3", "counting"} {
+		if contains(s, `"`+absent+`"`) {
+			t.Fatalf("omitempty failed for %s", absent)
+		}
+	}
+	var back resultsJSON
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Table4.Avg[0][dataset.FeatCSI] != 99.5 {
+		t.Fatal("feature-set map key did not roundtrip")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestParseFeatures(t *testing.T) {
+	cases := map[string]dataset.FeatureSet{
+		"CSI": dataset.FeatCSI, "csi": dataset.FeatCSI,
+		"Env": dataset.FeatEnv, "ENV": dataset.FeatEnv,
+		"C+E": dataset.FeatCSIEnv, "CSIENV": dataset.FeatCSIEnv, "csi+env": dataset.FeatCSIEnv,
+	}
+	for in, want := range cases {
+		got, err := parseFeatures(in)
+		if err != nil || got != want {
+			t.Fatalf("parseFeatures(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseFeatures("time"); err == nil {
+		t.Fatal("time must be rejected (not a Table IV subset)")
+	}
+	if _, err := parseFeatures(""); err == nil {
+		t.Fatal("empty must be rejected")
+	}
+}
+
+func TestParseHidden(t *testing.T) {
+	got, err := parseHidden("128,256,128")
+	if err != nil || len(got) != 3 || got[0] != 128 || got[1] != 256 || got[2] != 128 {
+		t.Fatalf("parseHidden: %v, %v", got, err)
+	}
+	got, err = parseHidden(" 8 , 4 ")
+	if err != nil || got[0] != 8 || got[1] != 4 {
+		t.Fatalf("whitespace handling: %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "a,b", "0", "-3", "8,,4"} {
+		if _, err := parseHidden(bad); err == nil {
+			t.Fatalf("parseHidden(%q) must fail", bad)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+// Package repro is a from-scratch, stdlib-only Go reproduction of
+// "Towards Deep Learning-based Occupancy Detection Via WiFi Sensing in
+// Unconstrained Environments" (Turetta et al., DATE 2023).
+//
+// The module has no importable code at the root — it hosts the repository's
+// integration tests and the benchmark harness (one benchmark per paper
+// table/figure). The building blocks live under internal/:
+//
+//   - internal/csi, internal/agents, internal/envsim — the simulation
+//     substrates standing in for the paper's unavailable hardware capture
+//   - internal/nn, internal/rf, internal/linmodel — the model families
+//   - internal/dataset — the Table I data pipeline and Table III folds
+//   - internal/core — the public pipeline API and experiment runners
+//   - internal/xai, internal/stats, internal/filter, internal/tensor,
+//     internal/report — supporting machinery
+//
+// Entry points are the commands under cmd/ and the runnable examples under
+// examples/. See README.md for the tour, DESIGN.md for the system inventory
+// and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results.
+package repro

@@ -1,0 +1,107 @@
+// Realtime: attach a trained detector to a live 20 Hz CSI stream and track
+// occupancy transitions with hysteresis smoothing, plus continuous online
+// fine-tuning — the deployment mode §V-B argues for ("an MLP model can be
+// trained continuously ... online training").
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// smoother debounces per-sample decisions: a state flips only after `need`
+// consecutive contrary samples (20 Hz per-sample flicker is not a door
+// event).
+type smoother struct {
+	state, run, need int
+}
+
+func (s *smoother) push(pred int) (int, bool) {
+	if pred == s.state {
+		s.run = 0
+		return s.state, false
+	}
+	s.run++
+	if s.run >= s.need {
+		s.state = pred
+		s.run = 0
+		return s.state, true
+	}
+	return s.state, false
+}
+
+func main() {
+	// Train on one synthetic day.
+	gcfg := dataset.DefaultGenConfig(0.5, 3)
+	gcfg.Duration = 24 * time.Hour
+	day, err := dataset.Generate(gcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dcfg := core.DefaultDetectorConfig()
+	dcfg.Features = dataset.FeatCSI // CSI-only: no env sensor at run time
+	dcfg.Train.Epochs = 5
+	det, err := core.TrainDetector(day, dcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("detector: %v\n", det.Net)
+
+	// Stream a different seed (an unseen day) at the paper's 20 Hz around
+	// the morning arrival window.
+	scfg := dataset.DefaultGenConfig(20, 99)
+	scfg.Start = dataset.PaperStart.Add(17*time.Hour + 30*time.Minute) // Jan 5, 08:38
+	scfg.Duration = 20 * time.Minute
+
+	sm := &smoother{state: 0, need: 20} // 1 s of agreement at 20 Hz
+	opt := nn.NewAdamW(1e-4, 0)
+	var onlineBatchX []float64
+	var onlineBatchY []float64
+	var n, correct, flips int
+
+	err = dataset.Stream(scfg, func(r dataset.Record) error {
+		_, raw := det.PredictRecord(&r)
+		state, flipped := sm.push(raw)
+		if flipped {
+			flips++
+			label := "EMPTY"
+			if state == 1 {
+				label = "OCCUPIED"
+			}
+			fmt.Printf("%s  room is now %s (%d people actually present)\n",
+				r.Time.Format("15:04:05.00"), label, r.Count)
+		}
+		n++
+		if state == r.Label() {
+			correct++
+		}
+
+		// Online fine-tuning: every 256 samples, one incremental step on
+		// the freshly observed (self-labelled by ground truth here;
+		// a deployment would use sporadic annotations).
+		row := dataset.FeatureRow(&r, det.Features)
+		det.Scaler.TransformRow(row)
+		onlineBatchX = append(onlineBatchX, row...)
+		onlineBatchY = append(onlineBatchY, float64(r.Label()))
+		if len(onlineBatchY) == 256 {
+			xb := tensor.FromSlice(256, det.Features.Dim(), onlineBatchX)
+			yb := tensor.FromSlice(256, 1, onlineBatchY)
+			loss := det.Net.FitOnline(xb, yb, nn.BCEWithLogits{}, opt, 5)
+			_ = loss
+			onlineBatchX = nil
+			onlineBatchY = nil
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstreamed %d samples at 20 Hz: smoothed accuracy %.2f%%, %d state transitions\n",
+		n, 100*float64(correct)/float64(n), flips)
+}

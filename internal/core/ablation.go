@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/filter"
+	"repro/internal/linmodel"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// AblationPoint is one configuration in an ablation sweep with its outcome.
+type AblationPoint struct {
+	Name string
+	// Acc is the mean accuracy (%) over the test folds.
+	Acc float64
+	// PerFold holds the per-fold accuracies (%).
+	PerFold []float64
+	// Params is the trained model's parameter count (0 for non-NN points).
+	Params int
+	// TrainTime is the wall-clock training duration.
+	TrainTime time.Duration
+}
+
+// AblationResult is a named sweep.
+type AblationResult struct {
+	Dimension string
+	Points    []AblationPoint
+}
+
+// RunArchitectureAblation sweeps MLP hidden topologies on the CSI feature
+// set, quantifying the paper's implicit design choice of 128-256-128
+// ("size parameters chosen ... with special care in keeping the number of
+// parameters bounded", §IV-B).
+func RunArchitectureAblation(split *dataset.Split, cfg ExperimentConfig) (*AblationResult, error) {
+	topologies := []struct {
+		name   string
+		hidden []int
+	}{
+		{"16", []int{16}},
+		{"64-32", []int{64, 32}},
+		{"128-256-128 (paper)", []int{128, 256, 128}},
+		{"256-256-256", []int{256, 256, 256}},
+	}
+	res := &AblationResult{Dimension: "architecture"}
+	for _, tp := range topologies {
+		pt, err := trainEvalMLP(split, cfg, tp.hidden, true)
+		if err != nil {
+			return nil, fmt.Errorf("core: architecture %s: %w", tp.name, err)
+		}
+		pt.Name = tp.name
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// RunStandardizationAblation compares training with and without feature
+// standardisation — the preprocessing the paper leaves implicit but every
+// pipeline on raw-amplitude CSI depends on.
+func RunStandardizationAblation(split *dataset.Split, cfg ExperimentConfig) (*AblationResult, error) {
+	res := &AblationResult{Dimension: "standardisation"}
+	for _, std := range []bool{true, false} {
+		pt, err := trainEvalMLP(split, cfg, cfg.Hidden, std)
+		if err != nil {
+			return nil, err
+		}
+		if std {
+			pt.Name = "standardised"
+		} else {
+			pt.Name = "raw amplitudes"
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// RunTrainSizeAblation sweeps the training-set size (via thinning),
+// quantifying how much of the 74-hour capture the detector actually needs.
+func RunTrainSizeAblation(split *dataset.Split, cfg ExperimentConfig, sizes []int) (*AblationResult, error) {
+	if len(sizes) == 0 {
+		sizes = []int{500, 2000, 8000, 32000}
+	}
+	res := &AblationResult{Dimension: "training samples"}
+	for _, n := range sizes {
+		c := cfg
+		c.MaxTrainSamples = n
+		pt, err := trainEvalMLP(split, c, cfg.Hidden, true)
+		if err != nil {
+			return nil, err
+		}
+		pt.Name = fmt.Sprintf("%d", n)
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// RunEpochsAblation sweeps training epochs around the paper's 10.
+func RunEpochsAblation(split *dataset.Split, cfg ExperimentConfig, epochs []int) (*AblationResult, error) {
+	if len(epochs) == 0 {
+		epochs = []int{1, 3, 10, 30}
+	}
+	res := &AblationResult{Dimension: "epochs"}
+	for _, e := range epochs {
+		c := cfg
+		c.NNTrain.Epochs = e
+		pt, err := trainEvalMLP(split, c, cfg.Hidden, true)
+		if err != nil {
+			return nil, err
+		}
+		pt.Name = fmt.Sprintf("%d", e)
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// RunPreprocessAblation tests the paper's §I claim that its model needs no
+// "computationally-demanding pre-processing pipelines": the same MLP is
+// trained on raw amplitudes and on three classical denoising front-ends
+// (moving average, Hampel, Savitzky–Golay), each applied per subcarrier
+// over time to both training and evaluation folds.
+func RunPreprocessAblation(split *dataset.Split, cfg ExperimentConfig) (*AblationResult, error) {
+	if len(split.Folds) == 0 {
+		return nil, fmt.Errorf("core: split has no test folds")
+	}
+	sg, err := filter.NewSavitzkyGolay(5, 2)
+	if err != nil {
+		return nil, err
+	}
+	pipelines := []filter.Filter{
+		filter.Identity{},
+		filter.MovingAverage{R: 3},
+		filter.Hampel{R: 5, NSigma: 3},
+		sg,
+	}
+	res := &AblationResult{Dimension: "preprocessing"}
+	for _, f := range pipelines {
+		apply := func(d *dataset.Dataset) *dataset.Dataset {
+			if _, ok := f.(filter.Identity); ok {
+				return d
+			}
+			return d.MapCSIColumns(func(_ int, s []float64) []float64 { return f.Apply(s) })
+		}
+		filtered := &dataset.Split{Train: apply(split.Train)}
+		for _, fold := range split.Folds {
+			filtered.Folds = append(filtered.Folds, apply(fold))
+		}
+		pt, err := trainEvalMLP(filtered, cfg, cfg.Hidden, true)
+		if err != nil {
+			return nil, fmt.Errorf("core: preprocessing %s: %w", f.Name(), err)
+		}
+		pt.Name = f.Name()
+		res.Points = append(res.Points, pt)
+	}
+
+	// PCA front-end: project the 64 amplitudes to 16 principal components
+	// (the common dimensionality-reduction step) before the same MLP.
+	pcaPt, err := trainEvalPCA(split, cfg, 16)
+	if err != nil {
+		return nil, err
+	}
+	res.Points = append(res.Points, pcaPt)
+	return res, nil
+}
+
+// trainEvalPCA trains the MLP on a PCA-k projection of the CSI features.
+func trainEvalPCA(split *dataset.Split, cfg ExperimentConfig, k int) (AblationPoint, error) {
+	train := thin(split.Train, cfg.MaxTrainSamples)
+	x, yi := train.Matrix(dataset.FeatCSI)
+	scaler := linmodel.FitScaler(x)
+	xs := scaler.Transform(x)
+	pca, err := linmodel.FitPCA(xs, k, cfg.Seed)
+	if err != nil {
+		return AblationPoint{}, fmt.Errorf("core: PCA front-end: %w", err)
+	}
+	xp := pca.Transform(xs)
+	y := tensor.NewMatrix(len(yi), 1)
+	for i, v := range yi {
+		y.Set(i, 0, float64(v))
+	}
+	hidden := cfg.Hidden
+	if len(hidden) == 0 {
+		hidden = PaperHidden
+	}
+	net := nn.NewMLP(k, hidden, 1, rand.New(rand.NewSource(cfg.Seed)))
+	tcfg := cfg.NNTrain
+	tcfg.Seed = cfg.Seed
+	t0 := time.Now()
+	net.Fit(xp, y, nn.BCEWithLogits{}, tcfg)
+	pt := AblationPoint{Name: fmt.Sprintf("pca-%d", k), Params: net.NumParams(), TrainTime: time.Since(t0)}
+	for _, fold := range split.Folds {
+		ev := thin(fold, cfg.MaxEvalSamples)
+		xf, yf := ev.Matrix(dataset.FeatCSI)
+		pred := net.PredictBinary(pca.Transform(scaler.Transform(xf)))
+		correct := 0
+		for i := range yf {
+			if pred[i] == yf[i] {
+				correct++
+			}
+		}
+		acc := 100 * float64(correct) / float64(len(yf))
+		pt.PerFold = append(pt.PerFold, acc)
+		pt.Acc += acc
+	}
+	pt.Acc /= float64(len(split.Folds))
+	return pt, nil
+}
+
+// RunModelFamilyAblation compares the paper's MLP against a small 1-D CNN
+// over the subcarrier axis (the other common model family in CSI sensing):
+// same training budget, same CSI features.
+func RunModelFamilyAblation(split *dataset.Split, cfg ExperimentConfig) (*AblationResult, error) {
+	if len(split.Folds) == 0 {
+		return nil, fmt.Errorf("core: split has no test folds")
+	}
+	res := &AblationResult{Dimension: "model family"}
+
+	mlp, err := trainEvalMLP(split, cfg, cfg.Hidden, true)
+	if err != nil {
+		return nil, err
+	}
+	mlp.Name = "MLP"
+	res.Points = append(res.Points, mlp)
+
+	cnn, err := trainEvalNet(split, cfg, func(rng *rand.Rand) *nn.Network {
+		return nn.NewCNN(dataset.FeatCSI.Dim(), 1, rng)
+	})
+	if err != nil {
+		return nil, err
+	}
+	cnn.Name = "CNN (conv1d)"
+	res.Points = append(res.Points, cnn)
+	return res, nil
+}
+
+// trainEvalNet trains an arbitrary network constructor on standardised CSI
+// features and evaluates the fold-average accuracy.
+func trainEvalNet(split *dataset.Split, cfg ExperimentConfig, build func(*rand.Rand) *nn.Network) (AblationPoint, error) {
+	train := thin(split.Train, cfg.MaxTrainSamples)
+	x, yi := train.Matrix(dataset.FeatCSI)
+	scaler := linmodel.FitScaler(x)
+	xs := scaler.Transform(x)
+	y := tensor.NewMatrix(len(yi), 1)
+	for i, v := range yi {
+		y.Set(i, 0, float64(v))
+	}
+	net := build(rand.New(rand.NewSource(cfg.Seed)))
+	tcfg := cfg.NNTrain
+	tcfg.Seed = cfg.Seed
+	t0 := time.Now()
+	net.Fit(xs, y, nn.BCEWithLogits{}, tcfg)
+	pt := AblationPoint{Params: net.NumParams(), TrainTime: time.Since(t0)}
+	for _, fold := range split.Folds {
+		ev := thin(fold, cfg.MaxEvalSamples)
+		xf, yf := ev.Matrix(dataset.FeatCSI)
+		pred := net.PredictBinary(scaler.Transform(xf))
+		correct := 0
+		for i := range yf {
+			if pred[i] == yf[i] {
+				correct++
+			}
+		}
+		acc := 100 * float64(correct) / float64(len(yf))
+		pt.PerFold = append(pt.PerFold, acc)
+		pt.Acc += acc
+	}
+	pt.Acc /= float64(len(split.Folds))
+	return pt, nil
+}
+
+// trainEvalMLP trains a CSI MLP under the given knobs and evaluates the
+// fold-average accuracy.
+func trainEvalMLP(split *dataset.Split, cfg ExperimentConfig, hidden []int, standardize bool) (AblationPoint, error) {
+	if len(split.Folds) == 0 {
+		return AblationPoint{}, fmt.Errorf("core: split has no test folds")
+	}
+	if len(hidden) == 0 {
+		hidden = PaperHidden
+	}
+	train := thin(split.Train, cfg.MaxTrainSamples)
+	x, yi := train.Matrix(dataset.FeatCSI)
+	var scaler *linmodel.Scaler
+	xs := x
+	if standardize {
+		scaler = linmodel.FitScaler(x)
+		xs = scaler.Transform(x)
+	}
+	y := tensor.NewMatrix(len(yi), 1)
+	for i, v := range yi {
+		y.Set(i, 0, float64(v))
+	}
+	net := nn.NewMLP(dataset.FeatCSI.Dim(), hidden, 1, rand.New(rand.NewSource(cfg.Seed)))
+	tcfg := cfg.NNTrain
+	tcfg.Seed = cfg.Seed
+	t0 := time.Now()
+	net.Fit(xs, y, nn.BCEWithLogits{}, tcfg)
+	pt := AblationPoint{Params: net.NumParams(), TrainTime: time.Since(t0)}
+
+	for _, fold := range split.Folds {
+		ev := thin(fold, cfg.MaxEvalSamples)
+		xf, yf := ev.Matrix(dataset.FeatCSI)
+		if standardize {
+			xf = scaler.Transform(xf)
+		}
+		pred := net.PredictBinary(xf)
+		correct := 0
+		for i := range yf {
+			if pred[i] == yf[i] {
+				correct++
+			}
+		}
+		acc := 100 * float64(correct) / float64(len(yf))
+		pt.PerFold = append(pt.PerFold, acc)
+		pt.Acc += acc
+	}
+	pt.Acc /= float64(len(split.Folds))
+	return pt, nil
+}

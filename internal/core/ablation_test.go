@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func ablationCfg() ExperimentConfig {
+	cfg := quickCfg()
+	cfg.NNTrain.Epochs = 4
+	cfg.MaxTrainSamples = 800
+	cfg.MaxEvalSamples = 200
+	return cfg
+}
+
+func TestRunArchitectureAblation(t *testing.T) {
+	_, split := testSplit(t)
+	res, err := RunArchitectureAblation(split, ablationCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dimension != "architecture" || len(res.Points) != 4 {
+		t.Fatalf("sweep shape: %+v", res)
+	}
+	// Parameter counts must strictly increase across the sweep order.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Params <= res.Points[i-1].Params {
+			t.Fatalf("params not increasing: %d then %d", res.Points[i-1].Params, res.Points[i].Params)
+		}
+	}
+	for _, p := range res.Points {
+		if p.Acc < 0 || p.Acc > 100 || len(p.PerFold) != 5 || p.TrainTime <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+	// The paper topology's parameter count is the documented one.
+	if res.Points[2].Params != 8320+33024+32896+129 {
+		t.Fatalf("paper topology params %d", res.Points[2].Params)
+	}
+}
+
+func TestRunStandardizationAblation(t *testing.T) {
+	_, split := testSplit(t)
+	res, err := RunStandardizationAblation(split, ablationCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatal("want 2 points")
+	}
+	if res.Points[0].Name != "standardised" || res.Points[1].Name != "raw amplitudes" {
+		t.Fatalf("names %q %q", res.Points[0].Name, res.Points[1].Name)
+	}
+}
+
+func TestRunTrainSizeAblation(t *testing.T) {
+	_, split := testSplit(t)
+	res, err := RunTrainSizeAblation(split, ablationCfg(), []int{100, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 || res.Points[0].Name != "100" {
+		t.Fatalf("sweep %+v", res)
+	}
+}
+
+func TestRunEpochsAblation(t *testing.T) {
+	_, split := testSplit(t)
+	res, err := RunEpochsAblation(split, ablationCfg(), []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatal("sweep length")
+	}
+	// More epochs must not make training *faster*.
+	if res.Points[1].TrainTime < res.Points[0].TrainTime/2 {
+		t.Fatalf("epoch timing implausible: %v then %v", res.Points[0].TrainTime, res.Points[1].TrainTime)
+	}
+}
+
+func TestTrainEvalMLPNoFolds(t *testing.T) {
+	_, split := testSplit(t)
+	bad := &dataset.Split{Train: split.Train}
+	if _, err := trainEvalMLP(bad, ablationCfg(), nil, true); err == nil {
+		t.Fatal("no folds must error")
+	}
+}
+
+func TestRunModelFamilyAblation(t *testing.T) {
+	_, split := testSplit(t)
+	res, err := RunModelFamilyAblation(split, ablationCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 || res.Points[0].Name != "MLP" || res.Points[1].Name != "CNN (conv1d)" {
+		t.Fatalf("family points %+v", res.Points)
+	}
+	for _, p := range res.Points {
+		if p.Acc < 0 || p.Acc > 100 || p.Params <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+	// The CNN is smaller than the paper MLP topology (the test config may
+	// shrink the MLP itself, so compare against the documented count).
+	if res.Points[1].Params >= 8320+33024+32896+129 {
+		t.Fatalf("CNN params %d not below the paper MLP's", res.Points[1].Params)
+	}
+	bad := &dataset.Split{Train: split.Train}
+	if _, err := RunModelFamilyAblation(bad, ablationCfg()); err == nil {
+		t.Fatal("no folds must error")
+	}
+}
+
+func TestRunPreprocessAblation(t *testing.T) {
+	_, split := testSplit(t)
+	res, err := RunPreprocessAblation(split, ablationCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dimension != "preprocessing" || len(res.Points) != 5 {
+		t.Fatalf("sweep %+v", res)
+	}
+	if res.Points[4].Name != "pca-16" {
+		t.Fatalf("pca arm missing: %q", res.Points[4].Name)
+	}
+	if res.Points[0].Name != "raw" {
+		t.Fatalf("first arm must be raw, got %q", res.Points[0].Name)
+	}
+	for _, p := range res.Points {
+		if p.Acc < 0 || p.Acc > 100 || len(p.PerFold) != 5 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package core is the public face of the reproduction: the occupancy
+// Detector (the paper's lightweight MLP of §IV-B wrapped with feature
+// extraction and standardisation), the EnvRegressor that estimates
+// temperature and humidity from CSI (§V-D), model persistence, and the
+// experiment runners that regenerate every table and figure of the
+// evaluation section (internal/core/experiments.go).
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/linmodel"
+	"repro/internal/nn"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// PaperHidden is the hidden topology of §IV-B: three hidden layers of 128,
+// 256 and 128 units (whose per-layer parameter counts match the paper's
+// 8 320 / 33 024 / 32 896 / 129 breakdown; see DESIGN.md §5).
+var PaperHidden = []int{128, 256, 128}
+
+// DetectorConfig controls detector training.
+type DetectorConfig struct {
+	Features dataset.FeatureSet
+	Hidden   []int
+	Train    nn.TrainConfig
+	Seed     int64
+}
+
+// DefaultDetectorConfig returns the paper's configuration: the C+E feature
+// set, the 4-dense-layer MLP, 10 epochs at lr 5e-3 with AdamW decay.
+func DefaultDetectorConfig() DetectorConfig {
+	return DetectorConfig{
+		Features: dataset.FeatCSIEnv,
+		Hidden:   append([]int(nil), PaperHidden...),
+		Train:    nn.DefaultTrainConfig(),
+		Seed:     1,
+	}
+}
+
+// Detector is a trained occupancy classifier.
+type Detector struct {
+	Net      *nn.Network
+	Scaler   *linmodel.Scaler
+	Features dataset.FeatureSet
+}
+
+// TrainDetector fits the paper's MLP on the training fold.
+func TrainDetector(train *dataset.Dataset, cfg DetectorConfig) (*Detector, error) {
+	if train.Len() == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	if len(cfg.Hidden) == 0 {
+		cfg.Hidden = append([]int(nil), PaperHidden...)
+	}
+	x, yi := train.Matrix(cfg.Features)
+	scaler := linmodel.FitScaler(x)
+	xs := scaler.Transform(x)
+	y := tensor.NewMatrix(len(yi), 1)
+	for i, v := range yi {
+		y.Set(i, 0, float64(v))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := nn.NewMLP(cfg.Features.Dim(), cfg.Hidden, 1, rng)
+	net.Fit(xs, y, nn.BCEWithLogits{}, cfg.Train)
+	return &Detector{Net: net, Scaler: scaler, Features: cfg.Features}, nil
+}
+
+// Evaluate runs the detector over a fold and returns the confusion matrix.
+func (d *Detector) Evaluate(ds *dataset.Dataset) stats.ConfusionMatrix {
+	x, y := ds.Matrix(d.Features)
+	xs := d.Scaler.Transform(x)
+	pred := d.Net.PredictBinary(xs)
+	var cm stats.ConfusionMatrix
+	for i := range y {
+		cm.Observe(y[i], pred[i])
+	}
+	return cm
+}
+
+// PredictRecord classifies one record, returning P(occupied) and the label.
+func (d *Detector) PredictRecord(r *dataset.Record) (float64, int) {
+	row := dataset.FeatureRow(r, d.Features)
+	d.Scaler.TransformRow(row)
+	x := tensor.FromSlice(1, len(row), row)
+	p := d.Net.PredictProbs(x)[0]
+	if p >= 0.5 {
+		return p, 1
+	}
+	return p, 0
+}
+
+// EnvRegressor estimates temperature and humidity from CSI amplitudes (the
+// §V-D "non-linear regression ... implemented with our neural network
+// model"). Targets are standardised internally for optimisation stability
+// and un-standardised on prediction.
+type EnvRegressor struct {
+	Net     *nn.Network
+	Scaler  *linmodel.Scaler
+	YMean   [2]float64
+	YStd    [2]float64
+	Feature dataset.FeatureSet
+}
+
+// EnvRegressorConfig controls EnvRegressor training.
+type EnvRegressorConfig struct {
+	Hidden []int
+	Train  nn.TrainConfig
+	Seed   int64
+}
+
+// DefaultEnvRegressorConfig mirrors the detector's architecture with an MSE
+// objective.
+func DefaultEnvRegressorConfig() EnvRegressorConfig {
+	return EnvRegressorConfig{
+		Hidden: append([]int(nil), PaperHidden...),
+		Train:  nn.DefaultTrainConfig(),
+		Seed:   1,
+	}
+}
+
+// TrainEnvRegressor fits (T, H) ← CSI on the training fold.
+func TrainEnvRegressor(train *dataset.Dataset, cfg EnvRegressorConfig) (*EnvRegressor, error) {
+	if train.Len() == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	if len(cfg.Hidden) == 0 {
+		cfg.Hidden = append([]int(nil), PaperHidden...)
+	}
+	x, _ := train.Matrix(dataset.FeatCSI)
+	scaler := linmodel.FitScaler(x)
+	xs := scaler.Transform(x)
+	yRaw := train.EnvTargets()
+	reg := &EnvRegressor{Scaler: scaler, Feature: dataset.FeatCSI}
+	y := tensor.NewMatrix(yRaw.Rows, 2)
+	for c := 0; c < 2; c++ {
+		col := make([]float64, yRaw.Rows)
+		for i := range col {
+			col[i] = yRaw.At(i, c)
+		}
+		m, s := stats.Mean(col), stats.StdDev(col)
+		if s < 1e-9 {
+			s = 1
+		}
+		reg.YMean[c], reg.YStd[c] = m, s
+		for i := range col {
+			y.Set(i, c, (col[i]-m)/s)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	reg.Net = nn.NewMLP(dataset.FeatCSI.Dim(), cfg.Hidden, 2, rng)
+	reg.Net.Fit(xs, y, nn.MSE{}, cfg.Train)
+	return reg, nil
+}
+
+// Predict returns the estimated (temperature, humidity) series for a fold.
+func (e *EnvRegressor) Predict(ds *dataset.Dataset) (temp, hum []float64) {
+	x, _ := ds.Matrix(e.Feature)
+	xs := e.Scaler.Transform(x)
+	cols := e.Net.PredictRegression(xs)
+	temp = make([]float64, len(cols[0]))
+	hum = make([]float64, len(cols[1]))
+	for i := range temp {
+		temp[i] = cols[0][i]*e.YStd[0] + e.YMean[0]
+		hum[i] = cols[1][i]*e.YStd[1] + e.YMean[1]
+	}
+	return temp, hum
+}
+
+// --- persistence -----------------------------------------------------------
+
+const bundleMagic = 0x4F434244 // "OCBD"
+
+// Save writes the detector (scaler + network) to w.
+func (d *Detector) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, uint32(bundleMagic)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int32(d.Features)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(d.Scaler.Mean))); err != nil {
+		return err
+	}
+	for _, v := range d.Scaler.Mean {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, v := range d.Scaler.Std {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := d.Net.Save(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadDetector reads a detector bundle written by Save.
+func LoadDetector(r io.Reader) (*Detector, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != bundleMagic {
+		return nil, fmt.Errorf("core: bad detector bundle magic 0x%08X", magic)
+	}
+	var feat int32
+	if err := binary.Read(br, binary.LittleEndian, &feat); err != nil {
+		return nil, err
+	}
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("core: implausible scaler width %d", n)
+	}
+	sc := &linmodel.Scaler{Mean: make([]float64, n), Std: make([]float64, n)}
+	for i := range sc.Mean {
+		if err := binary.Read(br, binary.LittleEndian, &sc.Mean[i]); err != nil {
+			return nil, err
+		}
+	}
+	for i := range sc.Std {
+		if err := binary.Read(br, binary.LittleEndian, &sc.Std[i]); err != nil {
+			return nil, err
+		}
+		if sc.Std[i] == 0 || math.IsNaN(sc.Std[i]) {
+			return nil, fmt.Errorf("core: corrupt scaler std at %d", i)
+		}
+	}
+	net, err := nn.Load(br)
+	if err != nil {
+		return nil, err
+	}
+	d := &Detector{Net: net, Scaler: sc, Features: dataset.FeatureSet(feat)}
+	if d.Features.Dim() != int(n) || net.InputDim() != int(n) {
+		return nil, fmt.Errorf("core: bundle dimensions disagree (feat=%v scaler=%d net=%d)",
+			d.Features, n, net.InputDim())
+	}
+	return d, nil
+}
+
+// SaveFile / LoadDetectorFile are the path-based variants.
+func (d *Detector) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadDetectorFile reads a detector bundle from path.
+func LoadDetectorFile(path string) (*Detector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadDetector(f)
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+)
+
+// testSplit generates a small but regime-rich trace: late afternoon through
+// the night into the next morning, so both classes appear in train and test.
+func testSplit(t *testing.T) (*dataset.Dataset, *dataset.Split) {
+	t.Helper()
+	cfg := dataset.DefaultGenConfig(1.0/20, 5) // one sample / 20 s
+	cfg.Start = time.Date(2022, 1, 5, 12, 0, 0, 0, time.UTC)
+	cfg.Duration = 26 * time.Hour
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := d.PaperSplit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, split
+}
+
+// quickCfg returns a small-but-real experiment configuration for tests.
+func quickCfg() ExperimentConfig {
+	cfg := DefaultExperimentConfig()
+	cfg.Hidden = []int{32, 16}
+	cfg.NNTrain.Epochs = 6
+	cfg.NNTrain.BatchSize = 64
+	cfg.MaxTrainSamples = 1500
+	cfg.MaxEvalSamples = 400
+	cfg.RF.NumTrees = 10
+	cfg.RF.MaxDepth = 12
+	cfg.Logistic.Epochs = 10
+	return cfg
+}
+
+func quickDetectorCfg(feat dataset.FeatureSet) DetectorConfig {
+	dcfg := DefaultDetectorConfig()
+	dcfg.Features = feat
+	dcfg.Hidden = []int{32, 16}
+	dcfg.Train.Epochs = 6
+	dcfg.Train.BatchSize = 64
+	return dcfg
+}
+
+func TestTrainDetectorAndEvaluate(t *testing.T) {
+	_, split := testSplit(t)
+	det, err := TrainDetector(thin(split.Train, 1500), quickDetectorCfg(dataset.FeatCSI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-sample sanity: the CSI detector must beat chance comfortably.
+	cm := det.Evaluate(thin(split.Train, 800))
+	if cm.Accuracy() < 0.8 {
+		t.Fatalf("train accuracy %.3f too low", cm.Accuracy())
+	}
+	// Single-record prediction agrees with batch path.
+	r := &split.Train.Records[0]
+	p, label := det.PredictRecord(r)
+	if p < 0 || p > 1 {
+		t.Fatalf("probability %g", p)
+	}
+	if (p >= 0.5) != (label == 1) {
+		t.Fatal("threshold inconsistency")
+	}
+}
+
+func TestTrainDetectorEmpty(t *testing.T) {
+	if _, err := TrainDetector(&dataset.Dataset{}, DefaultDetectorConfig()); err == nil {
+		t.Fatal("empty training set must error")
+	}
+}
+
+func TestDetectorSaveLoadRoundtrip(t *testing.T) {
+	_, split := testSplit(t)
+	det, err := TrainDetector(thin(split.Train, 800), quickDetectorCfg(dataset.FeatCSIEnv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDetector(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Features != dataset.FeatCSIEnv {
+		t.Fatal("feature set lost")
+	}
+	// Predictions agree to float32 precision.
+	for i := 0; i < 20; i++ {
+		r := &split.Train.Records[i*10]
+		p1, _ := det.PredictRecord(r)
+		p2, _ := back.PredictRecord(r)
+		if d := p1 - p2; d > 1e-3 || d < -1e-3 {
+			t.Fatalf("prediction drift %g", d)
+		}
+	}
+}
+
+func TestLoadDetectorRejectsGarbage(t *testing.T) {
+	if _, err := LoadDetector(bytes.NewReader([]byte{9, 9, 9, 9})); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := LoadDetector(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty reader accepted")
+	}
+}
+
+func TestEnvRegressorLearns(t *testing.T) {
+	_, split := testSplit(t)
+	cfg := DefaultEnvRegressorConfig()
+	cfg.Hidden = []int{32, 16}
+	cfg.Train.Epochs = 10
+	cfg.Train.BatchSize = 64
+	reg, err := TrainEnvRegressor(thin(split.Train, 1500), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := thin(split.Train, 400)
+	tPred, hPred := reg.Predict(ev)
+	tTrue, _ := ev.Column("temp")
+	hTrue, _ := ev.Column("humidity")
+	var maeT, maeH float64
+	for i := range tTrue {
+		maeT += abs(tTrue[i] - tPred[i])
+		maeH += abs(hTrue[i] - hPred[i])
+	}
+	maeT /= float64(len(tTrue))
+	maeH /= float64(len(hTrue))
+	// In-sample: must clearly beat predicting the mean (std of T over a
+	// day is several °C).
+	if maeT > 2.5 {
+		t.Fatalf("temperature MAE %g too high", maeT)
+	}
+	if maeH > 5 {
+		t.Fatalf("humidity MAE %g too high", maeH)
+	}
+	if _, err := TrainEnvRegressor(&dataset.Dataset{}, cfg); err == nil {
+		t.Fatal("empty training set must error")
+	}
+}
+
+func TestThin(t *testing.T) {
+	d := &dataset.Dataset{Records: make([]dataset.Record, 100)}
+	for i := range d.Records {
+		d.Records[i].Count = i
+	}
+	if got := thin(d, 0); got.Len() != 100 {
+		t.Fatal("0 keeps all")
+	}
+	if got := thin(d, 200); got.Len() != 100 {
+		t.Fatal("cap above size keeps all")
+	}
+	th := thin(d, 10)
+	if th.Len() < 5 || th.Len() > 10 {
+		t.Fatalf("thin length %d", th.Len())
+	}
+	// Strided: covers the whole range, preserves order.
+	if th.Records[0].Count != 0 {
+		t.Fatal("first record dropped")
+	}
+	if th.Records[th.Len()-1].Count < 50 {
+		t.Fatal("tail regime dropped")
+	}
+}
+
+func TestRunFootprint(t *testing.T) {
+	_, split := testSplit(t)
+	dcfg := quickDetectorCfg(dataset.FeatCSIEnv)
+	dcfg.Hidden = PaperHidden
+	dcfg.Train.Epochs = 1
+	det, err := TrainDetector(thin(split.Train, 300), dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := RunFootprint(det, 50)
+	// 66→128→256→128→1: 8576+33024+32896+129 = 74625 params.
+	if fp.Params != 74625 {
+		t.Fatalf("params %d", fp.Params)
+	}
+	if fp.SizeBytes != fp.Params*4 {
+		t.Fatal("float32 size")
+	}
+	if fp.SizeKiB < 200 || fp.SizeKiB > 400 {
+		t.Fatalf("KiB %g out of expected range", fp.SizeKiB)
+	}
+	if fp.InferencePerSample <= 0 {
+		t.Fatal("latency must be positive")
+	}
+}
+
+func TestDefaultConfigsConsistent(t *testing.T) {
+	d := DefaultDetectorConfig()
+	if d.Features != dataset.FeatCSIEnv || len(d.Hidden) != 3 {
+		t.Fatalf("detector defaults %+v", d)
+	}
+	if d.Train.Epochs != 10 || d.Train.LR != 5e-3 {
+		t.Fatal("paper hyper-parameters changed")
+	}
+	e := DefaultEnvRegressorConfig()
+	if len(e.Hidden) != 3 {
+		t.Fatal("regressor defaults")
+	}
+	x := DefaultExperimentConfig()
+	if x.RF.NumTrees <= 0 || x.Logistic.Epochs <= 0 {
+		t.Fatal("experiment defaults")
+	}
+	// Paper architecture invariant: CSI-only net has the Table/§IV-B
+	// parameter breakdown.
+	net := nn.NewMLP(64, PaperHidden, 1, newTestRng())
+	if net.NumParams() != 8320+33024+32896+129 {
+		t.Fatalf("CSI MLP params %d", net.NumParams())
+	}
+}

@@ -1,0 +1,486 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/linmodel"
+	"repro/internal/nn"
+	"repro/internal/rf"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+	"repro/internal/xai"
+)
+
+// ModelName identifies the three Table IV model families.
+type ModelName string
+
+// The Table IV models.
+const (
+	ModelLogistic ModelName = "Logistic Regressor"
+	ModelRF       ModelName = "Random Forest"
+	ModelMLP      ModelName = "MLP"
+)
+
+// Table4Models lists the models in the paper's column order.
+var Table4Models = []ModelName{ModelLogistic, ModelRF, ModelMLP}
+
+// Table4Features lists the feature subsets in the paper's column order.
+var Table4Features = []dataset.FeatureSet{dataset.FeatCSI, dataset.FeatEnv, dataset.FeatCSIEnv}
+
+// ExperimentConfig bundles the scale and hyper-parameter knobs shared by
+// the experiment runners. Zero values take paper defaults.
+type ExperimentConfig struct {
+	// MaxTrainSamples caps the training set via deterministic striding
+	// (0 = use everything). The paper trains on 3.75M rows; a pure-Go
+	// reproduction thins the same distribution instead.
+	MaxTrainSamples int
+	// MaxEvalSamples caps each evaluation fold the same way (0 = all).
+	MaxEvalSamples int
+	Hidden         []int
+	NNTrain        nn.TrainConfig
+	RF             rf.ForestConfig
+	Logistic       linmodel.LogisticConfig
+	Seed           int64
+}
+
+// DefaultExperimentConfig returns the paper-default hyper-parameters.
+func DefaultExperimentConfig() ExperimentConfig {
+	return ExperimentConfig{
+		Hidden:   append([]int(nil), PaperHidden...),
+		NNTrain:  nn.DefaultTrainConfig(),
+		RF:       rf.DefaultForestConfig(),
+		Logistic: linmodel.DefaultLogisticConfig(),
+		Seed:     1,
+	}
+}
+
+// thin returns a stride-subsampled view with at most max records (max<=0
+// keeps everything). Striding preserves the temporal spread, unlike a
+// prefix cut which would drop whole regimes.
+func thin(d *dataset.Dataset, max int) *dataset.Dataset {
+	if max <= 0 || d.Len() <= max {
+		return d
+	}
+	stride := (d.Len() + max - 1) / max
+	out := &dataset.Dataset{Records: make([]dataset.Record, 0, max)}
+	for i := 0; i < d.Len(); i += stride {
+		out.Records = append(out.Records, d.Records[i])
+	}
+	return out
+}
+
+// Table4Result holds occupancy accuracy per fold / model / feature subset,
+// plus the per-column averages (the paper's "Avg." row), in percent.
+type Table4Result struct {
+	// Acc[fold][model][feature] with fold 0..4 = paper folds 1..5.
+	Acc [][]map[dataset.FeatureSet]float64
+	Avg []map[dataset.FeatureSet]float64 // per model
+}
+
+// RunTable4 reproduces Table IV: trains Logistic Regression, Random Forest
+// and the MLP on each of the three feature subsets on the training fold and
+// evaluates each of the five test folds. Models are trained exactly once —
+// fold evaluation never re-trains (§V-B).
+func RunTable4(split *dataset.Split, cfg ExperimentConfig) (*Table4Result, error) {
+	if len(split.Folds) == 0 {
+		return nil, fmt.Errorf("core: split has no test folds")
+	}
+	train := thin(split.Train, cfg.MaxTrainSamples)
+	if len(cfg.Hidden) == 0 {
+		cfg.Hidden = append([]int(nil), PaperHidden...)
+	}
+
+	res := &Table4Result{
+		Acc: make([][]map[dataset.FeatureSet]float64, len(split.Folds)),
+		Avg: make([]map[dataset.FeatureSet]float64, len(Table4Models)),
+	}
+	for f := range res.Acc {
+		res.Acc[f] = make([]map[dataset.FeatureSet]float64, len(Table4Models))
+		for m := range res.Acc[f] {
+			res.Acc[f][m] = map[dataset.FeatureSet]float64{}
+		}
+	}
+	for m := range res.Avg {
+		res.Avg[m] = map[dataset.FeatureSet]float64{}
+	}
+
+	for _, feat := range Table4Features {
+		xTrain, yTrain := train.Matrix(feat)
+		scaler := linmodel.FitScaler(xTrain)
+		xTrainStd := scaler.Transform(xTrain)
+		yTrainF := tensor.NewMatrix(len(yTrain), 1)
+		for i, v := range yTrain {
+			yTrainF.Set(i, 0, float64(v))
+		}
+
+		// Train all three models once per feature subset.
+		logit := &linmodel.Logistic{}
+		lcfg := cfg.Logistic
+		lcfg.Seed = cfg.Seed
+		logit.Fit(xTrainStd, yTrain, lcfg)
+
+		rfcfg := cfg.RF
+		rfcfg.Seed = cfg.Seed
+		forest := rf.FitClassifier(xTrain, yTrain, rfcfg)
+
+		tcfg := cfg.NNTrain
+		tcfg.Seed = cfg.Seed
+		net := nn.NewMLP(feat.Dim(), cfg.Hidden, 1, rand.New(rand.NewSource(cfg.Seed)))
+		net.Fit(xTrainStd, yTrainF, nn.BCEWithLogits{}, tcfg)
+
+		for fi, fold := range split.Folds {
+			ev := thin(fold, cfg.MaxEvalSamples)
+			xf, yf := ev.Matrix(feat)
+			xfStd := scaler.Transform(xf)
+
+			accL := 100 * stats.Accuracy(yf, logit.Predict(xfStd))
+			accR := 100 * stats.Accuracy(yf, forest.Predict(xf))
+			accM := 100 * stats.Accuracy(yf, net.PredictBinary(xfStd))
+			res.Acc[fi][0][feat] = accL
+			res.Acc[fi][1][feat] = accR
+			res.Acc[fi][2][feat] = accM
+		}
+	}
+	for m := range Table4Models {
+		for _, feat := range Table4Features {
+			var s float64
+			for fi := range split.Folds {
+				s += res.Acc[fi][m][feat]
+			}
+			res.Avg[m][feat] = s / float64(len(split.Folds))
+		}
+	}
+	return res, nil
+}
+
+// RegScores is one cell pair of Table V for one fold: MAE and MAPE for the
+// temperature (T) and humidity (H) targets.
+type RegScores struct {
+	MAET, MAEH   float64
+	MAPET, MAPEH float64
+}
+
+// Table5Result holds the Table V grid: per fold, linear vs neural scores.
+type Table5Result struct {
+	Linear []RegScores // per fold
+	Neural []RegScores
+	AvgLin RegScores
+	AvgNN  RegScores
+}
+
+// RunTable5 reproduces Table V: ordinary least squares and the MLP both
+// regress temperature and humidity from the 64 CSI amplitudes, trained on
+// the training fold, evaluated per test fold.
+func RunTable5(split *dataset.Split, cfg ExperimentConfig) (*Table5Result, error) {
+	if len(split.Folds) == 0 {
+		return nil, fmt.Errorf("core: split has no test folds")
+	}
+	train := thin(split.Train, cfg.MaxTrainSamples)
+	if len(cfg.Hidden) == 0 {
+		cfg.Hidden = append([]int(nil), PaperHidden...)
+	}
+
+	// Linear: OLS on raw CSI with a tiny ridge for collinear subcarriers.
+	xTrain, _ := train.Matrix(dataset.FeatCSI)
+	lin, err := linmodel.FitLinear(xTrain, train.EnvTargets(), 1e-8)
+	if err != nil {
+		return nil, fmt.Errorf("core: Table V OLS: %w", err)
+	}
+
+	// Neural: the shared EnvRegressor.
+	ecfg := EnvRegressorConfig{Hidden: cfg.Hidden, Train: cfg.NNTrain, Seed: cfg.Seed}
+	ecfg.Train.Seed = cfg.Seed
+	reg, err := TrainEnvRegressor(train, ecfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Table5Result{}
+	for _, fold := range split.Folds {
+		ev := thin(fold, cfg.MaxEvalSamples)
+		xf, _ := ev.Matrix(dataset.FeatCSI)
+		tTrue, _ := ev.Column("temp")
+		hTrue, _ := ev.Column("humidity")
+
+		linPred := lin.Predict(xf)
+		res.Linear = append(res.Linear, RegScores{
+			MAET:  stats.MAE(tTrue, linPred[0]),
+			MAEH:  stats.MAE(hTrue, linPred[1]),
+			MAPET: stats.MAPE(tTrue, linPred[0]),
+			MAPEH: stats.MAPE(hTrue, linPred[1]),
+		})
+
+		tPred, hPred := reg.Predict(ev)
+		res.Neural = append(res.Neural, RegScores{
+			MAET:  stats.MAE(tTrue, tPred),
+			MAEH:  stats.MAE(hTrue, hPred),
+			MAPET: stats.MAPE(tTrue, tPred),
+			MAPEH: stats.MAPE(hTrue, hPred),
+		})
+	}
+	res.AvgLin = avgScores(res.Linear)
+	res.AvgNN = avgScores(res.Neural)
+	return res, nil
+}
+
+func avgScores(s []RegScores) RegScores {
+	var a RegScores
+	if len(s) == 0 {
+		return a
+	}
+	for _, v := range s {
+		a.MAET += v.MAET
+		a.MAEH += v.MAEH
+		a.MAPET += v.MAPET
+		a.MAPEH += v.MAPEH
+	}
+	n := float64(len(s))
+	a.MAET /= n
+	a.MAEH /= n
+	a.MAPET /= n
+	a.MAPEH /= n
+	return a
+}
+
+// Figure3Result is the Grad-CAM importance profile over the 66 C+E inputs.
+type Figure3Result struct {
+	// Importance[0..63] are the CSI subcarriers, [64] temperature,
+	// [65] humidity — the x-axis of Figure 3.
+	Importance []float64
+	// CSIMass and EnvMass are the absolute-importance shares.
+	CSIMass, EnvMass float64
+	// TopSubcarriers are the five most important CSI inputs.
+	TopSubcarriers []int
+}
+
+// RunFigure3 trains the C+E detector and applies Grad-CAM over a
+// (subsampled) batch of evaluation records, reproducing Figure 3.
+func RunFigure3(split *dataset.Split, cfg ExperimentConfig) (*Figure3Result, error) {
+	dcfg := DefaultDetectorConfig()
+	dcfg.Features = dataset.FeatCSIEnv
+	if len(cfg.Hidden) > 0 {
+		dcfg.Hidden = cfg.Hidden
+	}
+	dcfg.Train = cfg.NNTrain
+	dcfg.Seed = cfg.Seed
+	det, err := TrainDetector(thin(split.Train, cfg.MaxTrainSamples), dcfg)
+	if err != nil {
+		return nil, err
+	}
+	return ExplainDetector(det, split, cfg.MaxEvalSamples)
+}
+
+// ExplainDetector applies Grad-CAM to an already-trained C+E detector.
+func ExplainDetector(det *Detector, split *dataset.Split, maxBatch int) (*Figure3Result, error) {
+	if det.Features != dataset.FeatCSIEnv {
+		return nil, fmt.Errorf("core: Figure 3 needs the C+E detector, got %v", det.Features)
+	}
+	// Explanation batch: all test folds pooled, thinned.
+	pool := &dataset.Dataset{}
+	for _, f := range split.Folds {
+		pool.Records = append(pool.Records, f.Records...)
+	}
+	if maxBatch <= 0 {
+		maxBatch = 2048
+	}
+	batch := thin(pool, maxBatch)
+	x, _ := batch.Matrix(dataset.FeatCSIEnv)
+	xs := det.Scaler.Transform(x)
+	cam, err := xai.GradCAM(det.Net, xs, 1)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure3Result{
+		Importance:     cam.InputImportance,
+		CSIMass:        cam.MassFraction(0, 64),
+		EnvMass:        cam.MassFraction(64, 66),
+		TopSubcarriers: nil,
+	}
+	for _, idx := range cam.TopFeatures(len(cam.InputImportance)) {
+		if idx < 64 {
+			res.TopSubcarriers = append(res.TopSubcarriers, idx)
+			if len(res.TopSubcarriers) == 5 {
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// ProfileResult carries the §V-A data-profiling numbers.
+type ProfileResult struct {
+	// Pearson correlations reported in the text.
+	TempHum, TempOcc, HumOcc float64
+	TimeTemp, TimeHum        float64
+	// SubcarrierEnvCorrMax is the strongest |ρ| between any subcarrier
+	// and temperature or humidity.
+	SubcarrierEnvCorrMax float64
+	// ADF stationarity verdicts for the key series.
+	TempStationary, HumStationary, CSIStationary bool
+	ADFTemp, ADFHum, ADFCSI                      stats.ADFResult
+	// KPSS confirmatory tests (null: stationary).
+	KPSSTemp, KPSSHum, KPSSCSI stats.KPSSResult
+}
+
+// RunProfile reproduces the §V-A time-series analysis on the full dataset:
+// the Pearson correlation structure and the ADF stationarity verdicts.
+// The CSI amplitudes reject the unit root decisively, like the paper's.
+// The synthetic temperature/humidity series include the scripted fold-4
+// outage and fold-5 boost regimes, which a unit-root test correctly reads
+// as trending — their verdicts are reported as measured and the deviation
+// from the paper's blanket "all stationary" claim is documented in
+// EXPERIMENTS.md.
+func RunProfile(d *dataset.Dataset, maxSamples int) (*ProfileResult, error) {
+	if d.Len() < 50 {
+		return nil, fmt.Errorf("core: dataset too small to profile (%d records)", d.Len())
+	}
+	thinned := thin(d, maxSamples)
+	temp, _ := thinned.Column("temp")
+	hum, _ := thinned.Column("humidity")
+	occ, _ := thinned.Column("occupancy")
+	tod, _ := thinned.Column("time")
+
+	res := &ProfileResult{
+		TempHum:  stats.Pearson(temp, hum),
+		TempOcc:  stats.Pearson(temp, occ),
+		HumOcc:   stats.Pearson(hum, occ),
+		TimeTemp: stats.Pearson(tod, temp),
+		TimeHum:  stats.Pearson(tod, hum),
+	}
+	for k := 0; k < 64; k += 4 {
+		col, err := thinned.Column(fmt.Sprintf("a%d", k))
+		if err != nil {
+			return nil, err
+		}
+		for _, env := range [][]float64{temp, hum} {
+			if r := abs(stats.Pearson(col, env)); r > res.SubcarrierEnvCorrMax {
+				res.SubcarrierEnvCorrMax = r
+			}
+		}
+	}
+
+	// ADF runs on the fine-grained series, like the paper's profiling of
+	// the 20 Hz capture: at sampling intervals far below the thermal time
+	// constants, sensor noise dominates sample-to-sample variation and the
+	// unit-root null is rejected decisively for every series.
+	var err error
+	if res.ADFTemp, err = stats.ADF(temp, adfLags(len(temp))); err != nil {
+		return nil, err
+	}
+	if res.ADFHum, err = stats.ADF(hum, adfLags(len(hum))); err != nil {
+		return nil, err
+	}
+	a20, _ := thinned.Column("a20")
+	if res.ADFCSI, err = stats.ADF(a20, adfLags(len(a20))); err != nil {
+		return nil, err
+	}
+	if res.KPSSTemp, err = stats.KPSS(temp, -1); err != nil {
+		return nil, err
+	}
+	if res.KPSSHum, err = stats.KPSS(hum, -1); err != nil {
+		return nil, err
+	}
+	if res.KPSSCSI, err = stats.KPSS(a20, -1); err != nil {
+		return nil, err
+	}
+	res.TempStationary = res.ADFTemp.Stationary()
+	res.HumStationary = res.ADFHum.Stationary()
+	res.CSIStationary = res.ADFCSI.Stationary()
+	return res, nil
+}
+
+// thinToSpacing subsamples d so consecutive records are at least `spacing`
+// apart, using the record timestamps.
+func thinToSpacing(d *dataset.Dataset, spacing time.Duration) *dataset.Dataset {
+	if d.Len() < 2 {
+		return d
+	}
+	out := &dataset.Dataset{}
+	next := d.Records[0].Time
+	for i := range d.Records {
+		if !d.Records[i].Time.Before(next) {
+			out.Records = append(out.Records, d.Records[i])
+			next = d.Records[i].Time.Add(spacing)
+		}
+	}
+	return out
+}
+
+func adfLags(n int) int {
+	l := n / 50
+	if l < 1 {
+		l = 1
+	}
+	if l > 12 {
+		l = 12
+	}
+	return l
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TimeOnlyResult is the §V-B ablation: accuracy using only time of day.
+type TimeOnlyResult struct {
+	PerFold []float64 // percent
+	Avg     float64
+}
+
+// RunTimeOnly trains a compact tree ensemble on the seconds-of-day feature
+// alone (the paper reports 89.3%, below the CSI models). A tree is the
+// natural model here: "occupied during working hours" is an interval rule a
+// single linear threshold on the clock cannot express.
+func RunTimeOnly(split *dataset.Split, cfg ExperimentConfig) (*TimeOnlyResult, error) {
+	train := thin(split.Train, cfg.MaxTrainSamples)
+	x, y := train.Matrix(dataset.FeatTime)
+	fcfg := rf.ForestConfig{NumTrees: 5, MaxDepth: 6, MinLeaf: 5, MTry: 1, Seed: cfg.Seed}
+	forest := rf.FitClassifier(x, y, fcfg)
+	res := &TimeOnlyResult{}
+	for _, fold := range split.Folds {
+		ev := thin(fold, cfg.MaxEvalSamples)
+		xf, yf := ev.Matrix(dataset.FeatTime)
+		acc := 100 * stats.Accuracy(yf, forest.Predict(xf))
+		res.PerFold = append(res.PerFold, acc)
+		res.Avg += acc
+	}
+	res.Avg /= float64(len(res.PerFold))
+	return res, nil
+}
+
+// FootprintResult reproduces the §IV-B deployment numbers: parameter count,
+// serialised model size, and single-sample inference latency.
+type FootprintResult struct {
+	Params             int
+	SizeBytes          int // float32 deployment format
+	SizeKiB            float64
+	InferencePerSample time.Duration
+}
+
+// RunFootprint measures the detector's deployment footprint.
+func RunFootprint(det *Detector, iters int) *FootprintResult {
+	if iters <= 0 {
+		iters = 1000
+	}
+	res := &FootprintResult{
+		Params:    det.Net.NumParams(),
+		SizeBytes: det.Net.SizeBytes(4),
+	}
+	res.SizeKiB = float64(res.SizeBytes) / 1024
+	x := tensor.NewMatrix(1, det.Features.Dim())
+	for j := range x.Data {
+		x.Data[j] = 0.1 * float64(j%7)
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		det.Net.PredictProbs(x)
+	}
+	res.InferencePerSample = time.Since(start) / time.Duration(iters)
+	return res
+}

@@ -1,0 +1,25 @@
+package csi
+
+import "fmt"
+
+// SubcarriersFor returns the CSI vector dimension d_H for a channel of the
+// given bandwidth in MHz, using the paper's §II-A formula
+// d_H = 3.2·bandwidth (64 for 20 MHz, up to 512 for 160 MHz under
+// IEEE 802.11ac). The simulation pipeline is built for the 20 MHz / 64-
+// subcarrier configuration the paper's hardware used; this helper exists so
+// downstream code can validate configurations against the same rule.
+func SubcarriersFor(bandwidthMHz float64) (int, error) {
+	switch bandwidthMHz {
+	case 20, 40, 80, 160:
+		return int(3.2 * bandwidthMHz), nil
+	default:
+		return 0, fmt.Errorf("csi: unsupported 802.11 bandwidth %g MHz (want 20/40/80/160)", bandwidthMHz)
+	}
+}
+
+// UsableSubcarriers reports how many of the 64 subcarriers of a 20 MHz
+// OFDM symbol actually carry data/pilots (52 under 802.11g/n: indices
+// ±1..±26; the DC carrier and the guard band are null). The paper's Nexmon
+// extractor reports all 64 bins — nulls read as noise-floor amplitudes —
+// and this model does the same; the constant documents the distinction.
+const UsableSubcarriers = 52

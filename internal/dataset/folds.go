@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"fmt"
+	"time"
+)
+
+// Split is the Table III partition: a single training fold (index 0 in the
+// paper) followed by five temporally ordered test folds. The training set
+// never changes and models are never re-trained across folds (§V-B).
+type Split struct {
+	Train *Dataset
+	Folds []*Dataset // 5 test folds in temporal order
+}
+
+// SplitFolds performs the paper's division: the first trainFrac of records
+// (temporal order) is the training fold, the remainder is cut into nFolds
+// equal contiguous test folds. The paper uses trainFrac=0.7 and nFolds=5.
+func (d *Dataset) SplitFolds(trainFrac float64, nFolds int) (*Split, error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, fmt.Errorf("dataset: train fraction %g out of (0,1)", trainFrac)
+	}
+	if nFolds < 1 {
+		return nil, fmt.Errorf("dataset: need at least one test fold")
+	}
+	n := len(d.Records)
+	trainEnd := int(float64(n) * trainFrac)
+	if trainEnd < 1 || trainEnd >= n {
+		return nil, fmt.Errorf("dataset: %d records cannot support a %g/%g split", n, trainFrac, 1-trainFrac)
+	}
+	s := &Split{Train: d.Slice(0, trainEnd)}
+	rest := n - trainEnd
+	for k := 0; k < nFolds; k++ {
+		lo := trainEnd + rest*k/nFolds
+		hi := trainEnd + rest*(k+1)/nFolds
+		if lo >= hi {
+			return nil, fmt.Errorf("dataset: fold %d empty (%d test records for %d folds)", k+1, rest, nFolds)
+		}
+		s.Folds = append(s.Folds, d.Slice(lo, hi))
+	}
+	return s, nil
+}
+
+// PaperSplit applies the paper's 70% / 5-fold split.
+func (d *Dataset) PaperSplit() (*Split, error) { return d.SplitFolds(0.7, 5) }
+
+// FoldStats is one row of Table III.
+type FoldStats struct {
+	Name             string
+	Start, End       time.Time
+	Empty, Occupied  int
+	TempMin, TempMax float64
+	HumMin, HumMax   float64
+}
+
+// Stats computes the Table III row for a fold.
+func (d *Dataset) Stats(name string) FoldStats {
+	fs := FoldStats{Name: name}
+	if len(d.Records) == 0 {
+		return fs
+	}
+	fs.Start = d.Records[0].Time
+	fs.End = d.Records[len(d.Records)-1].Time
+	fs.TempMin, fs.TempMax = d.Records[0].Temp, d.Records[0].Temp
+	fs.HumMin, fs.HumMax = d.Records[0].Humidity, d.Records[0].Humidity
+	for i := range d.Records {
+		r := &d.Records[i]
+		if r.Label() == 0 {
+			fs.Empty++
+		} else {
+			fs.Occupied++
+		}
+		if r.Temp < fs.TempMin {
+			fs.TempMin = r.Temp
+		}
+		if r.Temp > fs.TempMax {
+			fs.TempMax = r.Temp
+		}
+		if r.Humidity < fs.HumMin {
+			fs.HumMin = r.Humidity
+		}
+		if r.Humidity > fs.HumMax {
+			fs.HumMax = r.Humidity
+		}
+	}
+	return fs
+}
+
+// TableIII renders every fold's stats in the paper's row order.
+func (s *Split) TableIII() []FoldStats {
+	out := []FoldStats{s.Train.Stats("0 (train)")}
+	for i, f := range s.Folds {
+		out = append(out, f.Stats(fmt.Sprintf("%d", i+1)))
+	}
+	return out
+}

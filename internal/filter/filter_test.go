@@ -1,0 +1,194 @@
+package filter
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestMovingAverageSmoothes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 500
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i)/20) + 0.5*rng.NormFloat64()
+	}
+	y := MovingAverage{R: 5}.Apply(x)
+	if len(y) != n {
+		t.Fatal("length")
+	}
+	// Smoothing must reduce the first-difference variance substantially.
+	dv := func(s []float64) float64 {
+		d := make([]float64, len(s)-1)
+		for i := 1; i < len(s); i++ {
+			d[i-1] = s[i] - s[i-1]
+		}
+		return stats.Variance(d)
+	}
+	if dv(y) > dv(x)/4 {
+		t.Fatalf("insufficient smoothing: %g vs %g", dv(y), dv(x))
+	}
+	// Mean preserved approximately.
+	if math.Abs(stats.Mean(y)-stats.Mean(x)) > 0.05 {
+		t.Fatal("mean shifted")
+	}
+}
+
+func TestMovingAverageDegenerate(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := MovingAverage{R: 0}.Apply(x)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatal("R=0 must be identity")
+		}
+	}
+	y[0] = 99
+	if x[0] == 99 {
+		t.Fatal("must not alias input")
+	}
+	// Constant series stays constant under any window.
+	c := []float64{5, 5, 5, 5, 5}
+	for _, v := range (MovingAverage{R: 2}).Apply(c) {
+		if v != 5 {
+			t.Fatal("constant not preserved")
+		}
+	}
+}
+
+func TestHampelRemovesSpikesKeepsSteps(t *testing.T) {
+	// A clean step signal with two injected spikes.
+	n := 200
+	x := make([]float64, n)
+	for i := range x {
+		if i >= 100 {
+			x[i] = 10
+		}
+		x[i] += 0.01 * math.Sin(float64(i)) // tiny texture so MAD > 0
+	}
+	x[50] = 100  // spike up
+	x[150] = -90 // spike down
+	y := Hampel{R: 5, NSigma: 3}.Apply(x)
+	if math.Abs(y[50]) > 1 {
+		t.Fatalf("positive spike survived: %g", y[50])
+	}
+	if math.Abs(y[150]-10) > 1 {
+		t.Fatalf("negative spike survived: %g", y[150])
+	}
+	// The step edge itself must be preserved (Hampel's selling point).
+	if math.Abs(y[99]-x[99]) > 0.5 || math.Abs(y[101]-x[101]) > 0.5 {
+		t.Fatal("step edge destroyed")
+	}
+}
+
+func TestHampelConstantWindow(t *testing.T) {
+	x := []float64{3, 3, 3, 3, 3, 3, 3}
+	y := Hampel{R: 2, NSigma: 3}.Apply(x)
+	for i := range x {
+		if y[i] != 3 {
+			t.Fatal("constant series must pass through")
+		}
+	}
+	// R=0: identity.
+	y0 := Hampel{R: 0}.Apply([]float64{1, 9})
+	if y0[1] != 9 {
+		t.Fatal("R=0 identity")
+	}
+}
+
+func TestSavitzkyGolayPreservesPolynomials(t *testing.T) {
+	// A degree-2 filter reproduces quadratics exactly (away from edges).
+	sg, err := NewSavitzkyGolay(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 50
+	x := make([]float64, n)
+	for i := range x {
+		ti := float64(i)
+		x[i] = 3 + 2*ti - 0.1*ti*ti
+	}
+	y := sg.Apply(x)
+	for i := 4; i < n-4; i++ {
+		if math.Abs(y[i]-x[i]) > 1e-9 {
+			t.Fatalf("quadratic not preserved at %d: %g vs %g", i, y[i], x[i])
+		}
+	}
+}
+
+func TestSavitzkyGolaySmoothesNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 400
+	x := make([]float64, n)
+	clean := make([]float64, n)
+	for i := range x {
+		clean[i] = math.Sin(float64(i) / 15)
+		x[i] = clean[i] + 0.4*rng.NormFloat64()
+	}
+	sg, err := NewSavitzkyGolay(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := sg.Apply(x)
+	if stats.MAE(clean, y) >= stats.MAE(clean, x)/1.5 {
+		t.Fatalf("SG did not denoise: %g vs %g", stats.MAE(clean, y), stats.MAE(clean, x))
+	}
+}
+
+func TestSavitzkyGolayValidation(t *testing.T) {
+	if _, err := NewSavitzkyGolay(0, 1); err == nil {
+		t.Fatal("r=0 accepted")
+	}
+	if _, err := NewSavitzkyGolay(2, 5); err == nil {
+		t.Fatal("degree ≥ window accepted")
+	}
+	sg, err := NewSavitzkyGolay(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := sg.Apply([]float64{1, 2, 3})
+	if len(short) != 3 || short[0] != 1 {
+		t.Fatal("short input must pass through")
+	}
+}
+
+func TestIdentityAndNames(t *testing.T) {
+	x := []float64{1, 2}
+	y := Identity{}.Apply(x)
+	y[0] = 9
+	if x[0] == 9 {
+		t.Fatal("identity must copy")
+	}
+	sg, _ := NewSavitzkyGolay(2, 1)
+	for _, f := range []Filter{Identity{}, MovingAverage{R: 2}, Hampel{R: 3, NSigma: 3}, sg} {
+		if f.Name() == "" {
+			t.Fatal("empty name")
+		}
+	}
+}
+
+// Property: all filters preserve length and finiteness on random input.
+func TestFiltersWellBehaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sg, _ := NewSavitzkyGolay(3, 2)
+	filters := []Filter{Identity{}, MovingAverage{R: 3}, Hampel{R: 3, NSigma: 3}, sg}
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(100)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		for _, f := range filters {
+			y := f.Apply(x)
+			if len(y) != n {
+				t.Fatalf("%s changed length", f.Name())
+			}
+			for _, v := range y {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s produced non-finite output", f.Name())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified linear activation max(0, x).
+type ReLU struct {
+	input *tensor.Matrix
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if train {
+		r.input = x
+	} else {
+		r.input = nil
+	}
+	out := tensor.NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Backward implements Layer: passes gradient where the input was positive.
+func (r *ReLU) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if r.input == nil {
+		panic("nn: ReLU.Backward without a training Forward")
+	}
+	out := tensor.NewMatrix(grad.Rows, grad.Cols)
+	for i, v := range r.input.Data {
+		if v > 0 {
+			out.Data[i] = grad.Data[i]
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*tensor.Matrix { return nil }
+
+// Grads implements Layer.
+func (r *ReLU) Grads() []*tensor.Matrix { return nil }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Sigmoid is the logistic activation 1/(1+e^{-x}).
+type Sigmoid struct {
+	output *tensor.Matrix
+}
+
+// NewSigmoid returns a Sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// SigmoidScalar evaluates the logistic function at x.
+func SigmoidScalar(x float64) float64 {
+	// Split by sign for numerical stability.
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	out := tensor.NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = SigmoidScalar(v)
+	}
+	if train {
+		s.output = out
+	} else {
+		s.output = nil
+	}
+	return out
+}
+
+// Backward implements Layer: dσ/dx = σ(x)·(1-σ(x)).
+func (s *Sigmoid) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if s.output == nil {
+		panic("nn: Sigmoid.Backward without a training Forward")
+	}
+	out := tensor.NewMatrix(grad.Rows, grad.Cols)
+	for i, o := range s.output.Data {
+		out.Data[i] = grad.Data[i] * o * (1 - o)
+	}
+	return out
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*tensor.Matrix { return nil }
+
+// Grads implements Layer.
+func (s *Sigmoid) Grads() []*tensor.Matrix { return nil }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return "sigmoid" }
+
+// Tanh is the hyperbolic tangent activation.
+type Tanh struct {
+	output *tensor.Matrix
+}
+
+// NewTanh returns a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	out := tensor.NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	if train {
+		t.output = out
+	} else {
+		t.output = nil
+	}
+	return out
+}
+
+// Backward implements Layer: d tanh/dx = 1 - tanh².
+func (t *Tanh) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if t.output == nil {
+		panic("nn: Tanh.Backward without a training Forward")
+	}
+	out := tensor.NewMatrix(grad.Rows, grad.Cols)
+	for i, o := range t.output.Data {
+		out.Data[i] = grad.Data[i] * (1 - o*o)
+	}
+	return out
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*tensor.Matrix { return nil }
+
+// Grads implements Layer.
+func (t *Tanh) Grads() []*tensor.Matrix { return nil }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return "tanh" }

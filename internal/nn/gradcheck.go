@@ -1,0 +1,50 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// GradCheck compares analytic gradients against central finite differences
+// for every parameter of the network on batch (x, y) under loss. It returns
+// the maximum relative error across all parameters. Used by the test suite
+// to prove the backpropagation implementation correct.
+func GradCheck(n *Network, x, y *tensor.Matrix, loss Loss, eps float64) float64 {
+	if eps <= 0 {
+		eps = 1e-6
+	}
+	// Analytic gradients.
+	pred := n.Forward(x, true)
+	n.Backward(loss.Grad(pred, y))
+	params := n.Params()
+	grads := n.Grads()
+	analytic := make([][]float64, len(grads))
+	for i, g := range grads {
+		analytic[i] = append([]float64(nil), g.Data...)
+	}
+
+	lossAt := func() float64 {
+		return loss.Value(n.Forward(x, false), y)
+	}
+
+	var maxRel float64
+	for pi, p := range params {
+		for j := range p.Data {
+			orig := p.Data[j]
+			p.Data[j] = orig + eps
+			lp := lossAt()
+			p.Data[j] = orig - eps
+			lm := lossAt()
+			p.Data[j] = orig
+			numeric := (lp - lm) / (2 * eps)
+			a := analytic[pi][j]
+			denom := math.Max(math.Abs(a)+math.Abs(numeric), 1e-8)
+			rel := math.Abs(a-numeric) / denom
+			if rel > maxRel {
+				maxRel = rel
+			}
+		}
+	}
+	return maxRel
+}

@@ -1,0 +1,151 @@
+// Package nn is a small, dependency-free neural-network library: dense
+// layers, ReLU/Sigmoid/Tanh activations, dropout, BCE/MSE losses, SGD /
+// momentum / AdamW optimisers, a mini-batch training loop, binary model
+// serialisation, and gradient checking. It implements exactly what the
+// paper's PyTorch-Lightning MLP needs (4 dense layers, ReLU, BCE, AdamW-style
+// "adaptive mini-batch gradient descent with a weight decay strategy"),
+// plus the hidden-activation and hidden-gradient capture that Grad-CAM
+// (internal/xai) requires.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Layer is one differentiable stage of a network. Forward consumes a batch
+// (rows = samples) and returns the batch output; Backward consumes ∂L/∂out
+// and returns ∂L/∂in, accumulating parameter gradients internally.
+type Layer interface {
+	// Forward computes the layer output for input x. When train is true
+	// the layer may cache values needed by Backward and apply
+	// training-only behaviour (e.g. dropout).
+	Forward(x *tensor.Matrix, train bool) *tensor.Matrix
+	// Backward propagates the gradient. Must be called after a Forward
+	// with train=true.
+	Backward(grad *tensor.Matrix) *tensor.Matrix
+	// Params returns the trainable parameter matrices (nil-able slice).
+	Params() []*tensor.Matrix
+	// Grads returns the gradient matrices aligned with Params.
+	Grads() []*tensor.Matrix
+	// Name identifies the layer type for serialisation and printing.
+	Name() string
+}
+
+// Dense is a fully connected layer: out = x·W + b, with W of shape in×out.
+type Dense struct {
+	In, Out int
+	W       *tensor.Matrix // In×Out
+	B       *tensor.Matrix // 1×Out
+	GradW   *tensor.Matrix
+	GradB   *tensor.Matrix
+
+	input *tensor.Matrix // cached for backward
+}
+
+// NewDense creates a Dense layer with Kaiming-uniform weights and zero bias.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W:     tensor.NewMatrix(in, out).KaimingInit(rng, in),
+		B:     tensor.NewMatrix(1, out),
+		GradW: tensor.NewMatrix(in, out),
+		GradB: tensor.NewMatrix(1, out),
+	}
+	return d
+}
+
+// Forward computes x·W + b for a batch x (n×In).
+func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: Dense(%d→%d) got input width %d", d.In, d.Out, x.Cols))
+	}
+	if train {
+		d.input = x
+	} else {
+		d.input = nil
+	}
+	out := tensor.MatMul(nil, x, d.W)
+	out.AddRowVector(d.B.Data)
+	return out
+}
+
+// Backward computes parameter gradients and returns ∂L/∂x = grad·Wᵀ.
+func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if d.input == nil {
+		panic("nn: Dense.Backward without a training Forward")
+	}
+	// dW = xᵀ·grad ; db = column sums of grad ; dx = grad·Wᵀ.
+	tensor.MatMulATB(d.GradW, d.input, grad)
+	copy(d.GradB.Data, grad.ColSums())
+	return tensor.MatMulABT(nil, grad, d.W)
+}
+
+// Params returns [W, B].
+func (d *Dense) Params() []*tensor.Matrix { return []*tensor.Matrix{d.W, d.B} }
+
+// Grads returns [GradW, GradB].
+func (d *Dense) Grads() []*tensor.Matrix { return []*tensor.Matrix{d.GradW, d.GradB} }
+
+// Name implements Layer.
+func (d *Dense) Name() string { return "dense" }
+
+// NumParams returns the count of trainable scalars in the layer.
+func (d *Dense) NumParams() int { return d.In*d.Out + d.Out }
+
+// Dropout randomly zeroes activations with probability P during training and
+// rescales survivors by 1/(1-P) (inverted dropout). At inference it is the
+// identity.
+type Dropout struct {
+	P   float64
+	rng *rand.Rand
+
+	mask *tensor.Matrix
+}
+
+// NewDropout creates a dropout layer with drop probability p in [0, 1).
+func NewDropout(p float64, rng *rand.Rand) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout probability %g out of [0,1)", p))
+	}
+	return &Dropout{P: p, rng: rng}
+}
+
+// Forward implements Layer.
+func (dp *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if !train || dp.P == 0 {
+		dp.mask = nil
+		return x
+	}
+	keep := 1 - dp.P
+	scale := 1 / keep
+	dp.mask = tensor.NewMatrix(x.Rows, x.Cols)
+	out := tensor.NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if dp.rng.Float64() < keep {
+			dp.mask.Data[i] = scale
+			out.Data[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (dp *Dropout) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if dp.mask == nil {
+		return grad
+	}
+	out := grad.Clone()
+	return out.MulElem(dp.mask)
+}
+
+// Params implements Layer (dropout has none).
+func (dp *Dropout) Params() []*tensor.Matrix { return nil }
+
+// Grads implements Layer.
+func (dp *Dropout) Grads() []*tensor.Matrix { return nil }
+
+// Name implements Layer.
+func (dp *Dropout) Name() string { return "dropout" }

@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Loss computes a scalar loss over a batch and the gradient of the mean loss
+// with respect to the network output.
+type Loss interface {
+	// Value returns the mean loss over the batch.
+	Value(pred, target *tensor.Matrix) float64
+	// Grad returns ∂(mean loss)/∂pred, same shape as pred.
+	Grad(pred, target *tensor.Matrix) *tensor.Matrix
+	// Name identifies the loss for logging.
+	Name() string
+}
+
+func mustLossShapes(pred, target *tensor.Matrix, name string) {
+	if !pred.SameShape(target) {
+		panic(fmt.Sprintf("nn: %s shape mismatch %dx%d vs %dx%d",
+			name, pred.Rows, pred.Cols, target.Rows, target.Cols))
+	}
+}
+
+// BCEWithLogits fuses a sigmoid with binary cross-entropy (paper eq. 4) for
+// numerical stability: the network's last Dense layer emits raw logits and
+// this loss handles the rest. The gradient w.r.t. logits is (σ(z) - y)/n,
+// which avoids both saturation and log(0).
+type BCEWithLogits struct{}
+
+// Value implements Loss using the log-sum-exp stable formulation
+// max(z,0) - z·y + log(1 + e^{-|z|}).
+func (BCEWithLogits) Value(pred, target *tensor.Matrix) float64 {
+	mustLossShapes(pred, target, "BCEWithLogits")
+	if len(pred.Data) == 0 {
+		return 0
+	}
+	var s float64
+	for i, z := range pred.Data {
+		y := target.Data[i]
+		s += math.Max(z, 0) - z*y + math.Log1p(math.Exp(-math.Abs(z)))
+	}
+	return s / float64(len(pred.Data))
+}
+
+// Grad implements Loss.
+func (BCEWithLogits) Grad(pred, target *tensor.Matrix) *tensor.Matrix {
+	mustLossShapes(pred, target, "BCEWithLogits")
+	out := tensor.NewMatrix(pred.Rows, pred.Cols)
+	inv := 1.0
+	if len(pred.Data) > 0 {
+		inv = 1 / float64(len(pred.Data))
+	}
+	for i, z := range pred.Data {
+		out.Data[i] = (SigmoidScalar(z) - target.Data[i]) * inv
+	}
+	return out
+}
+
+// Name implements Loss.
+func (BCEWithLogits) Name() string { return "bce_logits" }
+
+// MSE is mean squared error, used for the humidity/temperature regression
+// of §V-D ("minimization of a squared error objective").
+type MSE struct{}
+
+// Value implements Loss.
+func (MSE) Value(pred, target *tensor.Matrix) float64 {
+	mustLossShapes(pred, target, "MSE")
+	if len(pred.Data) == 0 {
+		return 0
+	}
+	var s float64
+	for i, p := range pred.Data {
+		d := p - target.Data[i]
+		s += d * d
+	}
+	return s / float64(len(pred.Data))
+}
+
+// Grad implements Loss.
+func (MSE) Grad(pred, target *tensor.Matrix) *tensor.Matrix {
+	mustLossShapes(pred, target, "MSE")
+	out := tensor.NewMatrix(pred.Rows, pred.Cols)
+	inv := 1.0
+	if len(pred.Data) > 0 {
+		inv = 2 / float64(len(pred.Data))
+	}
+	for i, p := range pred.Data {
+		out.Data[i] = (p - target.Data[i]) * inv
+	}
+	return out
+}
+
+// Name implements Loss.
+func (MSE) Name() string { return "mse" }
+
+// Huber is the Huber loss with threshold Delta, a robust alternative used by
+// the extension benches (quadratic near zero, linear in the tails).
+type Huber struct {
+	Delta float64
+}
+
+// Value implements Loss.
+func (h Huber) Value(pred, target *tensor.Matrix) float64 {
+	mustLossShapes(pred, target, "Huber")
+	if len(pred.Data) == 0 {
+		return 0
+	}
+	d := h.Delta
+	if d <= 0 {
+		d = 1
+	}
+	var s float64
+	for i, p := range pred.Data {
+		r := math.Abs(p - target.Data[i])
+		if r <= d {
+			s += 0.5 * r * r
+		} else {
+			s += d * (r - 0.5*d)
+		}
+	}
+	return s / float64(len(pred.Data))
+}
+
+// Grad implements Loss.
+func (h Huber) Grad(pred, target *tensor.Matrix) *tensor.Matrix {
+	mustLossShapes(pred, target, "Huber")
+	d := h.Delta
+	if d <= 0 {
+		d = 1
+	}
+	out := tensor.NewMatrix(pred.Rows, pred.Cols)
+	inv := 1.0
+	if len(pred.Data) > 0 {
+		inv = 1 / float64(len(pred.Data))
+	}
+	for i, p := range pred.Data {
+		r := p - target.Data[i]
+		switch {
+		case r > d:
+			out.Data[i] = d * inv
+		case r < -d:
+			out.Data[i] = -d * inv
+		default:
+			out.Data[i] = r * inv
+		}
+	}
+	return out
+}
+
+// Name implements Loss.
+func (h Huber) Name() string { return "huber" }

@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer updates network parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update. params and grads are parallel slices
+	// collected across all layers.
+	Step(params, grads []*tensor.Matrix)
+	// Name identifies the optimiser for logging.
+	Name() string
+}
+
+// SGD is plain stochastic gradient descent with optional L2 weight decay
+// (coupled, i.e. added to the gradient).
+type SGD struct {
+	LR          float64
+	WeightDecay float64
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params, grads []*tensor.Matrix) {
+	for i, p := range params {
+		g := grads[i]
+		for j := range p.Data {
+			p.Data[j] -= s.LR * (g.Data[j] + s.WeightDecay*p.Data[j])
+		}
+	}
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Momentum is SGD with classical momentum.
+type Momentum struct {
+	LR       float64
+	Beta     float64 // momentum coefficient, e.g. 0.9
+	velocity [][]float64
+}
+
+// Step implements Optimizer.
+func (m *Momentum) Step(params, grads []*tensor.Matrix) {
+	if m.velocity == nil {
+		m.velocity = make([][]float64, len(params))
+		for i, p := range params {
+			m.velocity[i] = make([]float64, len(p.Data))
+		}
+	}
+	for i, p := range params {
+		g := grads[i]
+		v := m.velocity[i]
+		for j := range p.Data {
+			v[j] = m.Beta*v[j] + g.Data[j]
+			p.Data[j] -= m.LR * v[j]
+		}
+	}
+}
+
+// Name implements Optimizer.
+func (m *Momentum) Name() string { return "momentum" }
+
+// AdamW implements Adam with decoupled weight decay (Loshchilov & Hutter,
+// the paper's reference [23]): the decay is applied directly to the weights
+// rather than folded into the adaptive gradient statistics.
+type AdamW struct {
+	LR          float64
+	Beta1       float64 // default 0.9
+	Beta2       float64 // default 0.999
+	Eps         float64 // default 1e-8
+	WeightDecay float64
+
+	t int
+	m [][]float64
+	v [][]float64
+}
+
+// NewAdamW returns an AdamW optimiser with the standard β/ε defaults.
+func NewAdamW(lr, weightDecay float64) *AdamW {
+	return &AdamW{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: weightDecay}
+}
+
+// Step implements Optimizer.
+func (a *AdamW) Step(params, grads []*tensor.Matrix) {
+	if a.m == nil {
+		a.m = make([][]float64, len(params))
+		a.v = make([][]float64, len(params))
+		for i, p := range params {
+			a.m[i] = make([]float64, len(p.Data))
+			a.v[i] = make([]float64, len(p.Data))
+		}
+	}
+	a.t++
+	b1, b2 := a.Beta1, a.Beta2
+	// Bias-correction folded into the step size.
+	c1 := 1 - math.Pow(b1, float64(a.t))
+	c2 := 1 - math.Pow(b2, float64(a.t))
+	step := a.LR * math.Sqrt(c2) / c1
+	for i, p := range params {
+		g := grads[i]
+		mi, vi := a.m[i], a.v[i]
+		for j := range p.Data {
+			gj := g.Data[j]
+			mi[j] = b1*mi[j] + (1-b1)*gj
+			vi[j] = b2*vi[j] + (1-b2)*gj*gj
+			// Decoupled decay: shrink the weight, then apply Adam.
+			p.Data[j] -= a.LR * a.WeightDecay * p.Data[j]
+			p.Data[j] -= step * mi[j] / (math.Sqrt(vi[j]) + a.Eps)
+		}
+	}
+}
+
+// Name implements Optimizer.
+func (a *AdamW) Name() string { return "adamw" }
+
+// Reset clears the optimiser state (moment estimates and step counter) so an
+// optimiser value can be reused across independent training runs.
+func (a *AdamW) Reset() {
+	a.t = 0
+	a.m = nil
+	a.v = nil
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm does not
+// exceed maxNorm, a standard guard against the exploding-gradient problem
+// the paper mentions. Returns the pre-clip norm.
+func ClipGradNorm(grads []*tensor.Matrix, maxNorm float64) float64 {
+	var total float64
+	for _, g := range grads {
+		for _, v := range g.Data {
+			total += v * v
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, g := range grads {
+			g.Scale(scale)
+		}
+	}
+	return norm
+}

@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// LRSchedule maps an epoch index to a learning-rate multiplier (1.0 = the
+// base rate). Schedules compose with any optimiser that exposes a settable
+// rate via SetLR.
+type LRSchedule interface {
+	// Factor returns the multiplier for the given zero-based epoch.
+	Factor(epoch int) float64
+	// Name identifies the schedule for logging.
+	Name() string
+}
+
+// ConstantLR keeps the base rate.
+type ConstantLR struct{}
+
+// Factor implements LRSchedule.
+func (ConstantLR) Factor(int) float64 { return 1 }
+
+// Name implements LRSchedule.
+func (ConstantLR) Name() string { return "constant" }
+
+// StepLR multiplies the rate by Gamma every StepSize epochs.
+type StepLR struct {
+	StepSize int
+	Gamma    float64
+}
+
+// Factor implements LRSchedule.
+func (s StepLR) Factor(epoch int) float64 {
+	if s.StepSize <= 0 {
+		return 1
+	}
+	g := s.Gamma
+	if g <= 0 {
+		g = 0.1
+	}
+	return math.Pow(g, float64(epoch/s.StepSize))
+}
+
+// Name implements LRSchedule.
+func (s StepLR) Name() string { return "step" }
+
+// CosineLR anneals from 1 down to MinFactor over TotalEpochs.
+type CosineLR struct {
+	TotalEpochs int
+	MinFactor   float64
+}
+
+// Factor implements LRSchedule.
+func (c CosineLR) Factor(epoch int) float64 {
+	if c.TotalEpochs <= 1 {
+		return 1
+	}
+	t := float64(epoch) / float64(c.TotalEpochs-1)
+	if t > 1 {
+		t = 1
+	}
+	return c.MinFactor + (1-c.MinFactor)*0.5*(1+math.Cos(math.Pi*t))
+}
+
+// Name implements LRSchedule.
+func (c CosineLR) Name() string { return "cosine" }
+
+// rateSettable is implemented by optimisers whose learning rate can be
+// changed between steps.
+type rateSettable interface{ SetLR(lr float64) }
+
+// SetLR implements rateSettable for the built-in optimisers.
+func (s *SGD) SetLR(lr float64)      { s.LR = lr }
+func (m *Momentum) SetLR(lr float64) { m.LR = lr }
+func (a *AdamW) SetLR(lr float64)    { a.LR = lr }
+
+// FitConfig extends TrainConfig with a schedule and early stopping on a
+// validation split.
+type FitConfig struct {
+	TrainConfig
+	// Schedule scales the learning rate per epoch (nil = constant).
+	Schedule LRSchedule
+	// ValFraction holds out the temporally last fraction of the data for
+	// validation-based early stopping (0 disables).
+	ValFraction float64
+	// Patience stops training after this many epochs without validation
+	// improvement (0 = no early stopping even with a validation split).
+	Patience int
+}
+
+// FitResult reports what FitValidated did.
+type FitResult struct {
+	TrainLoss []float64
+	ValLoss   []float64
+	Stopped   bool // true if early stopping triggered
+	BestEpoch int
+}
+
+// FitValidated trains like Fit but with an optional learning-rate schedule
+// and early stopping on a temporally-held-out validation tail. When early
+// stopping triggers, the best-epoch weights are restored.
+func (n *Network) FitValidated(x, y *tensor.Matrix, loss Loss, cfg FitConfig) *FitResult {
+	if x.Rows != y.Rows {
+		panic("nn: FitValidated rows mismatch")
+	}
+	res := &FitResult{}
+	if x.Rows == 0 {
+		return res
+	}
+	trainEnd := x.Rows
+	var xv, yv *tensor.Matrix
+	if cfg.ValFraction > 0 && cfg.ValFraction < 1 {
+		trainEnd = int(float64(x.Rows) * (1 - cfg.ValFraction))
+		if trainEnd < 1 {
+			trainEnd = 1
+		}
+		if trainEnd < x.Rows {
+			xv = tensor.FromSlice(x.Rows-trainEnd, x.Cols, x.Data[trainEnd*x.Cols:])
+			yv = tensor.FromSlice(y.Rows-trainEnd, y.Cols, y.Data[trainEnd*y.Cols:])
+		}
+	}
+	xt := tensor.FromSlice(trainEnd, x.Cols, x.Data[:trainEnd*x.Cols])
+	yt := tensor.FromSlice(trainEnd, y.Cols, y.Data[:trainEnd*y.Cols])
+
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	opt := cfg.Optimizer
+	if opt == nil {
+		opt = NewAdamW(cfg.LR, cfg.WeightDecay)
+	}
+	baseLR := cfg.LR
+	best := math.Inf(1)
+	bad := 0
+	var bestWeights [][]float64
+
+	saveWeights := func() {
+		params := n.Params()
+		bestWeights = make([][]float64, len(params))
+		for i, p := range params {
+			bestWeights[i] = append([]float64(nil), p.Data...)
+		}
+	}
+	restoreWeights := func() {
+		if bestWeights == nil {
+			return
+		}
+		for i, p := range n.Params() {
+			copy(p.Data, bestWeights[i])
+		}
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Schedule != nil {
+			if rs, ok := opt.(rateSettable); ok {
+				rs.SetLR(baseLR * cfg.Schedule.Factor(epoch))
+			}
+		}
+		one := cfg.TrainConfig
+		one.Epochs = 1
+		one.Optimizer = opt
+		one.Seed = cfg.Seed + int64(epoch) // fresh shuffle each epoch
+		hist := n.Fit(xt, yt, loss, one)
+		res.TrainLoss = append(res.TrainLoss, hist[0])
+
+		if xv != nil {
+			vl := loss.Value(n.Forward(xv, false), yv)
+			res.ValLoss = append(res.ValLoss, vl)
+			if vl < best-1e-9 {
+				best = vl
+				bad = 0
+				res.BestEpoch = epoch
+				saveWeights()
+			} else if cfg.Patience > 0 {
+				bad++
+				if bad >= cfg.Patience {
+					res.Stopped = true
+					restoreWeights()
+					return res
+				}
+			}
+		}
+	}
+	if xv != nil && bestWeights != nil {
+		restoreWeights()
+	}
+	return res
+}

@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	net := NewNetwork(
+		NewDense(6, 10, rng), NewReLU(),
+		NewDropout(0.2, rng),
+		NewDense(10, 4, rng), NewTanh(),
+		NewDense(4, 1, rng), NewSigmoid(),
+	)
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != net.String() {
+		t.Fatalf("architecture mismatch: %q vs %q", back.String(), net.String())
+	}
+	// float32 storage: predictions agree to float32 precision.
+	x := tensor.NewMatrix(5, 6).RandomizeNormal(rng, 1)
+	a := net.Forward(x, false)
+	b := back.Forward(x, false)
+	for i := range a.Data {
+		if d := a.Data[i] - b.Data[i]; d > 1e-4 || d < -1e-4 {
+			t.Fatalf("prediction drift %g", d)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	net := NewMLP(4, []int{8}, 1, rng)
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := net.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumParams() != net.NumParams() {
+		t.Fatal("param count mismatch")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})); err == nil {
+		t.Fatal("expected bad magic error")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected EOF error")
+	}
+	// Truncated valid header.
+	rng := rand.New(rand.NewSource(23))
+	net := NewMLP(4, []int{8}, 1, rng)
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+// Property: save→load→save produces byte-identical output (the format is
+// canonical).
+func TestQuickSerializationCanonical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		hidden := []int{1 + rng.Intn(8)}
+		net := NewMLP(1+rng.Intn(6), hidden, 1+rng.Intn(3), rng)
+		var b1 bytes.Buffer
+		if err := net.Save(&b1); err != nil {
+			return false
+		}
+		back, err := Load(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			return false
+		}
+		var b2 bytes.Buffer
+		if err := back.Save(&b2); err != nil {
+			return false
+		}
+		return bytes.Equal(b1.Bytes(), b2.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveLoadCNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	net := NewCNN(64, 1, rng)
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != net.String() {
+		t.Fatalf("architecture mismatch: %q vs %q", back.String(), net.String())
+	}
+	x := tensor.NewMatrix(3, 64).RandomizeNormal(rng, 1)
+	a := net.Forward(x, false)
+	b := back.Forward(x, false)
+	for i := range a.Data {
+		if d := a.Data[i] - b.Data[i]; d > 1e-4 || d < -1e-4 {
+			t.Fatalf("CNN prediction drift %g", d)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// TrainConfig controls Fit. The defaults mirror the paper's setup: 10
+// epochs, learning rate 5e-3, AdamW with weight decay, mini-batches.
+type TrainConfig struct {
+	Epochs      int
+	BatchSize   int
+	LR          float64
+	WeightDecay float64
+	ClipNorm    float64 // 0 disables gradient clipping
+	Seed        int64
+	Shuffle     bool
+	// Optimizer overrides the default AdamW when non-nil.
+	Optimizer Optimizer
+	// OnEpoch, when non-nil, receives (epoch, meanLoss) after each epoch.
+	OnEpoch func(epoch int, loss float64)
+}
+
+// DefaultTrainConfig returns the paper's training hyper-parameters (§V-B:
+// "trained for 10 epochs with a learning rate of 5e-3", AdamW decay [23]).
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs:      10,
+		BatchSize:   256,
+		LR:          5e-3,
+		WeightDecay: 1e-4,
+		ClipNorm:    5,
+		Seed:        1,
+		Shuffle:     true,
+	}
+}
+
+// Fit trains the network on (x, y) minimising loss. y must have one row per
+// x row. Returns the per-epoch mean training loss.
+func (n *Network) Fit(x, y *tensor.Matrix, loss Loss, cfg TrainConfig) []float64 {
+	if x.Rows != y.Rows {
+		panic(fmt.Sprintf("nn: Fit rows mismatch x=%d y=%d", x.Rows, y.Rows))
+	}
+	if x.Rows == 0 {
+		return nil
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.BatchSize <= 0 || cfg.BatchSize > x.Rows {
+		cfg.BatchSize = x.Rows
+	}
+	opt := cfg.Optimizer
+	if opt == nil {
+		opt = NewAdamW(cfg.LR, cfg.WeightDecay)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	idx := make([]int, x.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	params := n.Params()
+	grads := n.Grads()
+
+	bx := tensor.NewMatrix(cfg.BatchSize, x.Cols)
+	by := tensor.NewMatrix(cfg.BatchSize, y.Cols)
+
+	history := make([]float64, 0, cfg.Epochs)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Shuffle {
+			rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		}
+		var epochLoss float64
+		batches := 0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			nb := end - start
+			// Gather the batch. Reuse buffers; reslice for the tail batch.
+			xb, yb := bx, by
+			if nb != cfg.BatchSize {
+				xb = tensor.NewMatrix(nb, x.Cols)
+				yb = tensor.NewMatrix(nb, y.Cols)
+			}
+			for bi, si := range idx[start:end] {
+				copy(xb.Row(bi), x.Row(si))
+				copy(yb.Row(bi), y.Row(si))
+			}
+
+			pred := n.Forward(xb, true)
+			epochLoss += loss.Value(pred, yb)
+			batches++
+			g := loss.Grad(pred, yb)
+			n.Backward(g)
+			if cfg.ClipNorm > 0 {
+				ClipGradNorm(grads, cfg.ClipNorm)
+			}
+			opt.Step(params, grads)
+		}
+		mean := epochLoss / float64(batches)
+		history = append(history, mean)
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, mean)
+		}
+	}
+	return history
+}
+
+// FitOnline performs a single incremental update on one mini-batch — the
+// "online training" deployment mode the paper argues for in §V-B (an MLP
+// can be trained continuously on new data without revisiting the dataset).
+// The same optimiser must be passed across calls to retain its state.
+func (n *Network) FitOnline(xb, yb *tensor.Matrix, loss Loss, opt Optimizer, clipNorm float64) float64 {
+	pred := n.Forward(xb, true)
+	l := loss.Value(pred, yb)
+	n.Backward(loss.Grad(pred, yb))
+	grads := n.Grads()
+	if clipNorm > 0 {
+		ClipGradNorm(grads, clipNorm)
+	}
+	opt.Step(n.Params(), grads)
+	return l
+}

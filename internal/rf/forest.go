@@ -1,0 +1,291 @@
+package rf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// ForestConfig controls forest training.
+type ForestConfig struct {
+	NumTrees int
+	MaxDepth int
+	MinLeaf  int
+	// MTry is the number of features considered per split; <=0 selects
+	// √d for classification and d/3 for regression, the customary defaults.
+	MTry int
+	// SubsampleRatio is the bootstrap fraction (default 1.0, with
+	// replacement).
+	SubsampleRatio float64
+	Seed           int64
+}
+
+// DefaultForestConfig mirrors common scikit-learn defaults scaled for a
+// pure-Go training budget.
+func DefaultForestConfig() ForestConfig {
+	return ForestConfig{NumTrees: 30, MaxDepth: 18, MinLeaf: 2, SubsampleRatio: 1.0, Seed: 1}
+}
+
+// Forest is a bagged ensemble of CART trees.
+type Forest struct {
+	Trees      []*Tree
+	regression bool
+	nFeatures  int
+	oobScore   float64
+	hasOOB     bool
+}
+
+// FitClassifier trains a classification forest on x with labels y ∈ {0,1}.
+func FitClassifier(x *tensor.Matrix, y []int, cfg ForestConfig) *Forest {
+	yf := make([]float64, len(y))
+	for i, v := range y {
+		yf[i] = float64(v)
+	}
+	return fit(x, yf, cfg, false)
+}
+
+// FitRegressor trains a regression forest on x with real targets y.
+func FitRegressor(x *tensor.Matrix, y []float64, cfg ForestConfig) *Forest {
+	return fit(x, y, cfg, true)
+}
+
+func fit(x *tensor.Matrix, y []float64, cfg ForestConfig, regression bool) *Forest {
+	if x.Rows != len(y) {
+		panic(fmt.Sprintf("rf: Fit rows %d != labels %d", x.Rows, len(y)))
+	}
+	if cfg.NumTrees <= 0 {
+		cfg.NumTrees = 1
+	}
+	if cfg.SubsampleRatio <= 0 || cfg.SubsampleRatio > 1 {
+		cfg.SubsampleRatio = 1
+	}
+	mtry := cfg.MTry
+	if mtry <= 0 {
+		if regression {
+			mtry = x.Cols / 3
+		} else {
+			mtry = int(math.Sqrt(float64(x.Cols)))
+		}
+		if mtry < 1 {
+			mtry = 1
+		}
+	}
+	f := &Forest{Trees: make([]*Tree, cfg.NumTrees), regression: regression, nFeatures: x.Cols}
+	if x.Rows == 0 {
+		for i := range f.Trees {
+			f.Trees[i] = BuildTree(x, y, nil, TreeConfig{}, regression, rand.New(rand.NewSource(cfg.Seed)))
+		}
+		return f
+	}
+
+	nBoot := int(cfg.SubsampleRatio * float64(x.Rows))
+	if nBoot < 1 {
+		nBoot = 1
+	}
+	// Per-tree deterministic seeds derived from the master seed.
+	seeds := make([]int64, cfg.NumTrees)
+	master := rand.New(rand.NewSource(cfg.Seed))
+	for i := range seeds {
+		seeds[i] = master.Int63()
+	}
+
+	// OOB accumulation: per-sample prediction sum and count.
+	oobSum := make([]float64, x.Rows)
+	oobCnt := make([]int, x.Rows)
+	var oobMu sync.Mutex
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.NumTrees {
+		workers = cfg.NumTrees
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range next {
+				rng := rand.New(rand.NewSource(seeds[ti]))
+				idx := make([]int, nBoot)
+				inBag := make([]bool, x.Rows)
+				for j := range idx {
+					k := rng.Intn(x.Rows)
+					idx[j] = k
+					inBag[k] = true
+				}
+				tree := BuildTree(x, y, idx, TreeConfig{
+					MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf, MTry: mtry,
+				}, regression, rng)
+				f.Trees[ti] = tree
+				// Out-of-bag predictions for this tree.
+				oobMu.Lock()
+				for i := 0; i < x.Rows; i++ {
+					if !inBag[i] {
+						oobSum[i] += tree.PredictValue(x.Row(i))
+						oobCnt[i]++
+					}
+				}
+				oobMu.Unlock()
+			}
+		}()
+	}
+	for ti := 0; ti < cfg.NumTrees; ti++ {
+		next <- ti
+	}
+	close(next)
+	wg.Wait()
+
+	// OOB score: accuracy for classification, R² for regression.
+	f.computeOOB(y, oobSum, oobCnt)
+	return f
+}
+
+func (f *Forest) computeOOB(y, oobSum []float64, oobCnt []int) {
+	n := 0
+	if f.regression {
+		var rss, tss, mean float64
+		cnt := 0
+		for i := range y {
+			if oobCnt[i] > 0 {
+				mean += y[i]
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return
+		}
+		mean /= float64(cnt)
+		for i := range y {
+			if oobCnt[i] > 0 {
+				pred := oobSum[i] / float64(oobCnt[i])
+				rss += (y[i] - pred) * (y[i] - pred)
+				tss += (y[i] - mean) * (y[i] - mean)
+			}
+		}
+		if tss > 0 {
+			f.oobScore = 1 - rss/tss
+			f.hasOOB = true
+		}
+		return
+	}
+	correct := 0
+	for i := range y {
+		if oobCnt[i] == 0 {
+			continue
+		}
+		n++
+		pred := 0.0
+		if oobSum[i]/float64(oobCnt[i]) >= 0.5 {
+			pred = 1
+		}
+		if pred == y[i] {
+			correct++
+		}
+	}
+	if n > 0 {
+		f.oobScore = float64(correct) / float64(n)
+		f.hasOOB = true
+	}
+}
+
+// OOBScore returns the out-of-bag estimate (accuracy or R²) and whether one
+// is available.
+func (f *Forest) OOBScore() (float64, bool) { return f.oobScore, f.hasOOB }
+
+// PredictProb returns the ensemble class-1 probability for one sample.
+func (f *Forest) PredictProb(row []float64) float64 {
+	var s float64
+	for _, t := range f.Trees {
+		s += t.PredictValue(row)
+	}
+	return s / float64(len(f.Trees))
+}
+
+// Predict returns hard {0,1} labels for each row of x (classification).
+func (f *Forest) Predict(x *tensor.Matrix) []int {
+	out := make([]int, x.Rows)
+	parallelRows(x.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if f.PredictProb(x.Row(i)) >= 0.5 {
+				out[i] = 1
+			}
+		}
+	})
+	return out
+}
+
+// PredictValues returns the mean leaf values for each row (regression, or
+// class-1 probabilities for classification forests).
+func (f *Forest) PredictValues(x *tensor.Matrix) []float64 {
+	out := make([]float64, x.Rows)
+	parallelRows(x.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f.PredictProb(x.Row(i))
+		}
+	})
+	return out
+}
+
+// FeatureImportance averages per-tree importances, normalised to sum to 1.
+func (f *Forest) FeatureImportance() []float64 {
+	imp := make([]float64, f.nFeatures)
+	for _, t := range f.Trees {
+		for i, v := range t.FeatureImportance(f.nFeatures) {
+			imp[i] += v
+		}
+	}
+	var total float64
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+// NumNodes returns the total node count across trees, a proxy for the model
+// footprint the paper contrasts with the MLP's (§V-B: "RF is computationally
+// and space-intensive").
+func (f *Forest) NumNodes() int {
+	total := 0
+	for _, t := range f.Trees {
+		total += t.NumNodes()
+	}
+	return total
+}
+
+// SizeBytes estimates serialised size: each node stores feature (4B),
+// threshold (8B), two child indices (8B) and a value (8B).
+func (f *Forest) SizeBytes() int { return f.NumNodes() * 28 }
+
+func parallelRows(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if n < 256 || workers <= 1 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestADFStationaryWhiteNoise: i.i.d. noise strongly rejects the unit root.
+func TestADFStationaryWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	res, err := ADF(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stationary() {
+		t.Fatalf("white noise must be stationary: %v", res)
+	}
+	if !res.StationaryAt(1) {
+		t.Fatalf("white noise should reject even at 1%%: %v", res)
+	}
+}
+
+// TestADFStationaryAR1: a mean-reverting AR(1) with φ=0.5 is stationary.
+func TestADFStationaryAR1(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	x := make([]float64, 800)
+	for i := 1; i < len(x); i++ {
+		x[i] = 0.5*x[i-1] + rng.NormFloat64()
+	}
+	res, err := ADF(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stationary() {
+		t.Fatalf("AR(1) φ=0.5 must be stationary: %v", res)
+	}
+}
+
+// TestADFRandomWalkNotStationary: a pure random walk must not reject.
+func TestADFRandomWalkNotStationary(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	x := make([]float64, 800)
+	for i := 1; i < len(x); i++ {
+		x[i] = x[i-1] + rng.NormFloat64()
+	}
+	res, err := ADF(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stationary() {
+		t.Fatalf("random walk must not be stationary: %v", res)
+	}
+}
+
+func TestADFConstantSeries(t *testing.T) {
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = 3.25
+	}
+	res, err := ADF(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stationary() || !math.IsInf(res.Statistic, -1) {
+		t.Fatalf("constant series should be trivially stationary: %v", res)
+	}
+}
+
+func TestADFAutoLagAndShortSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	x := make([]float64, 200)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	res, err := ADF(x, -1) // Schwert automatic lag
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLags := int(12 * math.Pow(2.0, 0.25))
+	if res.Lags != wantLags {
+		t.Fatalf("auto lags got %d want %d", res.Lags, wantLags)
+	}
+	if _, err := ADF([]float64{1, 2, 3}, 5); err == nil {
+		t.Fatal("expected ErrSeriesTooShort")
+	}
+}
+
+func TestADFStringVerdicts(t *testing.T) {
+	r := ADFResult{Statistic: -10, Crit1: -3.43, Crit5: -2.86, Crit10: -2.57}
+	if got := r.String(); got == "" || !r.Stationary() {
+		t.Fatalf("bad stationary rendering: %q", got)
+	}
+	r2 := ADFResult{Statistic: -1, Crit1: -3.43, Crit5: -2.86, Crit10: -2.57}
+	if r2.Stationary() || r2.StationaryAt(10) {
+		t.Fatal("t=-1 must not reject")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad level")
+		}
+	}()
+	r2.StationaryAt(7)
+}

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// KPSSResult is the outcome of a KPSS level-stationarity test. Unlike the
+// ADF test (null: unit root), the KPSS null is stationarity, so the two
+// together give the standard confirmatory analysis: ADF rejects + KPSS
+// fails to reject ⇒ stationary with both tests agreeing.
+type KPSSResult struct {
+	Statistic float64
+	Lags      int
+	NObs      int
+	// Critical values for the level-stationarity variant (Kwiatkowski et
+	// al. 1992, Table 1).
+	Crit1, Crit5, Crit10 float64
+}
+
+// Stationary reports whether the stationarity null SURVIVES at the 5%
+// level (statistic below the critical value).
+func (r KPSSResult) Stationary() bool { return r.Statistic < r.Crit5 }
+
+func (r KPSSResult) String() string {
+	verdict := "stationary (null not rejected at 5%)"
+	if !r.Stationary() {
+		verdict = "non-stationary (stationarity rejected at 5%)"
+	}
+	return fmt.Sprintf("KPSS η=%.3f lags=%d n=%d crit(10%%/5%%/1%%)=%.3f/%.3f/%.3f → %s",
+		r.Statistic, r.Lags, r.NObs, r.Crit10, r.Crit5, r.Crit1, verdict)
+}
+
+// KPSS runs the level-stationarity KPSS test on x with `lags` Newey–West
+// lags for the long-run variance (Bartlett kernel). Pass lags < 0 for the
+// conventional automatic order 4·(n/100)^(1/4).
+func KPSS(x []float64, lags int) (KPSSResult, error) {
+	n := len(x)
+	if n < 10 {
+		return KPSSResult{}, fmt.Errorf("stats: KPSS needs ≥10 observations, got %d", n)
+	}
+	if lags < 0 {
+		lags = int(4 * math.Pow(float64(n)/100.0, 0.25))
+	}
+	if lags >= n {
+		lags = n - 1
+	}
+	res := KPSSResult{Lags: lags, NObs: n, Crit1: 0.739, Crit5: 0.463, Crit10: 0.347}
+
+	m := Mean(x)
+	e := make([]float64, n) // residuals from the level
+	for i, v := range x {
+		e[i] = v - m
+	}
+	// Partial-sum statistic Σ S_t².
+	var s, sumS2 float64
+	for _, v := range e {
+		s += v
+		sumS2 += s * s
+	}
+	// Newey–West long-run variance with Bartlett weights.
+	var lrv float64
+	for _, v := range e {
+		lrv += v * v
+	}
+	lrv /= float64(n)
+	for l := 1; l <= lags; l++ {
+		var gamma float64
+		for t := l; t < n; t++ {
+			gamma += e[t] * e[t-l]
+		}
+		gamma /= float64(n)
+		w := 1 - float64(l)/float64(lags+1)
+		lrv += 2 * w * gamma
+	}
+	if lrv <= 0 {
+		// Constant series: partial sums are ~0, report trivially stationary.
+		res.Statistic = 0
+		return res, nil
+	}
+	res.Statistic = sumS2 / (float64(n) * float64(n) * lrv)
+	return res, nil
+}

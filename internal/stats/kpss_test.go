@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKPSSWhiteNoiseStationary(t *testing.T) {
+	// The KPSS statistic has a heavy null distribution (5% of draws exceed
+	// the 5% critical value by construction), so test the rejection *rate*
+	// over many independent series rather than a single draw.
+	reject := 0
+	const trials = 40
+	for seed := int64(0); seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		x := make([]float64, 600)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		res, err := KPSS(x, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stationary() {
+			reject++
+		}
+	}
+	// Nominal size 5%: more than ~25% rejections indicates a broken test.
+	if reject > trials/4 {
+		t.Fatalf("white noise rejected %d/%d times", reject, trials)
+	}
+}
+
+func TestKPSSRandomWalkRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	x := make([]float64, 600)
+	for i := 1; i < len(x); i++ {
+		x[i] = x[i-1] + rng.NormFloat64()
+	}
+	res, err := KPSS(x, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stationary() {
+		t.Fatalf("random walk must fail KPSS: %v", res)
+	}
+}
+
+func TestKPSSTrendRejected(t *testing.T) {
+	// A deterministic trend is not level-stationary.
+	rng := rand.New(rand.NewSource(53))
+	x := make([]float64, 400)
+	for i := range x {
+		x[i] = 0.05*float64(i) + rng.NormFloat64()
+	}
+	res, err := KPSS(x, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stationary() {
+		t.Fatalf("trending series must fail level-KPSS: %v", res)
+	}
+}
+
+func TestKPSSAgreesWithADFOnCleanCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	// Mean-reverting AR(1): ADF rejects unit root AND KPSS keeps the null.
+	ar := make([]float64, 800)
+	for i := 1; i < len(ar); i++ {
+		ar[i] = 0.5*ar[i-1] + rng.NormFloat64()
+	}
+	adf, err := ADF(ar, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kpss, err := KPSS(ar, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adf.Stationary() || !kpss.Stationary() {
+		t.Fatalf("confirmatory analysis disagrees on AR(1): adf=%v kpss=%v", adf, kpss)
+	}
+}
+
+func TestKPSSEdgeCases(t *testing.T) {
+	if _, err := KPSS(make([]float64, 5), -1); err == nil {
+		t.Fatal("short series accepted")
+	}
+	constant := make([]float64, 50)
+	for i := range constant {
+		constant[i] = 2.5
+	}
+	res, err := KPSS(constant, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stationary() || res.Statistic != 0 {
+		t.Fatalf("constant series: %v", res)
+	}
+	// Oversized lag order gets clamped rather than crashing.
+	rng := rand.New(rand.NewSource(55))
+	x := make([]float64, 20)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	if _, err := KPSS(x, 100); err != nil {
+		t.Fatal(err)
+	}
+	if (KPSSResult{Statistic: 0.1, Crit5: 0.463}).String() == "" {
+		t.Fatal("render")
+	}
+}

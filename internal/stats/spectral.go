@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Periodogram computes the (one-sided) power spectral density estimate of x
+// at the Fourier frequencies k/n for k = 0..n/2, using an iterative
+// radix-2 FFT (the series is zero-padded to the next power of two). The
+// profiling harness uses it to verify the diurnal cycle in the synthetic
+// environment series — the structure behind the paper's "time is strongly
+// correlated (0.77) with the environmental data".
+func Periodogram(x []float64) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	m := 1
+	for m < n {
+		m <<= 1
+	}
+	buf := make([]complex128, m)
+	mean := Mean(x)
+	for i, v := range x {
+		buf[i] = complex(v-mean, 0)
+	}
+	fft(buf)
+	half := m/2 + 1
+	out := make([]float64, half)
+	scale := 1 / (float64(n) * 2 * math.Pi)
+	for k := 0; k < half; k++ {
+		out[k] = cmplx.Abs(buf[k]) * cmplx.Abs(buf[k]) * scale
+	}
+	return out
+}
+
+// DominantPeriod returns the period (in samples) of the strongest
+// non-DC periodogram peak, or 0 when the series is too short.
+func DominantPeriod(x []float64) float64 {
+	p := Periodogram(x)
+	if len(p) < 3 {
+		return 0
+	}
+	best := 1
+	for k := 2; k < len(p); k++ {
+		if p[k] > p[best] {
+			best = k
+		}
+	}
+	// Frequency k corresponds to k cycles over the padded length 2*(len-1).
+	m := 2 * (len(p) - 1)
+	return float64(m) / float64(best)
+}
+
+// fft performs an in-place iterative Cooley–Tukey FFT; len(a) must be a
+// power of two.
+func fft(a []complex128) {
+	n := len(a)
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("stats: fft length %d not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := a[i+j]
+				v := a[i+j+length/2] * w
+				a[i+j] = u + v
+				a[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// CrossCorrelation returns the normalised cross-correlation of x and y at
+// the given lag (positive lag: y delayed relative to x). Series must have
+// equal length.
+func CrossCorrelation(x, y []float64, lag int) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: CrossCorrelation length mismatch %d vs %d", len(x), len(y)))
+	}
+	n := len(x)
+	if lag < 0 {
+		return CrossCorrelation(y, x, -lag)
+	}
+	if lag >= n {
+		return 0
+	}
+	mx, my := Mean(x), Mean(y)
+	sx, sy := StdDev(x), StdDev(y)
+	if sx == 0 || sy == 0 {
+		return 0
+	}
+	var s float64
+	for i := 0; i+lag < n; i++ {
+		s += (x[i] - mx) * (y[i+lag] - my)
+	}
+	return s / (float64(n) * sx * sy)
+}
+
+// BestLag searches lags in [-maxLag, maxLag] and returns the lag with the
+// largest |cross-correlation| together with that correlation.
+func BestLag(x, y []float64, maxLag int) (int, float64) {
+	bestLag, bestVal := 0, 0.0
+	for l := -maxLag; l <= maxLag; l++ {
+		v := CrossCorrelation(x, y, l)
+		if math.Abs(v) > math.Abs(bestVal) {
+			bestLag, bestVal = l, v
+		}
+	}
+	return bestLag, bestVal
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPeriodogramFindsSinusoid(t *testing.T) {
+	n := 512
+	period := 32.0
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 5 + 3*math.Sin(2*math.Pi*float64(i)/period)
+	}
+	got := DominantPeriod(x)
+	if math.Abs(got-period) > 2 {
+		t.Fatalf("dominant period %g want %g", got, period)
+	}
+}
+
+func TestPeriodogramDiurnalMix(t *testing.T) {
+	// Two tones + noise: the stronger (daily) one must win.
+	rng := rand.New(rand.NewSource(71))
+	n := 1024
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 4*math.Sin(2*math.Pi*float64(i)/128) + // "diurnal"
+			1*math.Sin(2*math.Pi*float64(i)/16) + // faster, weaker
+			0.3*rng.NormFloat64()
+	}
+	got := DominantPeriod(x)
+	if math.Abs(got-128) > 8 {
+		t.Fatalf("dominant period %g want ≈128", got)
+	}
+}
+
+func TestPeriodogramEdgeCases(t *testing.T) {
+	if Periodogram(nil) != nil {
+		t.Fatal("empty periodogram")
+	}
+	if DominantPeriod([]float64{1, 2}) != 0 {
+		t.Fatal("short series")
+	}
+	// Constant series: all power ≈ 0 (mean removed).
+	p := Periodogram([]float64{3, 3, 3, 3})
+	for _, v := range p {
+		if v > 1e-20 {
+			t.Fatalf("constant series leaked power %g", v)
+		}
+	}
+}
+
+func TestFFTParsevalish(t *testing.T) {
+	// FFT on a power-of-two length preserves energy: Σ|X_k|² = n·Σ|x_i|².
+	rng := rand.New(rand.NewSource(72))
+	n := 256
+	a := make([]complex128, n)
+	var timeEnergy float64
+	for i := range a {
+		v := rng.NormFloat64()
+		a[i] = complex(v, 0)
+		timeEnergy += v * v
+	}
+	fft(a)
+	var freqEnergy float64
+	for _, c := range a {
+		freqEnergy += real(c)*real(c) + imag(c)*imag(c)
+	}
+	if math.Abs(freqEnergy-float64(n)*timeEnergy)/freqEnergy > 1e-9 {
+		t.Fatalf("Parseval violated: %g vs %g", freqEnergy, float64(n)*timeEnergy)
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fft(make([]complex128, 12))
+}
+
+func TestCrossCorrelationShiftRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	n := 400
+	shift := 7
+	x := make([]float64, n)
+	y := make([]float64, n)
+	base := make([]float64, n+shift)
+	for i := range base {
+		base[i] = rng.NormFloat64()
+	}
+	copy(x, base[:n])
+	copy(y, base[shift:]) // y leads x by `shift` → best positive lag of x vs y is -shift
+	lag, val := BestLag(x, y, 20)
+	if lag != -shift {
+		t.Fatalf("best lag %d want %d (val %g)", lag, -shift, val)
+	}
+	if val < 0.8 {
+		t.Fatalf("correlation %g too weak", val)
+	}
+	// Symmetry: CrossCorrelation(x,y,l) == CrossCorrelation(y,x,-l).
+	if math.Abs(CrossCorrelation(x, y, 5)-CrossCorrelation(y, x, -5)) > 1e-12 {
+		t.Fatal("lag symmetry broken")
+	}
+	// Lag 0 equals (n-normalised) Pearson on identical series.
+	if math.Abs(CrossCorrelation(x, x, 0)-1) > 1e-9 {
+		t.Fatalf("self correlation %g", CrossCorrelation(x, x, 0))
+	}
+	if CrossCorrelation(x, y, n+5) != 0 {
+		t.Fatal("out-of-range lag must be 0")
+	}
+}
+
+func TestCrossCorrelationDegenerate(t *testing.T) {
+	if CrossCorrelation([]float64{1, 1, 1}, []float64{1, 2, 3}, 0) != 0 {
+		t.Fatal("constant series must return 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected length panic")
+		}
+	}()
+	CrossCorrelation([]float64{1}, []float64{1, 2}, 0)
+}

@@ -1,0 +1,109 @@
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is
+// not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("tensor: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L with a = L·Lᵀ for a
+// symmetric positive definite matrix a. The strictly upper triangle of the
+// result is zero. a is not modified.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("tensor: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		var d float64 = a.At(j, j)
+		lj := l.Row(j)
+		for k := 0; k < j; k++ {
+			d -= lj[k] * lj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		diag := math.Sqrt(d)
+		lj[j] = diag
+		inv := 1 / diag
+		for i := j + 1; i < n; i++ {
+			li := l.Row(i)
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= li[k] * lj[k]
+			}
+			li[j] = s * inv
+		}
+	}
+	return l, nil
+}
+
+// CholeskySolve solves a·x = b given the Cholesky factor l of a (from
+// Cholesky). b has one right-hand side per column; the result has the same
+// shape as b.
+func CholeskySolve(l *Matrix, b *Matrix) *Matrix {
+	n := l.Rows
+	if b.Rows != n {
+		panic(fmt.Sprintf("tensor: CholeskySolve rhs rows %d != %d", b.Rows, n))
+	}
+	x := b.Clone()
+	// Forward substitution: L·y = b.
+	for i := 0; i < n; i++ {
+		li := l.Row(i)
+		xi := x.Row(i)
+		for k := 0; k < i; k++ {
+			if li[k] != 0 {
+				Axpy(xi, -li[k], x.Row(k))
+			}
+		}
+		ScaleVec(xi, 1/li[i])
+	}
+	// Back substitution: Lᵀ·x = y.
+	for i := n - 1; i >= 0; i-- {
+		xi := x.Row(i)
+		for k := i + 1; k < n; k++ {
+			lki := l.At(k, i)
+			if lki != 0 {
+				Axpy(xi, -lki, x.Row(k))
+			}
+		}
+		ScaleVec(xi, 1/l.At(i, i))
+	}
+	return x
+}
+
+// SolveSPD solves a·x = b for symmetric positive definite a, adding `ridge`
+// to the diagonal before factorising (0 for a plain solve). If the matrix is
+// singular even after the ridge, increasingly larger ridges are attempted so
+// that callers (e.g. OLS on collinear features) always get a usable answer.
+func SolveSPD(a, b *Matrix, ridge float64) (*Matrix, error) {
+	work := a.Clone()
+	for i := 0; i < work.Rows; i++ {
+		work.Data[i*work.Cols+i] += ridge
+	}
+	l, err := Cholesky(work)
+	if err == nil {
+		return CholeskySolve(l, b), nil
+	}
+	// Escalate the regularisation: scale with the matrix magnitude so the
+	// perturbation is meaningful regardless of units.
+	base := work.MaxAbs()
+	if base == 0 {
+		base = 1
+	}
+	for _, eps := range []float64{1e-10, 1e-8, 1e-6, 1e-4, 1e-2} {
+		work = a.Clone()
+		for i := 0; i < work.Rows; i++ {
+			work.Data[i*work.Cols+i] += ridge + eps*base
+		}
+		if l, err = Cholesky(work); err == nil {
+			return CholeskySolve(l, b), nil
+		}
+	}
+	return nil, err
+}

@@ -1,0 +1,404 @@
+// Package tensor provides dense float64 vectors and matrices with the
+// numeric kernels the rest of the repository builds on: elementwise
+// arithmetic, blocked and parallel matrix multiplication, linear solves via
+// Cholesky factorisation, reductions, and random initialisation.
+//
+// The design goal is predictability rather than peak throughput: row-major
+// storage, explicit dimensions, and panics on shape mismatch (shape errors
+// are programming bugs, not runtime conditions).
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zeroed r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromSlice wraps data (row-major, length r*c) in a Matrix without copying.
+func FromSlice(r, c int, data []float64) *Matrix {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("tensor: FromSlice length %d != %d*%d", len(data), r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: data}
+}
+
+// FromRows builds a matrix by copying the given rows, which must all have
+// equal length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("tensor: ragged row %d: len %d != %d", i, len(row), c))
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero resets every element to zero in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v in place.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// String renders a compact textual form, eliding large matrices.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols <= 64 {
+		s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+		for i := 0; i < m.Rows; i++ {
+			if i > 0 {
+				s += "; "
+			}
+			for j := 0; j < m.Cols; j++ {
+				if j > 0 {
+					s += " "
+				}
+				s += fmt.Sprintf("%.4g", m.At(i, j))
+			}
+		}
+		return s + "]"
+	}
+	return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+}
+
+// SameShape reports whether m and o have identical dimensions.
+func (m *Matrix) SameShape(o *Matrix) bool { return m.Rows == o.Rows && m.Cols == o.Cols }
+
+func (m *Matrix) mustSameShape(o *Matrix, op string) {
+	if !m.SameShape(o) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// Add adds o into m element-wise, in place, and returns m.
+func (m *Matrix) Add(o *Matrix) *Matrix {
+	m.mustSameShape(o, "Add")
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+	return m
+}
+
+// Sub subtracts o from m element-wise, in place, and returns m.
+func (m *Matrix) Sub(o *Matrix) *Matrix {
+	m.mustSameShape(o, "Sub")
+	for i, v := range o.Data {
+		m.Data[i] -= v
+	}
+	return m
+}
+
+// MulElem multiplies m by o element-wise (Hadamard), in place, returns m.
+func (m *Matrix) MulElem(o *Matrix) *Matrix {
+	m.mustSameShape(o, "MulElem")
+	for i, v := range o.Data {
+		m.Data[i] *= v
+	}
+	return m
+}
+
+// Scale multiplies every element by s in place and returns m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// AddScaled adds s*o into m in place (axpy) and returns m.
+func (m *Matrix) AddScaled(s float64, o *Matrix) *Matrix {
+	m.mustSameShape(o, "AddScaled")
+	for i, v := range o.Data {
+		m.Data[i] += s * v
+	}
+	return m
+}
+
+// Apply replaces each element x with f(x) in place and returns m.
+func (m *Matrix) Apply(f func(float64) float64) *Matrix {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+	return m
+}
+
+// T returns a newly allocated transpose.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		ri := m.Row(i)
+		for j, v := range ri {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// matmulParallelThreshold is the flop count above which MatMul fans out
+// across goroutines.
+const matmulParallelThreshold = 1 << 18
+
+// MatMul computes a×b into dst (allocating when dst is nil) and returns dst.
+// dst must not alias a or b.
+func MatMul(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", a.Cols, b.Rows))
+	}
+	if dst == nil {
+		dst = NewMatrix(a.Rows, b.Cols)
+	} else {
+		if dst.Rows != a.Rows || dst.Cols != b.Cols {
+			panic("tensor: MatMul dst shape mismatch")
+		}
+		dst.Zero()
+	}
+	work := a.Rows * a.Cols * b.Cols
+	if work >= matmulParallelThreshold && a.Rows > 1 {
+		parallelRows(a.Rows, func(lo, hi int) {
+			matmulRange(dst, a, b, lo, hi)
+		})
+	} else {
+		matmulRange(dst, a, b, 0, a.Rows)
+	}
+	return dst
+}
+
+// matmulRange computes rows [lo,hi) of dst = a×b with an ikj loop order that
+// streams rows of b.
+func matmulRange(dst, a, b *Matrix, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		ai := a.Row(i)
+		di := dst.Row(i)
+		for k, av := range ai {
+			if av == 0 {
+				continue
+			}
+			bk := b.Data[k*n : (k+1)*n]
+			for j, bv := range bk {
+				di[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulATB computes aᵀ×b into dst (allocating when nil). a is m×r, b is m×c,
+// result r×c. Avoids materialising the transpose.
+func MatMulATB(dst, a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulATB outer dims %d vs %d", a.Rows, b.Rows))
+	}
+	if dst == nil {
+		dst = NewMatrix(a.Cols, b.Cols)
+	} else {
+		if dst.Rows != a.Cols || dst.Cols != b.Cols {
+			panic("tensor: MatMulATB dst shape mismatch")
+		}
+		dst.Zero()
+	}
+	n := b.Cols
+	for k := 0; k < a.Rows; k++ {
+		ak := a.Row(k)
+		bk := b.Row(k)
+		for i, av := range ak {
+			if av == 0 {
+				continue
+			}
+			di := dst.Data[i*n : (i+1)*n]
+			for j, bv := range bk {
+				di[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+// MatMulABT computes a×bᵀ into dst (allocating when nil). a is m×k, b is n×k,
+// result m×n. Avoids materialising the transpose.
+func MatMulABT(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulABT inner dims %d vs %d", a.Cols, b.Cols))
+	}
+	if dst == nil {
+		dst = NewMatrix(a.Rows, b.Rows)
+	} else {
+		if dst.Rows != a.Rows || dst.Cols != b.Rows {
+			panic("tensor: MatMulABT dst shape mismatch")
+		}
+	}
+	work := a.Rows * a.Cols * b.Rows
+	doRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Row(i)
+			di := dst.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				bj := b.Row(j)
+				var s float64
+				for k, av := range ai {
+					s += av * bj[k]
+				}
+				di[j] = s
+			}
+		}
+	}
+	if work >= matmulParallelThreshold && a.Rows > 1 {
+		parallelRows(a.Rows, doRange)
+	} else {
+		doRange(0, a.Rows)
+	}
+	return dst
+}
+
+// parallelRows splits [0,n) across GOMAXPROCS goroutines.
+func parallelRows(n int, f func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		f(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// AddRowVector adds vector v (length Cols) to every row in place.
+func (m *Matrix) AddRowVector(v []float64) *Matrix {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVector len %d != cols %d", len(v), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		ri := m.Row(i)
+		for j, x := range v {
+			ri[j] += x
+		}
+	}
+	return m
+}
+
+// ColSums returns the per-column sums.
+func (m *Matrix) ColSums() []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for j, v := range m.Row(i) {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// ColMeans returns the per-column means (zero for an empty matrix).
+func (m *Matrix) ColMeans() []float64 {
+	out := m.ColSums()
+	if m.Rows == 0 {
+		return out
+	}
+	inv := 1 / float64(m.Rows)
+	for j := range out {
+		out[j] *= inv
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value (0 for empty).
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Randomize fills the matrix with uniform values in [-scale, scale).
+func (m *Matrix) Randomize(rng *rand.Rand, scale float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return m
+}
+
+// RandomizeNormal fills the matrix with N(0, sigma²) values.
+func (m *Matrix) RandomizeNormal(rng *rand.Rand, sigma float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * sigma
+	}
+	return m
+}
+
+// KaimingInit applies He-uniform initialisation for a layer with fanIn
+// inputs, the standard scheme for ReLU networks.
+func (m *Matrix) KaimingInit(rng *rand.Rand, fanIn int) *Matrix {
+	if fanIn <= 0 {
+		fanIn = 1
+	}
+	bound := math.Sqrt(6.0 / float64(fanIn))
+	return m.Randomize(rng, bound)
+}

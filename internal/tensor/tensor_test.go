@@ -1,0 +1,302 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func matricesEqual(t *testing.T, got, want *Matrix, tol float64) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("shape mismatch: got %dx%d want %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range got.Data {
+		if !almostEq(got.Data[i], want.Data[i], tol) {
+			t.Fatalf("element %d: got %g want %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad dims: %+v", m)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("not zeroed")
+		}
+	}
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7.5)
+	if m.At(1, 2) != 7.5 {
+		t.Fatalf("At/Set roundtrip failed")
+	}
+	r := m.Row(1)
+	r[0] = -1 // aliases the backing storage
+	if m.At(1, 0) != -1 {
+		t.Fatal("Row must alias storage")
+	}
+}
+
+func TestFromRowsAndClone(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not alias")
+	}
+	if m.At(1, 1) != 4 {
+		t.Fatal("FromRows wrong layout")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{10, 20}, {30, 40}})
+	a.Add(b)
+	matricesEqual(t, a, FromRows([][]float64{{11, 22}, {33, 44}}), 0)
+	a.Sub(b)
+	matricesEqual(t, a, FromRows([][]float64{{1, 2}, {3, 4}}), 0)
+	a.Scale(2)
+	matricesEqual(t, a, FromRows([][]float64{{2, 4}, {6, 8}}), 0)
+	a.AddScaled(0.5, b)
+	matricesEqual(t, a, FromRows([][]float64{{7, 14}, {21, 28}}), 1e-12)
+}
+
+func TestMulElemApply(t *testing.T) {
+	a := FromRows([][]float64{{1, -2}, {3, -4}})
+	b := FromRows([][]float64{{2, 2}, {2, 2}})
+	a.MulElem(b)
+	matricesEqual(t, a, FromRows([][]float64{{2, -4}, {6, -8}}), 0)
+	a.Apply(math.Abs)
+	matricesEqual(t, a, FromRows([][]float64{{2, 4}, {6, 8}}), 0)
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	matricesEqual(t, at, FromRows([][]float64{{1, 4}, {2, 5}, {3, 6}}), 0)
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := MatMul(nil, a, b)
+	matricesEqual(t, got, FromRows([][]float64{{19, 22}, {43, 50}}), 1e-12)
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(5, 5).RandomizeNormal(rng, 1)
+	id := NewMatrix(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(i, i, 1)
+	}
+	matricesEqual(t, MatMul(nil, a, id), a, 1e-12)
+	matricesEqual(t, MatMul(nil, id, a), a, 1e-12)
+}
+
+func TestMatMulDstReuse(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, 1}})
+	b := FromRows([][]float64{{2, 3}, {4, 5}})
+	dst := NewMatrix(2, 2)
+	dst.Fill(999) // must be overwritten, not accumulated
+	MatMul(dst, a, b)
+	matricesEqual(t, dst, b, 0)
+}
+
+// TestMatMulParallelMatchesSerial forces the parallel path and checks it
+// against a reference triple loop.
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewMatrix(70, 90).RandomizeNormal(rng, 1)
+	b := NewMatrix(90, 80).RandomizeNormal(rng, 1)
+	got := MatMul(nil, a, b)
+	want := NewMatrix(70, 80)
+	for i := 0; i < 70; i++ {
+		for j := 0; j < 80; j++ {
+			var s float64
+			for k := 0; k < 90; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			want.Set(i, j, s)
+		}
+	}
+	matricesEqual(t, got, want, 1e-9)
+}
+
+func TestMatMulATB(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewMatrix(13, 7).RandomizeNormal(rng, 1)
+	b := NewMatrix(13, 5).RandomizeNormal(rng, 1)
+	got := MatMulATB(nil, a, b)
+	want := MatMul(nil, a.T(), b)
+	matricesEqual(t, got, want, 1e-10)
+}
+
+func TestMatMulABT(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := NewMatrix(9, 6).RandomizeNormal(rng, 1)
+	b := NewMatrix(11, 6).RandomizeNormal(rng, 1)
+	got := MatMulABT(nil, a, b)
+	want := MatMul(nil, a, b.T())
+	matricesEqual(t, got, want, 1e-10)
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inner dim mismatch")
+		}
+	}()
+	MatMul(nil, NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestAddRowVectorColSums(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	m.AddRowVector([]float64{10, 20})
+	matricesEqual(t, m, FromRows([][]float64{{11, 22}, {13, 24}, {15, 26}}), 0)
+	sums := m.ColSums()
+	if sums[0] != 39 || sums[1] != 72 {
+		t.Fatalf("ColSums got %v", sums)
+	}
+	means := m.ColMeans()
+	if !almostEq(means[0], 13, 1e-12) || !almostEq(means[1], 24, 1e-12) {
+		t.Fatalf("ColMeans got %v", means)
+	}
+}
+
+func TestSumMaxAbs(t *testing.T) {
+	m := FromRows([][]float64{{-5, 2}, {3, -1}})
+	if m.Sum() != -1 {
+		t.Fatalf("Sum got %g", m.Sum())
+	}
+	if m.MaxAbs() != 5 {
+		t.Fatalf("MaxAbs got %g", m.MaxAbs())
+	}
+}
+
+func TestKaimingInitBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMatrix(50, 50).KaimingInit(rng, 50)
+	bound := math.Sqrt(6.0 / 50.0)
+	for _, v := range m.Data {
+		if math.Abs(v) >= bound+1e-12 {
+			t.Fatalf("value %g outside Kaiming bound %g", v, bound)
+		}
+	}
+	if m.MaxAbs() < bound/4 {
+		t.Fatal("init suspiciously small; RNG not applied?")
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ for random shapes.
+func TestQuickTransposeProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(8)
+		k := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(8)
+		a := NewMatrix(m, k).RandomizeNormal(rng, 1)
+		b := NewMatrix(k, n).RandomizeNormal(rng, 1)
+		lhs := MatMul(nil, a, b).T()
+		rhs := MatMul(nil, b.T(), a.T())
+		if !lhs.SameShape(rhs) {
+			return false
+		}
+		for i := range lhs.Data {
+			if !almostEq(lhs.Data[i], rhs.Data[i], 1e-10) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matrix addition commutes.
+func TestQuickAddCommutes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(6)
+		c := 1 + rng.Intn(6)
+		a := NewMatrix(r, c).RandomizeNormal(rng, 10)
+		b := NewMatrix(r, c).RandomizeNormal(rng, 10)
+		ab := a.Clone().Add(b)
+		ba := b.Clone().Add(a)
+		for i := range ab.Data {
+			if !almostEq(ab.Data[i], ba.Data[i], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	small := FromRows([][]float64{{1, 2}, {3, 4}})
+	s := small.String()
+	if s != "Matrix(2x2)[1 2; 3 4]" {
+		t.Fatalf("small render %q", s)
+	}
+	big := NewMatrix(20, 20)
+	if big.String() != "Matrix(20x20)" {
+		t.Fatalf("big render %q", big.String())
+	}
+}
+
+func TestFromSliceValidation(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if m.At(1, 2) != 6 {
+		t.Fatal("layout")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected length panic")
+		}
+	}()
+	FromSlice(2, 3, []float64{1})
+}
+
+func TestZeroAndFill(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Fill(7)
+	if m.Sum() != 28 {
+		t.Fatal("Fill")
+	}
+	m.Zero()
+	if m.Sum() != 0 {
+		t.Fatal("Zero")
+	}
+}
+
+func TestMinMaxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MinMax(nil)
+}

@@ -1,0 +1,142 @@
+// Package xai implements Grad-CAM (Selvaraju et al., the paper's reference
+// [17]) for the MLP of internal/nn, following the paper's adaptation in
+// §IV-B: the gradients of a class score are averaged over the hidden units
+// of each layer (eq. 5) and combined with the layer's feature maps (eq. 6)
+// to attribute the decision to input features (CSI subcarriers, humidity,
+// temperature — Figure 3).
+package xai
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Result carries the Grad-CAM attribution for one class over a batch.
+type Result struct {
+	// InputImportance has one signed value per input feature: the batch
+	// mean of (∂y^c/∂x_j)·x_j. This is the per-feature curve of Figure 3
+	// (which shows values "close to 0, if not negative" for T and H).
+	InputImportance []float64
+	// LayerAlpha holds α_k^c of eq. (5) for every layer k: the gradient of
+	// the class score averaged across the layer's hidden units and batch.
+	LayerAlpha []float64
+	// LayerCAM is L^c of eq. (6) per layer: ReLU(α_k^c · mean_d A_d^{(k)}).
+	LayerCAM []float64
+	// Class is the explained class (1 = occupied, 0 = empty).
+	Class int
+}
+
+// GradCAM attributes network decisions for class on the batch x. For the
+// binary occupancy head (single logit), the class score is the logit itself
+// for class 1 and its negation for class 0.
+//
+// The network's parameter gradients are clobbered; run it on a trained
+// model outside the training loop (Grad-CAM is post-hoc, §IV-B).
+func GradCAM(net *nn.Network, x *tensor.Matrix, class int) (*Result, error) {
+	if net.OutputDim() != 1 {
+		return nil, fmt.Errorf("xai: GradCAM expects a single-logit head, got %d outputs", net.OutputDim())
+	}
+	if x.Rows == 0 {
+		return nil, fmt.Errorf("xai: GradCAM on an empty batch")
+	}
+	if class != 0 && class != 1 {
+		return nil, fmt.Errorf("xai: class must be 0 or 1, got %d", class)
+	}
+	sel := tensor.NewMatrix(x.Rows, 1)
+	v := 1.0
+	if class == 0 {
+		v = -1
+	}
+	sel.Fill(v)
+
+	cap := net.ForwardBackwardCapture(x, sel)
+
+	res := &Result{Class: class}
+	// Input-level attribution: gradient ⊙ activation, batch-averaged.
+	res.InputImportance = make([]float64, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		gi := cap.InputGrad.Row(i)
+		xi := x.Row(i)
+		for j := range res.InputImportance {
+			res.InputImportance[j] += gi[j] * xi[j]
+		}
+	}
+	inv := 1 / float64(x.Rows)
+	for j := range res.InputImportance {
+		res.InputImportance[j] *= inv
+	}
+
+	// Hidden-layer α_k (eq. 5) and the layer CAM value (eq. 6).
+	res.LayerAlpha = make([]float64, len(cap.Acts))
+	res.LayerCAM = make([]float64, len(cap.Acts))
+	for k := range cap.Acts {
+		g := cap.Grads[k]
+		a := cap.Acts[k]
+		var alpha, act float64
+		for _, gv := range g.Data {
+			alpha += gv
+		}
+		alpha /= float64(len(g.Data))
+		for _, av := range a.Data {
+			act += av
+		}
+		act /= float64(len(a.Data))
+		res.LayerAlpha[k] = alpha
+		cam := alpha * act
+		if cam < 0 {
+			cam = 0 // the ReLU of eq. (6)
+		}
+		res.LayerCAM[k] = cam
+	}
+	return res, nil
+}
+
+// TopFeatures returns the indices of the n features with the largest
+// absolute importance, most important first.
+func (r *Result) TopFeatures(n int) []int {
+	type fi struct {
+		idx int
+		v   float64
+	}
+	fs := make([]fi, len(r.InputImportance))
+	for i, v := range r.InputImportance {
+		fs[i] = fi{i, math.Abs(v)}
+	}
+	// Selection sort of the top n: importance vectors are short (≤66).
+	if n > len(fs) {
+		n = len(fs)
+	}
+	out := make([]int, 0, n)
+	for k := 0; k < n; k++ {
+		best := k
+		for i := k + 1; i < len(fs); i++ {
+			if fs[i].v > fs[best].v {
+				best = i
+			}
+		}
+		fs[k], fs[best] = fs[best], fs[k]
+		out = append(out, fs[k].idx)
+	}
+	return out
+}
+
+// MassFraction returns the share of total absolute importance carried by
+// the feature index range [lo, hi) — used to quantify Figure 3's finding
+// that CSI subcarriers dominate while Env features carry ~nothing.
+func (r *Result) MassFraction(lo, hi int) float64 {
+	var in, total float64
+	for i, v := range r.InputImportance {
+		a := math.Abs(v)
+		total += a
+		if i >= lo && i < hi {
+			in += a
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return in / total
+}

@@ -1,0 +1,167 @@
+package xai
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// trainToy trains a small MLP where only feature 0 matters.
+func trainToy(t *testing.T, seed int64) (*nn.Network, *tensor.Matrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net := nn.NewMLP(4, []int{16}, 1, rng)
+	n := 400
+	x := tensor.NewMatrix(n, 4).RandomizeNormal(rng, 1)
+	y := tensor.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		if x.At(i, 0) > 0 {
+			y.Set(i, 0, 1)
+		}
+	}
+	cfg := nn.DefaultTrainConfig()
+	cfg.Epochs = 60
+	cfg.BatchSize = 64
+	cfg.WeightDecay = 0
+	net.Fit(x, y, nn.BCEWithLogits{}, cfg)
+	return net, x
+}
+
+func TestGradCAMFindsInformativeFeature(t *testing.T) {
+	net, x := trainToy(t, 1)
+	res, err := GradCAM(net, x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InputImportance) != 4 {
+		t.Fatal("importance width")
+	}
+	top := res.TopFeatures(1)
+	if top[0] != 0 {
+		t.Fatalf("feature 0 must dominate, got order %v (%v)", top, res.InputImportance)
+	}
+	// Mass concentrated on feature 0.
+	if res.MassFraction(0, 1) < 0.5 {
+		t.Fatalf("feature 0 mass %g too low", res.MassFraction(0, 1))
+	}
+}
+
+func TestGradCAMClassSymmetry(t *testing.T) {
+	net, x := trainToy(t, 2)
+	pos, err := GradCAM(net, x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg, err := GradCAM(net, x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class-0 attribution is the exact negation of class-1 for a single
+	// logit head.
+	for j := range pos.InputImportance {
+		if math.Abs(pos.InputImportance[j]+neg.InputImportance[j]) > 1e-9 {
+			t.Fatal("class-0 must negate class-1 attribution")
+		}
+	}
+}
+
+func TestGradCAMLayerOutputs(t *testing.T) {
+	net, x := trainToy(t, 3)
+	res, err := GradCAM(net, x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LayerAlpha) != len(net.Layers) || len(res.LayerCAM) != len(net.Layers) {
+		t.Fatal("per-layer lengths")
+	}
+	for k, cam := range res.LayerCAM {
+		if cam < 0 {
+			t.Fatalf("layer %d CAM negative: eq. 6 ReLU violated", k)
+		}
+		if math.IsNaN(cam) || math.IsNaN(res.LayerAlpha[k]) {
+			t.Fatal("NaN in layer attribution")
+		}
+	}
+}
+
+func TestGradCAMErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	multi := nn.NewMLP(3, []int{4}, 2, rng)
+	if _, err := GradCAM(multi, tensor.NewMatrix(1, 3), 1); err == nil {
+		t.Fatal("multi-output head must be rejected")
+	}
+	net := nn.NewMLP(3, []int{4}, 1, rng)
+	if _, err := GradCAM(net, tensor.NewMatrix(0, 3), 1); err == nil {
+		t.Fatal("empty batch must be rejected")
+	}
+	if _, err := GradCAM(net, tensor.NewMatrix(1, 3), 2); err == nil {
+		t.Fatal("class 2 must be rejected")
+	}
+}
+
+func TestTopFeaturesOrderingAndBounds(t *testing.T) {
+	r := &Result{InputImportance: []float64{0.1, -0.5, 0.3}}
+	top := r.TopFeatures(3)
+	if top[0] != 1 || top[1] != 2 || top[2] != 0 {
+		t.Fatalf("order %v", top)
+	}
+	if got := r.TopFeatures(10); len(got) != 3 {
+		t.Fatal("n beyond width must clamp")
+	}
+}
+
+func TestMassFraction(t *testing.T) {
+	r := &Result{InputImportance: []float64{1, -1, 2}}
+	if f := r.MassFraction(0, 2); math.Abs(f-0.5) > 1e-12 {
+		t.Fatalf("mass %g", f)
+	}
+	empty := &Result{InputImportance: []float64{0, 0}}
+	if empty.MassFraction(0, 1) != 0 {
+		t.Fatal("zero mass")
+	}
+}
+
+// TestSanityCheckRandomizedWeights implements the Adebayo et al. "sanity
+// check" the paper cites (§IV-B): the attribution must depend on the
+// trained weights, so re-randomising the model has to change the
+// importance profile drastically. Methods that fail this check (edge
+// detectors in disguise) would leave the profile intact.
+func TestSanityCheckRandomizedWeights(t *testing.T) {
+	net, x := trainToy(t, 7)
+	trained, err := GradCAM(net, x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-randomise all parameters.
+	rng := rand.New(rand.NewSource(99))
+	for _, p := range net.Params() {
+		p.RandomizeNormal(rng, 0.5)
+	}
+	randomized, err := GradCAM(net, x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cosine similarity between the two importance profiles must be far
+	// from 1 (identical) — the attribution tracks the weights.
+	var dot, na, nb float64
+	for i := range trained.InputImportance {
+		a, b := trained.InputImportance[i], randomized.InputImportance[i]
+		dot += a * b
+		na += a * a
+		nb += b * b
+	}
+	if na == 0 || nb == 0 {
+		t.Fatal("degenerate importance vectors")
+	}
+	cos := dot / math.Sqrt(na*nb)
+	if cos > 0.9 {
+		t.Fatalf("attribution invariant to weight randomisation (cos=%.3f): sanity check failed", cos)
+	}
+	// And the trained profile must still rank the informative feature first.
+	if net == nil || trained.TopFeatures(1)[0] != 0 {
+		t.Fatalf("trained profile lost feature 0: %v", trained.TopFeatures(3))
+	}
+}
