@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ablate [-rate hz] [-seed n] [-train n] [-eval n] [-only dim]
+//	ablate [-rate hz] [-seed n] [-train n] [-eval n] [-only dim] [-workers n]
 //
 // where dim ∈ {arch, std, size, epochs, family, preproc}.
 package main
@@ -24,11 +24,12 @@ import (
 
 func main() {
 	var (
-		rate  = flag.Float64("rate", 0.1, "sampling rate in Hz for the 74 h trace")
-		seed  = flag.Int64("seed", 1, "master random seed")
-		train = flag.Int("train", 12000, "max training samples after thinning")
-		eval  = flag.Int("eval", 3000, "max evaluation samples per fold")
-		only  = flag.String("only", "", "run a single sweep: arch, std, size, epochs, family, preproc")
+		rate    = flag.Float64("rate", 0.1, "sampling rate in Hz for the 74 h trace")
+		seed    = flag.Int64("seed", 1, "master random seed")
+		train   = flag.Int("train", 12000, "max training samples after thinning")
+		eval    = flag.Int("eval", 3000, "max evaluation samples per fold")
+		only    = flag.String("only", "", "run a single sweep: arch, std, size, epochs, family, preproc")
+		workers = flag.Int("workers", 0, "worker goroutines for the sweeps (0 = GOMAXPROCS); results are identical for any value")
 	)
 	flag.Parse()
 
@@ -36,6 +37,7 @@ func main() {
 	ecfg.Seed = *seed
 	ecfg.MaxTrainSamples = *train
 	ecfg.MaxEvalSamples = *eval
+	ecfg.Workers = *workers
 
 	want := func(name string) bool { return *only == "" || strings.EqualFold(*only, name) }
 

@@ -17,7 +17,7 @@
 // Usage:
 //
 //	experiments [-rate hz] [-seed n] [-train n] [-eval n] [-only name]
-//	            [-quick] [-json results.json]
+//	            [-quick] [-json results.json] [-workers n]
 //
 // -quick shrinks everything for a fast smoke run; -json additionally dumps
 // every computed result for downstream plotting.
@@ -45,6 +45,7 @@ func main() {
 		only    = flag.String("only", "", "run a single experiment: table1..table5, figure3, profile, timeonly, footprint, activity, counting")
 		quick   = flag.Bool("quick", false, "small fast run (low rate, few samples, small models)")
 		jsonOut = flag.String("json", "", "also write all computed results to this JSON file")
+		workers = flag.Int("workers", 0, "worker goroutines for the experiment grids (0 = GOMAXPROCS); results are identical for any value")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 	ecfg.Seed = *seed
 	ecfg.MaxTrainSamples = *train
 	ecfg.MaxEvalSamples = *eval
+	ecfg.Workers = *workers
 	if *quick {
 		*rate = 1.0 / 30
 		ecfg.MaxTrainSamples = 3000

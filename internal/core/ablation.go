@@ -9,6 +9,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/linmodel"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -31,6 +32,29 @@ type AblationResult struct {
 	Points    []AblationPoint
 }
 
+// runPoints evaluates a sweep's points concurrently on the shared pool,
+// preserving the sweep order in the result. Each point trains its own
+// models from the config seed, so the sweep is bit-identical for any
+// worker count. The first error (in sweep order) aborts the result.
+func runPoints(dimension string, workers, n int, eval func(i int) (AblationPoint, error)) (*AblationResult, error) {
+	type slot struct {
+		pt  AblationPoint
+		err error
+	}
+	out := parallel.Map(workers, n, func(i int) slot {
+		pt, err := eval(i)
+		return slot{pt: pt, err: err}
+	})
+	res := &AblationResult{Dimension: dimension}
+	for _, s := range out {
+		if s.err != nil {
+			return nil, s.err
+		}
+		res.Points = append(res.Points, s.pt)
+	}
+	return res, nil
+}
+
 // RunArchitectureAblation sweeps MLP hidden topologies on the CSI feature
 // set, quantifying the paper's implicit design choice of 128-256-128
 // ("size parameters chosen ... with special care in keeping the number of
@@ -45,36 +69,33 @@ func RunArchitectureAblation(split *dataset.Split, cfg ExperimentConfig) (*Ablat
 		{"128-256-128 (paper)", []int{128, 256, 128}},
 		{"256-256-256", []int{256, 256, 256}},
 	}
-	res := &AblationResult{Dimension: "architecture"}
-	for _, tp := range topologies {
+	return runPoints("architecture", parallel.Workers(cfg.Workers), len(topologies), func(i int) (AblationPoint, error) {
+		tp := topologies[i]
 		pt, err := trainEvalMLP(split, cfg, tp.hidden, true)
 		if err != nil {
-			return nil, fmt.Errorf("core: architecture %s: %w", tp.name, err)
+			return AblationPoint{}, fmt.Errorf("core: architecture %s: %w", tp.name, err)
 		}
 		pt.Name = tp.name
-		res.Points = append(res.Points, pt)
-	}
-	return res, nil
+		return pt, nil
+	})
 }
 
 // RunStandardizationAblation compares training with and without feature
 // standardisation — the preprocessing the paper leaves implicit but every
 // pipeline on raw-amplitude CSI depends on.
 func RunStandardizationAblation(split *dataset.Split, cfg ExperimentConfig) (*AblationResult, error) {
-	res := &AblationResult{Dimension: "standardisation"}
-	for _, std := range []bool{true, false} {
-		pt, err := trainEvalMLP(split, cfg, cfg.Hidden, std)
+	variants := []struct {
+		name string
+		std  bool
+	}{{"standardised", true}, {"raw amplitudes", false}}
+	return runPoints("standardisation", parallel.Workers(cfg.Workers), len(variants), func(i int) (AblationPoint, error) {
+		pt, err := trainEvalMLP(split, cfg, cfg.Hidden, variants[i].std)
 		if err != nil {
-			return nil, err
+			return AblationPoint{}, err
 		}
-		if std {
-			pt.Name = "standardised"
-		} else {
-			pt.Name = "raw amplitudes"
-		}
-		res.Points = append(res.Points, pt)
-	}
-	return res, nil
+		pt.Name = variants[i].name
+		return pt, nil
+	})
 }
 
 // RunTrainSizeAblation sweeps the training-set size (via thinning),
@@ -83,18 +104,16 @@ func RunTrainSizeAblation(split *dataset.Split, cfg ExperimentConfig, sizes []in
 	if len(sizes) == 0 {
 		sizes = []int{500, 2000, 8000, 32000}
 	}
-	res := &AblationResult{Dimension: "training samples"}
-	for _, n := range sizes {
+	return runPoints("training samples", parallel.Workers(cfg.Workers), len(sizes), func(i int) (AblationPoint, error) {
 		c := cfg
-		c.MaxTrainSamples = n
+		c.MaxTrainSamples = sizes[i]
 		pt, err := trainEvalMLP(split, c, cfg.Hidden, true)
 		if err != nil {
-			return nil, err
+			return AblationPoint{}, err
 		}
-		pt.Name = fmt.Sprintf("%d", n)
-		res.Points = append(res.Points, pt)
-	}
-	return res, nil
+		pt.Name = fmt.Sprintf("%d", sizes[i])
+		return pt, nil
+	})
 }
 
 // RunEpochsAblation sweeps training epochs around the paper's 10.
@@ -102,18 +121,16 @@ func RunEpochsAblation(split *dataset.Split, cfg ExperimentConfig, epochs []int)
 	if len(epochs) == 0 {
 		epochs = []int{1, 3, 10, 30}
 	}
-	res := &AblationResult{Dimension: "epochs"}
-	for _, e := range epochs {
+	return runPoints("epochs", parallel.Workers(cfg.Workers), len(epochs), func(i int) (AblationPoint, error) {
 		c := cfg
-		c.NNTrain.Epochs = e
+		c.NNTrain.Epochs = epochs[i]
 		pt, err := trainEvalMLP(split, c, cfg.Hidden, true)
 		if err != nil {
-			return nil, err
+			return AblationPoint{}, err
 		}
-		pt.Name = fmt.Sprintf("%d", e)
-		res.Points = append(res.Points, pt)
-	}
-	return res, nil
+		pt.Name = fmt.Sprintf("%d", epochs[i])
+		return pt, nil
+	})
 }
 
 // RunPreprocessAblation tests the paper's §I claim that its model needs no
@@ -135,8 +152,14 @@ func RunPreprocessAblation(split *dataset.Split, cfg ExperimentConfig) (*Ablatio
 		filter.Hampel{R: 5, NSigma: 3},
 		sg,
 	}
-	res := &AblationResult{Dimension: "preprocessing"}
-	for _, f := range pipelines {
+	// One point per denoising front-end, plus a final PCA front-end point
+	// (project the 64 amplitudes to 16 principal components — the common
+	// dimensionality-reduction step — before the same MLP).
+	return runPoints("preprocessing", parallel.Workers(cfg.Workers), len(pipelines)+1, func(i int) (AblationPoint, error) {
+		if i == len(pipelines) {
+			return trainEvalPCA(split, cfg, 16)
+		}
+		f := pipelines[i]
 		apply := func(d *dataset.Dataset) *dataset.Dataset {
 			if _, ok := f.(filter.Identity); ok {
 				return d
@@ -149,20 +172,11 @@ func RunPreprocessAblation(split *dataset.Split, cfg ExperimentConfig) (*Ablatio
 		}
 		pt, err := trainEvalMLP(filtered, cfg, cfg.Hidden, true)
 		if err != nil {
-			return nil, fmt.Errorf("core: preprocessing %s: %w", f.Name(), err)
+			return AblationPoint{}, fmt.Errorf("core: preprocessing %s: %w", f.Name(), err)
 		}
 		pt.Name = f.Name()
-		res.Points = append(res.Points, pt)
-	}
-
-	// PCA front-end: project the 64 amplitudes to 16 principal components
-	// (the common dimensionality-reduction step) before the same MLP.
-	pcaPt, err := trainEvalPCA(split, cfg, 16)
-	if err != nil {
-		return nil, err
-	}
-	res.Points = append(res.Points, pcaPt)
-	return res, nil
+		return pt, nil
+	})
 }
 
 // trainEvalPCA trains the MLP on a PCA-k projection of the CSI features.
@@ -215,24 +229,24 @@ func RunModelFamilyAblation(split *dataset.Split, cfg ExperimentConfig) (*Ablati
 	if len(split.Folds) == 0 {
 		return nil, fmt.Errorf("core: split has no test folds")
 	}
-	res := &AblationResult{Dimension: "model family"}
-
-	mlp, err := trainEvalMLP(split, cfg, cfg.Hidden, true)
-	if err != nil {
-		return nil, err
-	}
-	mlp.Name = "MLP"
-	res.Points = append(res.Points, mlp)
-
-	cnn, err := trainEvalNet(split, cfg, func(rng *rand.Rand) *nn.Network {
-		return nn.NewCNN(dataset.FeatCSI.Dim(), 1, rng)
+	return runPoints("model family", parallel.Workers(cfg.Workers), 2, func(i int) (AblationPoint, error) {
+		if i == 0 {
+			pt, err := trainEvalMLP(split, cfg, cfg.Hidden, true)
+			if err != nil {
+				return AblationPoint{}, err
+			}
+			pt.Name = "MLP"
+			return pt, nil
+		}
+		pt, err := trainEvalNet(split, cfg, func(rng *rand.Rand) *nn.Network {
+			return nn.NewCNN(dataset.FeatCSI.Dim(), 1, rng)
+		})
+		if err != nil {
+			return AblationPoint{}, err
+		}
+		pt.Name = "CNN (conv1d)"
+		return pt, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	cnn.Name = "CNN (conv1d)"
-	res.Points = append(res.Points, cnn)
-	return res, nil
 }
 
 // trainEvalNet trains an arbitrary network constructor on standardised CSI

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+)
+
+// shrink tightens the quick config further: the determinism tests run the
+// full Table IV grid twice, and they only need enough data for every code
+// path to execute, not for the accuracies to be meaningful.
+func shrink(cfg ExperimentConfig) ExperimentConfig {
+	cfg.NNTrain.Epochs = 2
+	cfg.MaxTrainSamples = 600
+	cfg.MaxEvalSamples = 150
+	cfg.RF.NumTrees = 5
+	cfg.RF.MaxDepth = 8
+	cfg.Logistic.Epochs = 4
+	return cfg
+}
+
+// TestRunTable4DeterministicAcrossWorkerCounts is the contract the parallel
+// experiment engine makes: the grid result is bit-identical — not merely
+// close — for any worker count, because every task derives its inputs from
+// its index and the config seed, never from scheduling order.
+func TestRunTable4DeterministicAcrossWorkerCounts(t *testing.T) {
+	_, split := testSplit(t)
+	base := shrink(quickCfg())
+
+	var results []*Table4Result
+	for _, w := range []int{1, 4} {
+		cfg := base
+		cfg.Workers = w
+		res, err := RunTable4(split, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		results = append(results, res)
+	}
+
+	ref := results[0]
+	for ri, res := range results[1:] {
+		if len(res.Acc) != len(ref.Acc) {
+			t.Fatalf("fold count differs: %d vs %d", len(res.Acc), len(ref.Acc))
+		}
+		for fi := range ref.Acc {
+			for mi := range ref.Acc[fi] {
+				for _, feat := range Table4Features {
+					a, b := ref.Acc[fi][mi][feat], res.Acc[fi][mi][feat]
+					if a != b {
+						t.Errorf("run %d: Acc[%d][%s][%v] = %v, sequential %v",
+							ri+1, fi, Table4Models[mi], feat, b, a)
+					}
+				}
+			}
+		}
+		for mi := range ref.Avg {
+			for _, feat := range Table4Features {
+				if a, b := ref.Avg[mi][feat], res.Avg[mi][feat]; a != b {
+					t.Errorf("run %d: Avg[%s][%v] = %v, sequential %v",
+						ri+1, Table4Models[mi], feat, b, a)
+				}
+			}
+		}
+	}
+}
+
+// TestRunTable5DeterministicAcrossWorkerCounts covers the regression grid
+// the same way: both regressors and all fold scores must agree exactly.
+func TestRunTable5DeterministicAcrossWorkerCounts(t *testing.T) {
+	_, split := testSplit(t)
+	base := shrink(quickCfg())
+
+	var results []*Table5Result
+	for _, w := range []int{1, 4} {
+		cfg := base
+		cfg.Workers = w
+		res, err := RunTable5(split, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		results = append(results, res)
+	}
+
+	ref, res := results[0], results[1]
+	if len(res.Linear) != len(ref.Linear) || len(res.Neural) != len(ref.Neural) {
+		t.Fatalf("fold counts differ")
+	}
+	for fi := range ref.Linear {
+		if ref.Linear[fi] != res.Linear[fi] {
+			t.Errorf("Linear[%d]: %+v vs %+v", fi, res.Linear[fi], ref.Linear[fi])
+		}
+		if ref.Neural[fi] != res.Neural[fi] {
+			t.Errorf("Neural[%d]: %+v vs %+v", fi, res.Neural[fi], ref.Neural[fi])
+		}
+	}
+	if ref.AvgLin != res.AvgLin || ref.AvgNN != res.AvgNN {
+		t.Errorf("averages differ: %+v/%+v vs %+v/%+v", res.AvgLin, res.AvgNN, ref.AvgLin, ref.AvgNN)
+	}
+}
+
+// TestAblationDeterministicAcrossWorkerCounts spot-checks one sweep (the
+// cheapest, standardisation) under different worker counts.
+func TestAblationDeterministicAcrossWorkerCounts(t *testing.T) {
+	_, split := testSplit(t)
+	base := shrink(quickCfg())
+
+	var results []*AblationResult
+	for _, w := range []int{1, 3} {
+		cfg := base
+		cfg.Workers = w
+		res, err := RunStandardizationAblation(split, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		results = append(results, res)
+	}
+	ref, res := results[0], results[1]
+	if len(ref.Points) != len(res.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(ref.Points), len(res.Points))
+	}
+	for i := range ref.Points {
+		if ref.Points[i].Name != res.Points[i].Name {
+			t.Errorf("point %d name %q vs %q", i, res.Points[i].Name, ref.Points[i].Name)
+		}
+		if ref.Points[i].Acc != res.Points[i].Acc {
+			t.Errorf("point %q: acc %v vs %v", ref.Points[i].Name, res.Points[i].Acc, ref.Points[i].Acc)
+		}
+		for fi := range ref.Points[i].PerFold {
+			if ref.Points[i].PerFold[fi] != res.Points[i].PerFold[fi] {
+				t.Errorf("point %q fold %d: %v vs %v", ref.Points[i].Name, fi,
+					res.Points[i].PerFold[fi], ref.Points[i].PerFold[fi])
+			}
+		}
+	}
+}
+
+// TestRunTable4QuickSanity guards the parallel rewrite's bookkeeping: every
+// cell of the grid must be populated and within the accuracy range a real
+// (if tiny) training run produces.
+func TestRunTable4QuickSanity(t *testing.T) {
+	_, split := testSplit(t)
+	cfg := shrink(quickCfg())
+	cfg.Workers = 2
+	res, err := RunTable4(split, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Acc) != len(split.Folds) {
+		t.Fatalf("got %d fold rows, want %d", len(res.Acc), len(split.Folds))
+	}
+	for fi := range res.Acc {
+		for mi := range res.Acc[fi] {
+			for _, feat := range Table4Features {
+				acc, ok := res.Acc[fi][mi][feat]
+				if !ok {
+					t.Fatalf("missing Acc[%d][%s][%v]", fi, Table4Models[mi], feat)
+				}
+				if acc < 0 || acc > 100 {
+					t.Errorf("Acc[%d][%s][%v] = %v out of range", fi, Table4Models[mi], feat, acc)
+				}
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/linmodel"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/rf"
 	"repro/internal/stats"
 	"repro/internal/tensor"
@@ -44,6 +45,11 @@ type ExperimentConfig struct {
 	RF             rf.ForestConfig
 	Logistic       linmodel.LogisticConfig
 	Seed           int64
+	// Workers bounds the goroutines the experiment grids fan out across
+	// (<=0 means GOMAXPROCS). Results are bit-identical for every value —
+	// each task derives its inputs from the task index and the config seed,
+	// never from scheduling order; see internal/parallel.
+	Workers int
 }
 
 // DefaultExperimentConfig returns the paper-default hyper-parameters.
@@ -84,6 +90,13 @@ type Table4Result struct {
 // and the MLP on each of the three feature subsets on the training fold and
 // evaluates each of the five test folds. Models are trained exactly once —
 // fold evaluation never re-trains (§V-B).
+//
+// The grid runs in three parallel stages on cfg.Workers goroutines: feature
+// preparation (one task per subset), cell training (one task per
+// model×subset combination), and fold evaluation (one task per
+// subset×fold, scoring all three trained models against a shared design
+// matrix). Every task derives its inputs from its index and cfg alone, so
+// the result is bit-identical to the sequential run for any worker count.
 func RunTable4(split *dataset.Split, cfg ExperimentConfig) (*Table4Result, error) {
 	if len(split.Folds) == 0 {
 		return nil, fmt.Errorf("core: split has no test folds")
@@ -92,65 +105,90 @@ func RunTable4(split *dataset.Split, cfg ExperimentConfig) (*Table4Result, error
 	if len(cfg.Hidden) == 0 {
 		cfg.Hidden = append([]int(nil), PaperHidden...)
 	}
+	workers := parallel.Workers(cfg.Workers)
+	nFeat, nModel, nFold := len(Table4Features), len(Table4Models), len(split.Folds)
+
+	// Stage 1: per-subset design matrices and scalers.
+	type featData struct {
+		x, xStd *tensor.Matrix
+		y       []int
+		yF      *tensor.Matrix
+		scaler  *linmodel.Scaler
+	}
+	prep := parallel.Map(workers, nFeat, func(i int) featData {
+		x, y := train.Matrix(Table4Features[i])
+		scaler := linmodel.FitScaler(x)
+		yF := tensor.NewMatrix(len(y), 1)
+		for j, v := range y {
+			yF.Set(j, 0, float64(v))
+		}
+		return featData{x: x, xStd: scaler.Transform(x), y: y, yF: yF, scaler: scaler}
+	})
+
+	// Stage 2: the nine cells train concurrently. Each task fills only its
+	// own slot with a prediction closure over the trained model; all three
+	// closures are inference-only and safe to call from many goroutines.
+	preds := make([]func(xf, xfStd *tensor.Matrix) []int, nModel*nFeat)
+	parallel.ForEach(workers, nModel*nFeat, func(ci int) {
+		mi, fi := ci/nFeat, ci%nFeat
+		d := prep[fi]
+		switch Table4Models[mi] {
+		case ModelLogistic:
+			logit := &linmodel.Logistic{}
+			lcfg := cfg.Logistic
+			lcfg.Seed = cfg.Seed
+			logit.Fit(d.xStd, d.y, lcfg)
+			preds[ci] = func(_, xfStd *tensor.Matrix) []int { return logit.Predict(xfStd) }
+		case ModelRF:
+			rfcfg := cfg.RF
+			rfcfg.Seed = cfg.Seed
+			forest := rf.FitClassifier(d.x, d.y, rfcfg)
+			preds[ci] = func(xf, _ *tensor.Matrix) []int { return forest.Predict(xf) }
+		case ModelMLP:
+			tcfg := cfg.NNTrain
+			tcfg.Seed = cfg.Seed
+			net := nn.NewMLP(Table4Features[fi].Dim(), cfg.Hidden, 1, rand.New(rand.NewSource(cfg.Seed)))
+			net.Fit(d.xStd, d.yF, nn.BCEWithLogits{}, tcfg)
+			preds[ci] = func(_, xfStd *tensor.Matrix) []int { return net.PredictBinary(xfStd) }
+		}
+	})
+
+	// Stage 3: evaluation fans out per (subset, fold) into a flat array —
+	// the result maps are filled serially afterwards because Go maps do not
+	// tolerate concurrent writes.
+	acc := make([]float64, nFold*nModel*nFeat)
+	parallel.ForEach(workers, nFeat*nFold, func(ti int) {
+		fi, foldI := ti/nFold, ti%nFold
+		ev := thin(split.Folds[foldI], cfg.MaxEvalSamples)
+		xf, yf := ev.Matrix(Table4Features[fi])
+		xfStd := prep[fi].scaler.Transform(xf)
+		for mi := 0; mi < nModel; mi++ {
+			p := preds[mi*nFeat+fi](xf, xfStd)
+			acc[(foldI*nModel+mi)*nFeat+fi] = 100 * stats.Accuracy(yf, p)
+		}
+	})
 
 	res := &Table4Result{
-		Acc: make([][]map[dataset.FeatureSet]float64, len(split.Folds)),
-		Avg: make([]map[dataset.FeatureSet]float64, len(Table4Models)),
+		Acc: make([][]map[dataset.FeatureSet]float64, nFold),
+		Avg: make([]map[dataset.FeatureSet]float64, nModel),
 	}
-	for f := range res.Acc {
-		res.Acc[f] = make([]map[dataset.FeatureSet]float64, len(Table4Models))
-		for m := range res.Acc[f] {
-			res.Acc[f][m] = map[dataset.FeatureSet]float64{}
-		}
-	}
-	for m := range res.Avg {
-		res.Avg[m] = map[dataset.FeatureSet]float64{}
-	}
-
-	for _, feat := range Table4Features {
-		xTrain, yTrain := train.Matrix(feat)
-		scaler := linmodel.FitScaler(xTrain)
-		xTrainStd := scaler.Transform(xTrain)
-		yTrainF := tensor.NewMatrix(len(yTrain), 1)
-		for i, v := range yTrain {
-			yTrainF.Set(i, 0, float64(v))
-		}
-
-		// Train all three models once per feature subset.
-		logit := &linmodel.Logistic{}
-		lcfg := cfg.Logistic
-		lcfg.Seed = cfg.Seed
-		logit.Fit(xTrainStd, yTrain, lcfg)
-
-		rfcfg := cfg.RF
-		rfcfg.Seed = cfg.Seed
-		forest := rf.FitClassifier(xTrain, yTrain, rfcfg)
-
-		tcfg := cfg.NNTrain
-		tcfg.Seed = cfg.Seed
-		net := nn.NewMLP(feat.Dim(), cfg.Hidden, 1, rand.New(rand.NewSource(cfg.Seed)))
-		net.Fit(xTrainStd, yTrainF, nn.BCEWithLogits{}, tcfg)
-
-		for fi, fold := range split.Folds {
-			ev := thin(fold, cfg.MaxEvalSamples)
-			xf, yf := ev.Matrix(feat)
-			xfStd := scaler.Transform(xf)
-
-			accL := 100 * stats.Accuracy(yf, logit.Predict(xfStd))
-			accR := 100 * stats.Accuracy(yf, forest.Predict(xf))
-			accM := 100 * stats.Accuracy(yf, net.PredictBinary(xfStd))
-			res.Acc[fi][0][feat] = accL
-			res.Acc[fi][1][feat] = accR
-			res.Acc[fi][2][feat] = accM
-		}
-	}
-	for m := range Table4Models {
-		for _, feat := range Table4Features {
-			var s float64
-			for fi := range split.Folds {
-				s += res.Acc[fi][m][feat]
+	for foldI := range res.Acc {
+		res.Acc[foldI] = make([]map[dataset.FeatureSet]float64, nModel)
+		for mi := range res.Acc[foldI] {
+			res.Acc[foldI][mi] = map[dataset.FeatureSet]float64{}
+			for fi, feat := range Table4Features {
+				res.Acc[foldI][mi][feat] = acc[(foldI*nModel+mi)*nFeat+fi]
 			}
-			res.Avg[m][feat] = s / float64(len(split.Folds))
+		}
+	}
+	for mi := range res.Avg {
+		res.Avg[mi] = map[dataset.FeatureSet]float64{}
+		for fi, feat := range Table4Features {
+			var s float64
+			for foldI := 0; foldI < nFold; foldI++ {
+				s += acc[(foldI*nModel+mi)*nFeat+fi]
+			}
+			res.Avg[mi][feat] = s / float64(nFold)
 		}
 	}
 	return res, nil
@@ -182,45 +220,57 @@ func RunTable5(split *dataset.Split, cfg ExperimentConfig) (*Table5Result, error
 	if len(cfg.Hidden) == 0 {
 		cfg.Hidden = append([]int(nil), PaperHidden...)
 	}
+	workers := parallel.Workers(cfg.Workers)
 
-	// Linear: OLS on raw CSI with a tiny ridge for collinear subcarriers.
-	xTrain, _ := train.Matrix(dataset.FeatCSI)
-	lin, err := linmodel.FitLinear(xTrain, train.EnvTargets(), 1e-8)
-	if err != nil {
-		return nil, fmt.Errorf("core: Table V OLS: %w", err)
+	// The two regressors train concurrently; errors are kept per-slot.
+	var lin *linmodel.Linear
+	var reg *EnvRegressor
+	var linErr, regErr error
+	parallel.ForEach(workers, 2, func(i int) {
+		if i == 0 {
+			// Linear: OLS on raw CSI, tiny ridge for collinear subcarriers.
+			xTrain, _ := train.Matrix(dataset.FeatCSI)
+			lin, linErr = linmodel.FitLinear(xTrain, train.EnvTargets(), 1e-8)
+			return
+		}
+		// Neural: the shared EnvRegressor.
+		ecfg := EnvRegressorConfig{Hidden: cfg.Hidden, Train: cfg.NNTrain, Seed: cfg.Seed}
+		ecfg.Train.Seed = cfg.Seed
+		reg, regErr = TrainEnvRegressor(train, ecfg)
+	})
+	if linErr != nil {
+		return nil, fmt.Errorf("core: Table V OLS: %w", linErr)
+	}
+	if regErr != nil {
+		return nil, regErr
 	}
 
-	// Neural: the shared EnvRegressor.
-	ecfg := EnvRegressorConfig{Hidden: cfg.Hidden, Train: cfg.NNTrain, Seed: cfg.Seed}
-	ecfg.Train.Seed = cfg.Seed
-	reg, err := TrainEnvRegressor(train, ecfg)
-	if err != nil {
-		return nil, err
+	res := &Table5Result{
+		Linear: make([]RegScores, len(split.Folds)),
+		Neural: make([]RegScores, len(split.Folds)),
 	}
-
-	res := &Table5Result{}
-	for _, fold := range split.Folds {
-		ev := thin(fold, cfg.MaxEvalSamples)
+	parallel.ForEach(workers, len(split.Folds), func(fi int) {
+		ev := thin(split.Folds[fi], cfg.MaxEvalSamples)
 		xf, _ := ev.Matrix(dataset.FeatCSI)
 		tTrue, _ := ev.Column("temp")
 		hTrue, _ := ev.Column("humidity")
 
 		linPred := lin.Predict(xf)
-		res.Linear = append(res.Linear, RegScores{
+		res.Linear[fi] = RegScores{
 			MAET:  stats.MAE(tTrue, linPred[0]),
 			MAEH:  stats.MAE(hTrue, linPred[1]),
 			MAPET: stats.MAPE(tTrue, linPred[0]),
 			MAPEH: stats.MAPE(hTrue, linPred[1]),
-		})
+		}
 
 		tPred, hPred := reg.Predict(ev)
-		res.Neural = append(res.Neural, RegScores{
+		res.Neural[fi] = RegScores{
 			MAET:  stats.MAE(tTrue, tPred),
 			MAEH:  stats.MAE(hTrue, hPred),
 			MAPET: stats.MAPE(tTrue, tPred),
 			MAPEH: stats.MAPE(hTrue, hPred),
-		})
-	}
+		}
+	})
 	res.AvgLin = avgScores(res.Linear)
 	res.AvgNN = avgScores(res.Neural)
 	return res, nil

@@ -6,9 +6,19 @@ import (
 	"repro/internal/tensor"
 )
 
+// Activation scratch-buffer note: in training mode every activation writes
+// its output (and backward gradient) into per-layer scratch matrices that
+// are reused across batches, so a full forward/backward step allocates
+// nothing once shapes settle. Every element is overwritten on each pass —
+// stale scratch contents can never leak into a result. Inference
+// (train=false) allocates fresh outputs and is safe for concurrent use; see
+// the Layer contract.
+
 // ReLU is the rectified linear activation max(0, x).
 type ReLU struct {
-	input *tensor.Matrix
+	input  *tensor.Matrix
+	fwdOut *tensor.Matrix
+	bwdDx  *tensor.Matrix
 }
 
 // NewReLU returns a ReLU activation layer.
@@ -16,15 +26,20 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	var out *tensor.Matrix
 	if train {
 		r.input = x
+		r.fwdOut = tensor.EnsureShape(r.fwdOut, x.Rows, x.Cols)
+		out = r.fwdOut
 	} else {
-		r.input = nil
+		// No writes to r here: inference must stay concurrent-safe.
+		out = tensor.NewMatrix(x.Rows, x.Cols)
 	}
-	out := tensor.NewMatrix(x.Rows, x.Cols)
 	for i, v := range x.Data {
 		if v > 0 {
 			out.Data[i] = v
+		} else {
+			out.Data[i] = 0
 		}
 	}
 	return out
@@ -35,10 +50,13 @@ func (r *ReLU) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if r.input == nil {
 		panic("nn: ReLU.Backward without a training Forward")
 	}
-	out := tensor.NewMatrix(grad.Rows, grad.Cols)
+	r.bwdDx = tensor.EnsureShape(r.bwdDx, grad.Rows, grad.Cols)
+	out := r.bwdDx
 	for i, v := range r.input.Data {
 		if v > 0 {
 			out.Data[i] = grad.Data[i]
+		} else {
+			out.Data[i] = 0
 		}
 	}
 	return out
@@ -56,6 +74,7 @@ func (r *ReLU) Name() string { return "relu" }
 // Sigmoid is the logistic activation 1/(1+e^{-x}).
 type Sigmoid struct {
 	output *tensor.Matrix
+	bwdDx  *tensor.Matrix
 }
 
 // NewSigmoid returns a Sigmoid activation layer.
@@ -73,14 +92,15 @@ func SigmoidScalar(x float64) float64 {
 
 // Forward implements Layer.
 func (s *Sigmoid) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	out := tensor.NewMatrix(x.Rows, x.Cols)
+	var out *tensor.Matrix
+	if train {
+		s.output = tensor.EnsureShape(s.output, x.Rows, x.Cols)
+		out = s.output
+	} else {
+		out = tensor.NewMatrix(x.Rows, x.Cols)
+	}
 	for i, v := range x.Data {
 		out.Data[i] = SigmoidScalar(v)
-	}
-	if train {
-		s.output = out
-	} else {
-		s.output = nil
 	}
 	return out
 }
@@ -90,7 +110,8 @@ func (s *Sigmoid) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if s.output == nil {
 		panic("nn: Sigmoid.Backward without a training Forward")
 	}
-	out := tensor.NewMatrix(grad.Rows, grad.Cols)
+	s.bwdDx = tensor.EnsureShape(s.bwdDx, grad.Rows, grad.Cols)
+	out := s.bwdDx
 	for i, o := range s.output.Data {
 		out.Data[i] = grad.Data[i] * o * (1 - o)
 	}
@@ -109,6 +130,7 @@ func (s *Sigmoid) Name() string { return "sigmoid" }
 // Tanh is the hyperbolic tangent activation.
 type Tanh struct {
 	output *tensor.Matrix
+	bwdDx  *tensor.Matrix
 }
 
 // NewTanh returns a Tanh activation layer.
@@ -116,14 +138,15 @@ func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	out := tensor.NewMatrix(x.Rows, x.Cols)
+	var out *tensor.Matrix
+	if train {
+		t.output = tensor.EnsureShape(t.output, x.Rows, x.Cols)
+		out = t.output
+	} else {
+		out = tensor.NewMatrix(x.Rows, x.Cols)
+	}
 	for i, v := range x.Data {
 		out.Data[i] = math.Tanh(v)
-	}
-	if train {
-		t.output = out
-	} else {
-		t.output = nil
 	}
 	return out
 }
@@ -133,7 +156,8 @@ func (t *Tanh) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if t.output == nil {
 		panic("nn: Tanh.Backward without a training Forward")
 	}
-	out := tensor.NewMatrix(grad.Rows, grad.Cols)
+	t.bwdDx = tensor.EnsureShape(t.bwdDx, grad.Rows, grad.Cols)
+	out := t.bwdDx
 	for i, o := range t.output.Data {
 		out.Data[i] = grad.Data[i] * (1 - o*o)
 	}

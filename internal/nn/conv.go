@@ -22,7 +22,9 @@ type Conv1D struct {
 	GradW           *tensor.Matrix
 	GradB           *tensor.Matrix
 
-	input *tensor.Matrix
+	input  *tensor.Matrix
+	fwdOut *tensor.Matrix
+	bwdDx  *tensor.Matrix
 }
 
 // NewConv1D creates a Conv1D layer with Kaiming-uniform kernels.
@@ -51,13 +53,16 @@ func (c *Conv1D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if x.Cols != c.InC*c.L {
 		panic(fmt.Sprintf("nn: Conv1D(%d×%d) got input width %d, want %d", c.InC, c.L, x.Cols, c.InC*c.L))
 	}
+	lout := c.LOut()
+	var out *tensor.Matrix
 	if train {
 		c.input = x
+		c.fwdOut = tensor.EnsureShape(c.fwdOut, x.Rows, c.OutC*lout)
+		out = c.fwdOut
 	} else {
-		c.input = nil
+		// No writes to c here: inference must stay concurrent-safe.
+		out = tensor.NewMatrix(x.Rows, c.OutC*lout)
 	}
-	lout := c.LOut()
-	out := tensor.NewMatrix(x.Rows, c.OutC*lout)
 	for b := 0; b < x.Rows; b++ {
 		in := x.Row(b)
 		dst := out.Row(b)
@@ -89,7 +94,10 @@ func (c *Conv1D) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	lout := c.LOut()
 	c.GradW.Zero()
 	c.GradB.Zero()
-	dx := tensor.NewMatrix(c.input.Rows, c.input.Cols)
+	c.bwdDx = tensor.EnsureShape(c.bwdDx, c.input.Rows, c.input.Cols)
+	dx := c.bwdDx
+	dx.Zero() // accumulated into below; scratch may hold the previous step
+
 	for b := 0; b < c.input.Rows; b++ {
 		in := c.input.Row(b)
 		g := grad.Row(b)
@@ -140,6 +148,8 @@ type MaxPool1D struct {
 
 	argmax []int // per output element: winning input index
 	inCols int
+	fwdOut *tensor.Matrix
+	bwdDx  *tensor.Matrix
 }
 
 // NewMaxPool1D creates a pool layer for C channels of length L.
@@ -162,12 +172,19 @@ func (m *MaxPool1D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 		panic(fmt.Sprintf("nn: MaxPool1D got width %d, want %d", x.Cols, m.C*m.L))
 	}
 	lout := m.LOut()
-	out := tensor.NewMatrix(x.Rows, m.C*lout)
+	var out *tensor.Matrix
 	if train {
-		m.argmax = make([]int, x.Rows*m.C*lout)
+		m.fwdOut = tensor.EnsureShape(m.fwdOut, x.Rows, m.C*lout)
+		out = m.fwdOut
+		if need := x.Rows * m.C * lout; cap(m.argmax) >= need {
+			m.argmax = m.argmax[:need]
+		} else {
+			m.argmax = make([]int, need)
+		}
 		m.inCols = x.Cols
 	} else {
-		m.argmax = nil
+		// No writes to m here: inference must stay concurrent-safe.
+		out = tensor.NewMatrix(x.Rows, m.C*lout)
 	}
 	for b := 0; b < x.Rows; b++ {
 		in := x.Row(b)
@@ -197,7 +214,9 @@ func (m *MaxPool1D) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if m.argmax == nil {
 		panic("nn: MaxPool1D.Backward without a training Forward")
 	}
-	dx := tensor.NewMatrix(grad.Rows, m.inCols)
+	m.bwdDx = tensor.EnsureShape(m.bwdDx, grad.Rows, m.inCols)
+	dx := m.bwdDx
+	dx.Zero() // gradient is scattered into argmax positions below
 	per := grad.Cols
 	for b := 0; b < grad.Rows; b++ {
 		g := grad.Row(b)

@@ -16,7 +16,7 @@ func GradCheck(n *Network, x, y *tensor.Matrix, loss Loss, eps float64) float64 
 	}
 	// Analytic gradients.
 	pred := n.Forward(x, true)
-	n.Backward(loss.Grad(pred, y))
+	n.Backward(loss.Grad(nil, pred, y))
 	params := n.Params()
 	grads := n.Grads()
 	analytic := make([][]float64, len(grads))

@@ -18,10 +18,19 @@ import (
 // Layer is one differentiable stage of a network. Forward consumes a batch
 // (rows = samples) and returns the batch output; Backward consumes ∂L/∂out
 // and returns ∂L/∂in, accumulating parameter gradients internally.
+//
+// Concurrency/aliasing contract: with train=true a layer may return a
+// reference to an internal scratch buffer that is overwritten by its next
+// training Forward/Backward, so a network must not be trained from two
+// goroutines at once and training outputs must be consumed before the next
+// step. With train=false layers allocate fresh outputs and touch no mutable
+// state, so inference on a shared trained network is safe from many
+// goroutines concurrently — the property the parallel experiment engine
+// uses to fan fold evaluation out per cell.
 type Layer interface {
 	// Forward computes the layer output for input x. When train is true
-	// the layer may cache values needed by Backward and apply
-	// training-only behaviour (e.g. dropout).
+	// the layer may cache values needed by Backward, reuse internal
+	// scratch buffers, and apply training-only behaviour (e.g. dropout).
 	Forward(x *tensor.Matrix, train bool) *tensor.Matrix
 	// Backward propagates the gradient. Must be called after a Forward
 	// with train=true.
@@ -43,6 +52,9 @@ type Dense struct {
 	GradB   *tensor.Matrix
 
 	input *tensor.Matrix // cached for backward
+	// Training scratch, reused across steps once the batch shape settles.
+	fwdOut *tensor.Matrix
+	bwdDx  *tensor.Matrix
 }
 
 // NewDense creates a Dense layer with Kaiming-uniform weights and zero bias.
@@ -62,12 +74,15 @@ func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if x.Cols != d.In {
 		panic(fmt.Sprintf("nn: Dense(%d→%d) got input width %d", d.In, d.Out, x.Cols))
 	}
-	if train {
-		d.input = x
-	} else {
-		d.input = nil
+	if !train {
+		// No writes to d here: inference must stay concurrent-safe.
+		out := tensor.MatMul(nil, x, d.W)
+		out.AddRowVector(d.B.Data)
+		return out
 	}
-	out := tensor.MatMul(nil, x, d.W)
+	d.input = x
+	d.fwdOut = tensor.EnsureShape(d.fwdOut, x.Rows, d.Out)
+	out := tensor.MatMul(d.fwdOut, x, d.W)
 	out.AddRowVector(d.B.Data)
 	return out
 }
@@ -79,8 +94,17 @@ func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	}
 	// dW = xᵀ·grad ; db = column sums of grad ; dx = grad·Wᵀ.
 	tensor.MatMulATB(d.GradW, d.input, grad)
-	copy(d.GradB.Data, grad.ColSums())
-	return tensor.MatMulABT(nil, grad, d.W)
+	gb := d.GradB.Data
+	for j := range gb {
+		gb[j] = 0
+	}
+	for i := 0; i < grad.Rows; i++ {
+		for j, v := range grad.Row(i) {
+			gb[j] += v
+		}
+	}
+	d.bwdDx = tensor.EnsureShape(d.bwdDx, grad.Rows, d.In)
+	return tensor.MatMulABT(d.bwdDx, grad, d.W)
 }
 
 // Params returns [W, B].
@@ -102,7 +126,9 @@ type Dropout struct {
 	P   float64
 	rng *rand.Rand
 
-	mask *tensor.Matrix
+	mask   *tensor.Matrix
+	fwdOut *tensor.Matrix
+	bwdDx  *tensor.Matrix
 }
 
 // NewDropout creates a dropout layer with drop probability p in [0, 1).
@@ -115,18 +141,26 @@ func NewDropout(p float64, rng *rand.Rand) *Dropout {
 
 // Forward implements Layer.
 func (dp *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	if !train || dp.P == 0 {
+	if !train {
+		// No writes to dp here: inference must stay concurrent-safe.
+		return x
+	}
+	if dp.P == 0 {
 		dp.mask = nil
 		return x
 	}
 	keep := 1 - dp.P
 	scale := 1 / keep
-	dp.mask = tensor.NewMatrix(x.Rows, x.Cols)
-	out := tensor.NewMatrix(x.Rows, x.Cols)
+	dp.mask = tensor.EnsureShape(dp.mask, x.Rows, x.Cols)
+	dp.fwdOut = tensor.EnsureShape(dp.fwdOut, x.Rows, x.Cols)
+	out := dp.fwdOut
 	for i, v := range x.Data {
 		if dp.rng.Float64() < keep {
 			dp.mask.Data[i] = scale
 			out.Data[i] = v * scale
+		} else {
+			dp.mask.Data[i] = 0
+			out.Data[i] = 0
 		}
 	}
 	return out
@@ -137,8 +171,12 @@ func (dp *Dropout) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if dp.mask == nil {
 		return grad
 	}
-	out := grad.Clone()
-	return out.MulElem(dp.mask)
+	dp.bwdDx = tensor.EnsureShape(dp.bwdDx, grad.Rows, grad.Cols)
+	out := dp.bwdDx
+	for i, v := range grad.Data {
+		out.Data[i] = v * dp.mask.Data[i]
+	}
+	return out
 }
 
 // Params implements Layer (dropout has none).

@@ -12,8 +12,11 @@ import (
 type Loss interface {
 	// Value returns the mean loss over the batch.
 	Value(pred, target *tensor.Matrix) float64
-	// Grad returns ∂(mean loss)/∂pred, same shape as pred.
-	Grad(pred, target *tensor.Matrix) *tensor.Matrix
+	// Grad computes ∂(mean loss)/∂pred into dst (allocating when dst is
+	// nil, mirroring tensor.MatMul) and returns it. dst lets the training
+	// loop reuse one gradient buffer across batches instead of allocating
+	// per step; it must not alias pred or target.
+	Grad(dst, pred, target *tensor.Matrix) *tensor.Matrix
 	// Name identifies the loss for logging.
 	Name() string
 }
@@ -23,6 +26,19 @@ func mustLossShapes(pred, target *tensor.Matrix, name string) {
 		panic(fmt.Sprintf("nn: %s shape mismatch %dx%d vs %dx%d",
 			name, pred.Rows, pred.Cols, target.Rows, target.Cols))
 	}
+}
+
+// gradDst resolves the dst argument of Loss.Grad: nil allocates, anything
+// else must already match pred's shape.
+func gradDst(dst, pred *tensor.Matrix, name string) *tensor.Matrix {
+	if dst == nil {
+		return tensor.NewMatrix(pred.Rows, pred.Cols)
+	}
+	if !dst.SameShape(pred) {
+		panic(fmt.Sprintf("nn: %s dst shape %dx%d, pred %dx%d",
+			name, dst.Rows, dst.Cols, pred.Rows, pred.Cols))
+	}
+	return dst
 }
 
 // BCEWithLogits fuses a sigmoid with binary cross-entropy (paper eq. 4) for
@@ -47,9 +63,9 @@ func (BCEWithLogits) Value(pred, target *tensor.Matrix) float64 {
 }
 
 // Grad implements Loss.
-func (BCEWithLogits) Grad(pred, target *tensor.Matrix) *tensor.Matrix {
+func (BCEWithLogits) Grad(dst, pred, target *tensor.Matrix) *tensor.Matrix {
 	mustLossShapes(pred, target, "BCEWithLogits")
-	out := tensor.NewMatrix(pred.Rows, pred.Cols)
+	out := gradDst(dst, pred, "BCEWithLogits")
 	inv := 1.0
 	if len(pred.Data) > 0 {
 		inv = 1 / float64(len(pred.Data))
@@ -82,9 +98,9 @@ func (MSE) Value(pred, target *tensor.Matrix) float64 {
 }
 
 // Grad implements Loss.
-func (MSE) Grad(pred, target *tensor.Matrix) *tensor.Matrix {
+func (MSE) Grad(dst, pred, target *tensor.Matrix) *tensor.Matrix {
 	mustLossShapes(pred, target, "MSE")
-	out := tensor.NewMatrix(pred.Rows, pred.Cols)
+	out := gradDst(dst, pred, "MSE")
 	inv := 1.0
 	if len(pred.Data) > 0 {
 		inv = 2 / float64(len(pred.Data))
@@ -127,13 +143,13 @@ func (h Huber) Value(pred, target *tensor.Matrix) float64 {
 }
 
 // Grad implements Loss.
-func (h Huber) Grad(pred, target *tensor.Matrix) *tensor.Matrix {
+func (h Huber) Grad(dst, pred, target *tensor.Matrix) *tensor.Matrix {
 	mustLossShapes(pred, target, "Huber")
 	d := h.Delta
 	if d <= 0 {
 		d = 1
 	}
-	out := tensor.NewMatrix(pred.Rows, pred.Cols)
+	out := gradDst(dst, pred, "Huber")
 	inv := 1.0
 	if len(pred.Data) > 0 {
 		inv = 1 / float64(len(pred.Data))

@@ -179,7 +179,7 @@ func TestMSEValueGrad(t *testing.T) {
 	if v := (MSE{}).Value(pred, target); math.Abs(v-5) > 1e-12 {
 		t.Fatalf("MSE got %g", v)
 	}
-	g := MSE{}.Grad(pred, target)
+	g := MSE{}.Grad(nil, pred, target)
 	if math.Abs(g.Data[0]-1) > 1e-12 || math.Abs(g.Data[1]-3) > 1e-12 {
 		t.Fatalf("MSE grad %v", g.Data)
 	}
@@ -194,7 +194,7 @@ func TestHuberBehaviour(t *testing.T) {
 	if v := h.Value(pred, target); math.Abs(v-want) > 1e-12 {
 		t.Fatalf("huber got %g want %g", v, want)
 	}
-	g := h.Grad(pred, target)
+	g := h.Grad(nil, pred, target)
 	if math.Abs(g.Data[0]-0.25) > 1e-12 || math.Abs(g.Data[1]-0.5) > 1e-12 {
 		t.Fatalf("huber grad %v", g.Data)
 	}

@@ -55,9 +55,9 @@ func (s SoftmaxCE) Value(pred, target *tensor.Matrix) float64 {
 }
 
 // Grad implements Loss: w·(softmax(z) − y)/n.
-func (s SoftmaxCE) Grad(pred, target *tensor.Matrix) *tensor.Matrix {
+func (s SoftmaxCE) Grad(dst, pred, target *tensor.Matrix) *tensor.Matrix {
 	mustLossShapes(pred, target, "SoftmaxCE")
-	out := tensor.NewMatrix(pred.Rows, pred.Cols)
+	out := gradDst(dst, pred, "SoftmaxCE")
 	if pred.Rows == 0 {
 		return out
 	}

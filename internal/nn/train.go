@@ -65,8 +65,17 @@ func (n *Network) Fit(x, y *tensor.Matrix, loss Loss, cfg TrainConfig) []float64
 	params := n.Params()
 	grads := n.Grads()
 
+	// Persistent batch buffers. The tail batch (when x.Rows is not a
+	// multiple of BatchSize) reuses the same backing arrays through
+	// shorter views, so an epoch's gather loop allocates nothing.
 	bx := tensor.NewMatrix(cfg.BatchSize, x.Cols)
 	by := tensor.NewMatrix(cfg.BatchSize, y.Cols)
+	var tx, ty *tensor.Matrix
+	if tail := x.Rows % cfg.BatchSize; tail != 0 {
+		tx = tensor.FromSlice(tail, x.Cols, bx.Data[:tail*x.Cols])
+		ty = tensor.FromSlice(tail, y.Cols, by.Data[:tail*y.Cols])
+	}
+	var gradBuf *tensor.Matrix
 
 	history := make([]float64, 0, cfg.Epochs)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
@@ -81,11 +90,11 @@ func (n *Network) Fit(x, y *tensor.Matrix, loss Loss, cfg TrainConfig) []float64
 				end = len(idx)
 			}
 			nb := end - start
-			// Gather the batch. Reuse buffers; reslice for the tail batch.
+			// Gather the batch. Reuse buffers; the tail batch uses the
+			// preallocated shorter views of the same backing arrays.
 			xb, yb := bx, by
 			if nb != cfg.BatchSize {
-				xb = tensor.NewMatrix(nb, x.Cols)
-				yb = tensor.NewMatrix(nb, y.Cols)
+				xb, yb = tx, ty
 			}
 			for bi, si := range idx[start:end] {
 				copy(xb.Row(bi), x.Row(si))
@@ -95,8 +104,8 @@ func (n *Network) Fit(x, y *tensor.Matrix, loss Loss, cfg TrainConfig) []float64
 			pred := n.Forward(xb, true)
 			epochLoss += loss.Value(pred, yb)
 			batches++
-			g := loss.Grad(pred, yb)
-			n.Backward(g)
+			gradBuf = tensor.EnsureShape(gradBuf, pred.Rows, pred.Cols)
+			n.Backward(loss.Grad(gradBuf, pred, yb))
 			if cfg.ClipNorm > 0 {
 				ClipGradNorm(grads, cfg.ClipNorm)
 			}
@@ -118,7 +127,7 @@ func (n *Network) Fit(x, y *tensor.Matrix, loss Loss, cfg TrainConfig) []float64
 func (n *Network) FitOnline(xb, yb *tensor.Matrix, loss Loss, opt Optimizer, clipNorm float64) float64 {
 	pred := n.Forward(xb, true)
 	l := loss.Value(pred, yb)
-	n.Backward(loss.Grad(pred, yb))
+	n.Backward(loss.Grad(nil, pred, yb))
 	grads := n.Grads()
 	if clipNorm > 0 {
 		ClipGradNorm(grads, clipNorm)

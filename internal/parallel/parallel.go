@@ -1,0 +1,134 @@
+// Package parallel is the repository's shared work-scheduling layer: a
+// bounded fan-out over a fixed worker count with deterministic per-task
+// seeding. Every concurrent component — the tensor matmul kernels, random
+// forest training, and the experiment grid runners in internal/core — sizes
+// and shapes its concurrency through this package so that the whole process
+// respects one notion of "how parallel should we be".
+//
+// Determinism contract: ForEach/ForEachChunk/Map guarantee that task i is
+// invoked with the same arguments for any worker count, and Map returns
+// results in task order. As long as each task is a pure function of its
+// index (use Seeds for per-task randomness), results are bit-identical
+// whether the grid runs on 1 worker or 64. Nothing here makes *shared
+// mutable state* safe — tasks must write to disjoint locations.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0) (the Go scheduler's view of available cores),
+// anything else is returned as-is. Callers pass a user-facing -workers
+// flag straight through.
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 selects Workers(0)). Tasks are handed out dynamically via an
+// atomic counter, so long tasks do not strand short ones behind them. The
+// call returns once every task has finished. With workers == 1 or n <= 1 it
+// degenerates to an inline loop with no goroutines at all.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachChunk splits [0, n) into one contiguous [lo, hi) chunk per worker
+// and runs fn on each chunk concurrently. This is the row-partitioning
+// primitive behind the tensor kernels: static chunks keep each worker's
+// writes contiguous (good cache behaviour) and make the partition — and
+// therefore the floating-point accumulation order within each output row —
+// independent of scheduling.
+func ForEachChunk(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines and
+// returns the results in task order, regardless of completion order.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// Seeds derives n per-task seeds from base using the splitmix64 finaliser.
+// The i-th seed depends only on (base, i), never on worker count or
+// execution order, so seeded tasks stay deterministic under any degree of
+// parallelism. splitmix64 decorrelates consecutive indices far better than
+// base+i would: adjacent rand.NewSource seeds share most of their state.
+func Seeds(base int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(splitmix64(uint64(base) + uint64(i)*0x9E3779B97F4A7C15))
+	}
+	return out
+}
+
+// splitmix64 is the 64-bit finaliser from Steele et al., "Fast Splittable
+// Pseudorandom Number Generators" (OOPSLA 2014).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

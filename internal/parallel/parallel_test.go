@@ -1,0 +1,131 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Fatalf("Workers(4) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+}
+
+// TestForEachCoversEveryIndexOnce exercises the dynamic hand-out under
+// -race: every index must run exactly once for worker counts spanning the
+// inline path, fewer-workers-than-tasks, and more-workers-than-tasks.
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		const n = 257
+		counts := make([]int32, n)
+		ForEach(workers, n, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ran := false
+	ForEach(4, 0, func(int) { ran = true })
+	ForEach(4, -1, func(int) { ran = true })
+	if ran {
+		t.Fatal("ForEach ran tasks for n <= 0")
+	}
+}
+
+// TestForEachChunkPartition verifies the chunks tile [0, n) exactly, with
+// no overlap and no gap, for several worker counts.
+func TestForEachChunkPartition(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 16} {
+		const n = 103
+		covered := make([]int32, n)
+		ForEachChunk(workers, n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad chunk [%d,%d)", lo, hi)
+				return
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&covered[i], 1)
+			}
+		})
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestMapOrder checks results land at their task index regardless of the
+// completion order the scheduler produces.
+func TestMapOrder(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		got := Map(workers, 50, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: Map[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestSeedsDeterministic: the seed stream is a pure function of (base, n)
+// and adjacent seeds are decorrelated.
+func TestSeedsDeterministic(t *testing.T) {
+	a := Seeds(42, 16)
+	b := Seeds(42, 16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Seeds not reproducible")
+		}
+	}
+	// A longer run must be a prefix-extension of a shorter one.
+	c := Seeds(42, 8)
+	for i := range c {
+		if c[i] != a[i] {
+			t.Fatal("Seeds depend on n")
+		}
+	}
+	seen := map[int64]bool{}
+	for _, s := range a {
+		if seen[s] {
+			t.Fatal("duplicate seed")
+		}
+		seen[s] = true
+	}
+	if Seeds(42, 1)[0] == Seeds(43, 1)[0] {
+		t.Fatal("different bases must diverge")
+	}
+}
+
+// TestForEachParallelismIsBounded asserts no more than `workers` tasks run
+// simultaneously.
+func TestForEachParallelismIsBounded(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	ForEach(workers, 64, func(int) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent tasks, bound is %d", p, workers)
+	}
+}

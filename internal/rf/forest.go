@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -93,51 +92,42 @@ func fit(x *tensor.Matrix, y []float64, cfg ForestConfig, regression bool) *Fore
 		seeds[i] = master.Int63()
 	}
 
-	// OOB accumulation: per-sample prediction sum and count.
+	// Tree training fans out on the shared pool; each task touches only its
+	// own slot, so no locking is needed. The out-of-bag masks are kept so
+	// the OOB pass below can run in a fixed order.
+	inBags := make([][]bool, cfg.NumTrees)
+	parallel.ForEach(0, cfg.NumTrees, func(ti int) {
+		rng := rand.New(rand.NewSource(seeds[ti]))
+		idx := make([]int, nBoot)
+		inBag := make([]bool, x.Rows)
+		for j := range idx {
+			k := rng.Intn(x.Rows)
+			idx[j] = k
+			inBag[k] = true
+		}
+		f.Trees[ti] = BuildTree(x, y, idx, TreeConfig{
+			MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf, MTry: mtry,
+		}, regression, rng)
+		inBags[ti] = inBag
+	})
+
+	// OOB accumulation, parallel over samples rather than trees: each sample
+	// sums its out-of-bag trees in ascending tree index, so the floating-
+	// point result is bit-identical for any worker count (summing in tree-
+	// completion order, as the previous mutex-guarded version did, is not).
 	oobSum := make([]float64, x.Rows)
 	oobCnt := make([]int, x.Rows)
-	var oobMu sync.Mutex
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > cfg.NumTrees {
-		workers = cfg.NumTrees
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ti := range next {
-				rng := rand.New(rand.NewSource(seeds[ti]))
-				idx := make([]int, nBoot)
-				inBag := make([]bool, x.Rows)
-				for j := range idx {
-					k := rng.Intn(x.Rows)
-					idx[j] = k
-					inBag[k] = true
+	parallel.ForEachChunk(0, x.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := x.Row(i)
+			for ti, tree := range f.Trees {
+				if !inBags[ti][i] {
+					oobSum[i] += tree.PredictValue(row)
+					oobCnt[i]++
 				}
-				tree := BuildTree(x, y, idx, TreeConfig{
-					MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf, MTry: mtry,
-				}, regression, rng)
-				f.Trees[ti] = tree
-				// Out-of-bag predictions for this tree.
-				oobMu.Lock()
-				for i := 0; i < x.Rows; i++ {
-					if !inBag[i] {
-						oobSum[i] += tree.PredictValue(x.Row(i))
-						oobCnt[i]++
-					}
-				}
-				oobMu.Unlock()
 			}
-		}()
-	}
-	for ti := 0; ti < cfg.NumTrees; ti++ {
-		next <- ti
-	}
-	close(next)
-	wg.Wait()
+		}
+	})
 
 	// OOB score: accuracy for classification, R² for regression.
 	f.computeOOB(y, oobSum, oobCnt)
@@ -266,26 +256,11 @@ func (f *Forest) NumNodes() int {
 func (f *Forest) SizeBytes() int { return f.NumNodes() * 28 }
 
 func parallelRows(n int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if n < 256 || workers <= 1 {
+	// Tree traversal is ~1µs per row; below a few hundred rows the spawn
+	// cost of the pool outweighs the win.
+	if n < 256 {
 		fn(0, n)
 		return
 	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	parallel.ForEachChunk(0, n, fn)
 }

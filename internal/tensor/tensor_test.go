@@ -3,6 +3,7 @@ package tensor
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -158,6 +159,57 @@ func TestMatMulABT(t *testing.T) {
 	got := MatMulABT(nil, a, b)
 	want := MatMul(nil, a, b.T())
 	matricesEqual(t, got, want, 1e-10)
+}
+
+// TestMatMulATBParallelMatchesReference forces the parallel path (work ≥
+// matmulParallelThreshold) and checks against the transpose reference.
+func TestMatMulATBParallelMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := NewMatrix(300, 64).RandomizeNormal(rng, 1) // 300·64·40 ≈ 2^19.5
+	b := NewMatrix(300, 40).RandomizeNormal(rng, 1)
+	got := MatMulATB(nil, a, b)
+	want := MatMul(nil, a.T(), b)
+	matricesEqual(t, got, want, 1e-9)
+}
+
+// TestMatMulABTParallelMatchesReference does the same for a×bᵀ.
+func TestMatMulABTParallelMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := NewMatrix(120, 64).RandomizeNormal(rng, 1)
+	b := NewMatrix(90, 64).RandomizeNormal(rng, 1)
+	got := MatMulABT(nil, a, b)
+	want := MatMul(nil, a, b.T())
+	matricesEqual(t, got, want, 1e-9)
+}
+
+// TestMatMulKernelsDeterministicUnderGOMAXPROCS pins the determinism
+// contract the parallel experiment engine relies on: the kernels partition
+// output rows, never the accumulation order, so single-threaded and
+// multi-threaded runs agree bit for bit.
+func TestMatMulKernelsDeterministicUnderGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := NewMatrix(257, 96).RandomizeNormal(rng, 1)
+	b := NewMatrix(96, 130).RandomizeNormal(rng, 1)
+	c := NewMatrix(257, 130).RandomizeNormal(rng, 1)
+	d := NewMatrix(130, 96).RandomizeNormal(rng, 1)
+
+	prev := runtime.GOMAXPROCS(1)
+	ab1 := MatMul(nil, a, b)
+	atb1 := MatMulATB(nil, a, c)
+	abt1 := MatMulABT(nil, a, d)
+	runtime.GOMAXPROCS(8)
+	abN := MatMul(nil, a, b)
+	atbN := MatMulATB(nil, a, c)
+	abtN := MatMulABT(nil, a, d)
+	runtime.GOMAXPROCS(prev)
+
+	for _, pair := range [][2]*Matrix{{ab1, abN}, {atb1, atbN}, {abt1, abtN}} {
+		for i, v := range pair[0].Data {
+			if v != pair[1].Data[i] {
+				t.Fatalf("element %d differs across GOMAXPROCS: %g vs %g", i, v, pair[1].Data[i])
+			}
+		}
+	}
 }
 
 func TestMatMulShapePanics(t *testing.T) {

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# bench.sh — run the headline benchmarks and record the numbers as JSON.
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# Writes BENCH_<date>.json in the repo root by default. The four benchmarks
+# cover the experiment grid end-to-end (Table4Full), the training hot path
+# (TrainEpochMLP), the matmul kernel underneath everything (MatMul), and
+# batch inference (InferenceMLPBatch256).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_$(date +%F).json}"
+benches='BenchmarkTable4Full|BenchmarkTrainEpochMLP|BenchmarkMatMul$|BenchmarkInferenceMLPBatch256'
+
+raw="$(go test -bench="$benches" -benchtime=3x -benchmem -run '^$' . 2>&1)"
+echo "$raw"
+
+# Convert `go test -bench` lines into a JSON document, keeping the
+# environment facts needed to interpret the numbers (core count matters:
+# the parallel engine cannot speed anything up at GOMAXPROCS=1).
+{
+  printf '{\n'
+  printf '  "date": "%s",\n' "$(date -u +%FT%TZ)"
+  printf '  "go": "%s",\n' "$(go env GOVERSION)"
+  printf '  "goos": "%s",\n' "$(go env GOOS)"
+  printf '  "goarch": "%s",\n' "$(go env GOARCH)"
+  printf '  "num_cpu": %s,\n' "$(getconf _NPROCESSORS_ONLN)"
+  cpu_model="$(grep -m1 'model name' /proc/cpuinfo 2>/dev/null | cut -d: -f2- | sed 's/^ *//' || true)"
+  printf '  "cpu": "%s",\n' "${cpu_model:-unknown}"
+  printf '  "benchmarks": [\n'
+  echo "$raw" | awk '
+    /^Benchmark/ {
+      name=$1; sub(/-[0-9]+$/, "", name)
+      ns=""; bytes=""; allocs=""
+      for (i=2; i<=NF; i++) {
+        if ($(i)=="ns/op")     ns=$(i-1)
+        if ($(i)=="B/op")      bytes=$(i-1)
+        if ($(i)=="allocs/op") allocs=$(i-1)
+      }
+      if (n++) printf ",\n"
+      printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns
+      if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+      if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+      printf "}"
+    }
+    END { printf "\n" }
+  '
+  printf '  ]\n'
+  printf '}\n'
+} > "$out"
+
+echo "benchmark results written to $out"
