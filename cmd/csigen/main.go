@@ -33,6 +33,18 @@ func main() {
 		quiet = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
+	if *rate <= 0 {
+		fmt.Fprintf(os.Stderr, "csigen: -rate must be positive (got %g)\n", *rate)
+		os.Exit(1)
+	}
+	if *hours <= 0 {
+		fmt.Fprintf(os.Stderr, "csigen: -hours must be positive (got %g)\n", *hours)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "csigen: -out must not be empty")
+		os.Exit(1)
+	}
 
 	cfg := dataset.DefaultGenConfig(*rate, *seed)
 	cfg.Duration = time.Duration(*hours * float64(time.Hour))

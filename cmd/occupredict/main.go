@@ -2,79 +2,173 @@
 // stream at the paper's 20 Hz, printing occupancy decisions as they change —
 // the real-time deployment mode §IV-B argues the lightweight MLP enables.
 //
+// The stream passes through the fault-injection channel (internal/fault) and
+// the degradation-aware runtime (internal/stream): at -fault 0 the channel is
+// the identity; at -fault 1 it models ~20% bursty frame loss, AGC resteps,
+// subcarrier nulls and env-sensor outages, and the runtime imputes short gaps
+// and falls back from the C+E detector to the CSI-only model when the env
+// feed dies. Ctrl-C shuts down gracefully: stats are flushed and the exit
+// code is 0.
+//
 // Usage:
 //
-//	occupredict -model detector.bin [-minutes m] [-rate hz] [-seed n]
+//	occupredict [-model detector.bin] [-minutes m] [-rate hz] [-seed n]
+//	            [-fault intensity] [-smooth k]
 //
-// Without -model, a detector is trained on the fly first.
+// Without -model, a detector is trained on the fly first (plus a CSI-only
+// fallback so the degradation path is live).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/stream"
 )
 
 func main() {
 	var (
-		model   = flag.String("model", "", "detector bundle (empty: train one on the fly)")
-		minutes = flag.Float64("minutes", 10, "simulated stream duration")
-		rate    = flag.Float64("rate", 20, "stream rate in Hz (paper: 20)")
-		seed    = flag.Int64("seed", 42, "stream random seed")
+		model     = flag.String("model", "", "detector bundle (empty: train one on the fly)")
+		minutes   = flag.Float64("minutes", 10, "simulated stream duration")
+		rate      = flag.Float64("rate", 20, "stream rate in Hz (paper: 20)")
+		seed      = flag.Int64("seed", 42, "stream random seed")
+		intensity = flag.Float64("fault", 0, "fault-channel intensity (0 = clean, 1 = ~20% bursty loss + env outages)")
+		smooth    = flag.Int("smooth", 0, "state flips only after k consecutive contrary samples (0 = raw)")
 	)
 	flag.Parse()
+	fail(validateFlags(*rate, *minutes, *intensity, *smooth, *model))
 
-	var det *core.Detector
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var primary, fallback *core.Detector
 	var err error
 	if *model != "" {
-		det, err = core.LoadDetectorFile(*model)
+		primary, err = core.LoadDetectorFile(*model)
 		fail(err)
-		fmt.Printf("occupredict: loaded %v (%v features)\n", det.Net, det.Features)
+		fmt.Printf("occupredict: loaded %v (%v features)\n", primary.Net, primary.Features)
 	} else {
-		fmt.Println("occupredict: no -model; training a quick detector on a synthetic day")
+		fmt.Println("occupredict: no -model; training C+E and CSI-only detectors on a synthetic day")
 		cfg := dataset.DefaultGenConfig(0.5, 7)
 		cfg.Duration = 24 * time.Hour
 		d, err := dataset.Generate(cfg)
 		fail(err)
 		dcfg := core.DefaultDetectorConfig()
 		dcfg.Train.Epochs = 5
-		det, err = core.TrainDetector(d, dcfg)
+		primary, err = core.TrainDetector(d, dcfg)
+		fail(err)
+		dcfg.Features = dataset.FeatCSI
+		fallback, err = core.TrainDetector(d, dcfg)
 		fail(err)
 	}
 
+	rt, err := stream.New(stream.Config{
+		Primary:        primary,
+		Fallback:       fallback,
+		PrimaryUsesEnv: primary.Features != dataset.FeatCSI,
+		SmootherNeed:   *smooth,
+		Seed:           *seed,
+	})
+	fail(err)
+
 	// Stream a fresh scenario (different seed ⇒ unseen trace) during a
-	// workday morning so both transitions occur.
+	// workday morning so both transitions occur. The producer feeds the
+	// bounded queue through the fault channel; the runtime consumes it.
 	scfg := dataset.DefaultGenConfig(*rate, *seed)
 	scfg.Start = dataset.PaperStart.Add(41 * time.Hour) // Jan 6, 08:08
 	scfg.Duration = time.Duration(*minutes * float64(time.Minute))
 
+	inj := fault.NewInjector(fault.DefaultProfile(*seed + 1).Scale(*intensity))
+	frames := make(chan fault.Frame, 64)
+	prodErr := make(chan error, 1)
+	go func() {
+		defer close(frames)
+		prodErr <- dataset.StreamCtx(ctx, scfg, func(r dataset.Record) error {
+			select {
+			case frames <- inj.Apply(r):
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+	}()
+
 	var cm struct{ correct, total int }
 	last := -1
-	err = dataset.Stream(scfg, func(r dataset.Record) error {
-		p, pred := det.PredictRecord(&r)
-		truth := r.Label()
+	lastMode := stream.ModePrimary
+	err = rt.Run(ctx, frames, func(f fault.Frame, d stream.Decision) error {
+		truth := f.Truth.Label()
 		cm.total++
-		if pred == truth {
+		if d.State == truth {
 			cm.correct++
 		}
-		if pred != last {
+		if d.Mode != lastMode {
+			fmt.Printf("%s  ** runtime mode: %v → %v\n",
+				f.Rec.Time.Format("15:04:05.000"), lastMode, d.Mode)
+			lastMode = d.Mode
+		}
+		if d.State != last {
 			status := "EMPTY"
-			if pred == 1 {
+			if d.State == 1 {
 				status = "OCCUPIED"
 			}
 			fmt.Printf("%s  →  %-8s (p=%.3f, truth=%d, %d people)\n",
-				r.Time.Format("15:04:05.000"), status, p, truth, r.Count)
-			last = pred
+				f.Rec.Time.Format("15:04:05.000"), status, d.P, truth, f.Truth.Count)
+			last = d.State
 		}
 		return nil
 	})
-	fail(err)
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
+		fail(err)
+	}
+	if perr := <-prodErr; perr != nil && !errors.Is(perr, context.Canceled) {
+		fail(perr)
+	}
+
+	if interrupted {
+		fmt.Println("\noccupredict: interrupted — flushing stats")
+	}
+	ist, rst := inj.Stats(), rt.Stats()
 	fmt.Printf("occupredict: %d samples, streaming accuracy %.2f%%\n",
 		cm.total, 100*float64(cm.correct)/float64(maxi(cm.total, 1)))
+	if *intensity > 0 {
+		fmt.Printf("occupredict: faults: %.1f%% frames dropped, %d env gaps, %d null bursts, %d AGC jumps\n",
+			100*ist.DropRate(), ist.EnvMissing, ist.NullBursts, ist.AGCJumps)
+		fmt.Printf("occupredict: runtime: %d primary / %d fallback / %d held, %d CSI imputed, %d degradations, %d recoveries\n",
+			rst.PrimaryFrames, rst.FallbackFrames, rst.HeldFrames, rst.CSIImputed, rst.Degradations, rst.Recoveries)
+	}
+}
+
+// validateFlags rejects nonsensical flag values before any heavy work runs.
+func validateFlags(rate, minutes, intensity float64, smooth int, model string) error {
+	if rate <= 0 {
+		return fmt.Errorf("-rate must be positive (got %g)", rate)
+	}
+	if minutes <= 0 {
+		return fmt.Errorf("-minutes must be positive (got %g)", minutes)
+	}
+	if intensity < 0 {
+		return fmt.Errorf("-fault must be non-negative (got %g)", intensity)
+	}
+	if smooth < 0 {
+		return fmt.Errorf("-smooth must be non-negative (got %d)", smooth)
+	}
+	if model != "" {
+		if _, err := os.Stat(model); err != nil {
+			return fmt.Errorf("-model: %w", err)
+		}
+	}
+	return nil
 }
 
 func maxi(a, b int) int {

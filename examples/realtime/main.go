@@ -2,41 +2,44 @@
 // occupancy transitions with hysteresis smoothing, plus continuous online
 // fine-tuning — the deployment mode §V-B argues for ("an MLP model can be
 // trained continuously ... online training").
+//
+// The stream runs through the fault channel and the degradation-aware
+// runtime (internal/stream), so the demo survives bursty frame loss with
+// hold-last-value imputation. Ctrl-C exits gracefully: the online-tuned
+// network is checkpointed (resumable with nn.LoadCheckpoint), stats are
+// flushed and the exit code is 0.
 package main
 
 import (
+	"context"
+	"errors"
+	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/fault"
 	"repro/internal/nn"
+	"repro/internal/stream"
 	"repro/internal/tensor"
 )
 
-// smoother debounces per-sample decisions: a state flips only after `need`
-// consecutive contrary samples (20 Hz per-sample flicker is not a door
-// event).
-type smoother struct {
-	state, run, need int
-}
-
-func (s *smoother) push(pred int) (int, bool) {
-	if pred == s.state {
-		s.run = 0
-		return s.state, false
-	}
-	s.run++
-	if s.run >= s.need {
-		s.state = pred
-		s.run = 0
-		return s.state, true
-	}
-	return s.state, false
-}
-
 func main() {
+	ckptPath := flag.String("ckpt", "realtime.ckpt", "checkpoint path for the online-tuned network (empty: don't save)")
+	intensity := flag.Float64("fault", 0.5, "fault-channel intensity (0 = clean)")
+	flag.Parse()
+	if *intensity < 0 {
+		log.Fatalf("-fault must be non-negative (got %g)", *intensity)
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	// Train on one synthetic day.
 	gcfg := dataset.DefaultGenConfig(0.5, 3)
 	gcfg.Duration = 24 * time.Hour
@@ -53,55 +56,107 @@ func main() {
 	}
 	fmt.Printf("detector: %v\n", det.Net)
 
+	// The runtime debounces decisions (1 s of agreement at 20 Hz before a
+	// flip) and bridges short fault gaps by holding the last CSI vector.
+	rt, err := stream.New(stream.Config{
+		Primary:      det,
+		SmootherNeed: 20,
+		MaxHoldGap:   8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Stream a different seed (an unseen day) at the paper's 20 Hz around
-	// the morning arrival window.
+	// the morning arrival window, through the fault channel.
 	scfg := dataset.DefaultGenConfig(20, 99)
 	scfg.Start = dataset.PaperStart.Add(17*time.Hour + 30*time.Minute) // Jan 5, 08:38
 	scfg.Duration = 20 * time.Minute
 
-	sm := &smoother{state: 0, need: 20} // 1 s of agreement at 20 Hz
+	inj := fault.NewInjector(fault.DefaultProfile(99).Scale(*intensity))
+	frames := make(chan fault.Frame, 64)
+	prodErr := make(chan error, 1)
+	go func() {
+		defer close(frames)
+		prodErr <- dataset.StreamCtx(ctx, scfg, func(r dataset.Record) error {
+			select {
+			case frames <- inj.Apply(r):
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+	}()
+
 	opt := nn.NewAdamW(1e-4, 0)
 	var onlineBatchX []float64
 	var onlineBatchY []float64
 	var n, correct, flips int
 
-	err = dataset.Stream(scfg, func(r dataset.Record) error {
-		_, raw := det.PredictRecord(&r)
-		state, flipped := sm.push(raw)
-		if flipped {
+	err = rt.Run(ctx, frames, func(f fault.Frame, d stream.Decision) error {
+		if d.Flipped {
 			flips++
 			label := "EMPTY"
-			if state == 1 {
+			if d.State == 1 {
 				label = "OCCUPIED"
 			}
 			fmt.Printf("%s  room is now %s (%d people actually present)\n",
-				r.Time.Format("15:04:05.00"), label, r.Count)
+				f.Rec.Time.Format("15:04:05.00"), label, f.Truth.Count)
 		}
 		n++
-		if state == r.Label() {
+		if d.State == f.Truth.Label() {
 			correct++
 		}
 
-		// Online fine-tuning: every 256 samples, one incremental step on
-		// the freshly observed (self-labelled by ground truth here;
-		// a deployment would use sporadic annotations).
-		row := dataset.FeatureRow(&r, det.Features)
+		// Online fine-tuning: every 256 delivered samples, one incremental
+		// step on the freshly observed data (self-labelled by ground truth
+		// here; a deployment would use sporadic annotations). Dropped frames
+		// carry no CSI and are skipped.
+		if f.Dropped {
+			return nil
+		}
+		row := dataset.FeatureRow(&f.Rec, det.Features)
 		det.Scaler.TransformRow(row)
 		onlineBatchX = append(onlineBatchX, row...)
-		onlineBatchY = append(onlineBatchY, float64(r.Label()))
+		onlineBatchY = append(onlineBatchY, float64(f.Truth.Label()))
 		if len(onlineBatchY) == 256 {
 			xb := tensor.FromSlice(256, det.Features.Dim(), onlineBatchX)
 			yb := tensor.FromSlice(256, 1, onlineBatchY)
-			loss := det.Net.FitOnline(xb, yb, nn.BCEWithLogits{}, opt, 5)
-			_ = loss
+			det.Net.FitOnline(xb, yb, nn.BCEWithLogits{}, opt, 5)
 			onlineBatchX = nil
 			onlineBatchY = nil
 		}
 		return nil
 	})
-	if err != nil {
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		log.Fatal(err)
 	}
+	if perr := <-prodErr; perr != nil && !errors.Is(perr, context.Canceled) {
+		log.Fatal(perr)
+	}
+	if interrupted {
+		fmt.Println("\ninterrupted — saving checkpoint and flushing stats")
+	}
+	if *ckptPath != "" {
+		if err := nn.SaveCheckpoint(*ckptPath, det.Net, opt, 0); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("online-tuned network checkpointed to %s\n", *ckptPath)
+	}
+
+	ist, rst := inj.Stats(), rt.Stats()
 	fmt.Printf("\nstreamed %d samples at 20 Hz: smoothed accuracy %.2f%%, %d state transitions\n",
-		n, 100*float64(correct)/float64(n), flips)
+		n, 100*float64(correct)/float64(maxi(n, 1)), flips)
+	if *intensity > 0 {
+		fmt.Printf("faults survived: %.1f%% frames dropped, %d CSI gaps bridged, %d decisions held\n",
+			100*ist.DropRate(), rst.CSIImputed, rst.HeldFrames)
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

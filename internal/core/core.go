@@ -242,6 +242,9 @@ func LoadDetector(r io.Reader) (*Detector, error) {
 			return nil, fmt.Errorf("core: corrupt scaler std at %d", i)
 		}
 	}
+	if !dataset.FeatureSet(feat).Valid() {
+		return nil, fmt.Errorf("core: bundle has unknown feature set %d", feat)
+	}
 	net, err := nn.Load(br)
 	if err != nil {
 		return nil, err

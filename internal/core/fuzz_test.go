@@ -1,0 +1,71 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/linmodel"
+	"repro/internal/nn"
+)
+
+func fuzzSeedBundle(t testing.TB) []byte {
+	det := &Detector{
+		Net:      nn.NewMLP(dataset.FeatEnv.Dim(), []int{4}, 1, rand.New(rand.NewSource(6))),
+		Scaler:   &linmodel.Scaler{Mean: []float64{0, 0}, Std: []float64{1, 1}},
+		Features: dataset.FeatEnv,
+	}
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadDetectorRejectsTruncation: every strict prefix of a valid bundle
+// must fail with an error, never a panic.
+func TestLoadDetectorRejectsTruncation(t *testing.T) {
+	raw := fuzzSeedBundle(t)
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := LoadDetector(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", cut, len(raw))
+		}
+	}
+}
+
+// TestLoadDetectorNeverPanicsOnBitFlips: corruption anywhere in the bundle —
+// scaler, feature tag or embedded network — must never panic.
+func TestLoadDetectorNeverPanicsOnBitFlips(t *testing.T) {
+	raw := fuzzSeedBundle(t)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		mut := append([]byte(nil), raw...)
+		mut[rng.Intn(len(mut))] ^= 1 << rng.Intn(8)
+		_, _ = LoadDetector(bytes.NewReader(mut))
+	}
+}
+
+// FuzzLoadDetector drives the bundle loader with arbitrary bytes: reject
+// freely, never panic; accepted bundles must be internally consistent and
+// re-save.
+func FuzzLoadDetector(f *testing.F) {
+	raw := fuzzSeedBundle(f)
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		det, err := LoadDetector(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if det.Features.Dim() != det.Net.InputDim() || len(det.Scaler.Mean) != det.Net.InputDim() {
+			t.Fatalf("accepted bundle is inconsistent: feat=%v scaler=%d net=%d",
+				det.Features, len(det.Scaler.Mean), det.Net.InputDim())
+		}
+		var buf bytes.Buffer
+		if err := det.Save(&buf); err != nil {
+			t.Fatalf("loaded bundle failed to re-save: %v", err)
+		}
+	})
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/linmodel"
+	"repro/internal/nn"
+	"repro/internal/parallel"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/tensor"
+)
+
+// RobustnessConfig controls the fault-intensity sweep.
+type RobustnessConfig struct {
+	// Intensities are the fault-channel scale factors swept (0 = clean).
+	// Empty selects the default grid.
+	Intensities []float64
+	// Profile is the base fault profile at intensity 1. A zero value
+	// selects fault.DefaultProfile.
+	Profile fault.Config
+	// FullEnvOutage additionally kills the env feed for the entire stream
+	// at every non-zero intensity — the "sensor unplugged" scenario that
+	// must drive the runtime into its CSI-only fallback.
+	FullEnvOutage bool
+	// WatchdogFrames / RecoverFrames / MaxHoldGap tune the runtime (zero:
+	// stream defaults).
+	WatchdogFrames int
+	RecoverFrames  int
+	MaxHoldGap     int
+	// SmootherNeed enables hysteresis smoothing of scored decisions. Keep
+	// zero to score raw per-sample predictions (required for the clean
+	// run to reproduce Table IV bit-identically).
+	SmootherNeed int
+}
+
+// DefaultRobustnessConfig sweeps from clean to heavily degraded.
+func DefaultRobustnessConfig() RobustnessConfig {
+	return RobustnessConfig{
+		Intensities: []float64{0, 0.25, 0.5, 1, 2},
+	}
+}
+
+// RobustnessPoint is one intensity level of the sweep.
+type RobustnessPoint struct {
+	Intensity float64
+	// CSIOnly[fold] is the accuracy (%) of the CSI-only MLP run through
+	// the fault channel and runtime. At intensity 0 it equals the Table IV
+	// MLP/CSI column bit-for-bit.
+	CSIOnly []float64
+	// Pipeline[fold] is the accuracy (%) of the full degradation pipeline:
+	// C+E primary detector with CSI-only fallback.
+	Pipeline []float64
+	// CSIAvg / PipeAvg are the per-intensity fold averages.
+	CSIAvg, PipeAvg float64
+	// DropRate is the measured frame-loss fraction across all folds.
+	DropRate float64
+	// FallbackFrac is the fraction of pipeline frames served by the
+	// fallback detector.
+	FallbackFrac float64
+	// ImputedFrac / HeldFrac are the fractions of frames with bridged CSI
+	// and held decisions.
+	ImputedFrac, HeldFrac float64
+	// Degradations / Recoveries aggregate the pipeline's mode transitions.
+	Degradations, Recoveries int
+	// MaxFirstFallbackFrame is the latest (across folds) frame index at
+	// which the pipeline first fell back (-1 if it never did). Under a
+	// full env outage this must stay within one watchdog interval.
+	MaxFirstFallbackFrame int
+	// TraceHash digests every fold's fault trace at this intensity; equal
+	// hashes mean identical fault sequences (the determinism contract).
+	TraceHash uint64
+}
+
+// RobustnessResult is the accuracy-vs-fault-rate curve of the sweep.
+type RobustnessResult struct {
+	Points []RobustnessPoint
+}
+
+// robustCell is one (intensity, fold) evaluation.
+type robustCell struct {
+	csiAcc, pipeAcc float64
+	frames          int
+	dropped         int
+	fallback        int
+	imputed         int
+	held            int
+	degradations    int
+	recoveries      int
+	firstFallback   int
+	traceHash       uint64
+}
+
+// RunRobustness sweeps fault intensity over the test folds, evaluating two
+// detector stacks through the fault channel and streaming runtime:
+//
+//   - the CSI-only MLP (the deployment's last line of defence), and
+//   - the full pipeline — C+E primary with CSI-only fallback behind the
+//     env-feed watchdog.
+//
+// Both MLPs are trained exactly as their RunTable4 cells are, so the clean
+// (intensity 0) sweep reproduces the Table IV MLP accuracies bit-
+// identically. The (intensity × fold) grid fans out over cfg.Workers
+// goroutines; every cell derives its injector seed from its index alone,
+// so results and fault traces are bit-identical for any worker count.
+func RunRobustness(split *dataset.Split, cfg ExperimentConfig, rcfg RobustnessConfig) (*RobustnessResult, error) {
+	if len(split.Folds) == 0 {
+		return nil, fmt.Errorf("core: split has no test folds")
+	}
+	if len(rcfg.Intensities) == 0 {
+		rcfg.Intensities = DefaultRobustnessConfig().Intensities
+	}
+	if !rcfg.Profile.Active() {
+		rcfg.Profile = fault.DefaultProfile(0)
+	}
+	if len(cfg.Hidden) == 0 {
+		cfg.Hidden = append([]int(nil), PaperHidden...)
+	}
+	train := thin(split.Train, cfg.MaxTrainSamples)
+	workers := parallel.Workers(cfg.Workers)
+
+	// Train the two MLP cells with the exact RunTable4 recipe (same seed
+	// derivation, same scaler fit, same init) so intensity 0 reproduces
+	// the corresponding Table IV cells bit-identically.
+	feats := []dataset.FeatureSet{dataset.FeatCSI, dataset.FeatCSIEnv}
+	dets := make([]*Detector, len(feats))
+	parallel.ForEach(workers, len(feats), func(i int) {
+		x, y := train.Matrix(feats[i])
+		scaler := linmodel.FitScaler(x)
+		yF := tensor.NewMatrix(len(y), 1)
+		for j, v := range y {
+			yF.Set(j, 0, float64(v))
+		}
+		tcfg := cfg.NNTrain
+		tcfg.Seed = cfg.Seed
+		net := nn.NewMLP(feats[i].Dim(), cfg.Hidden, 1, rand.New(rand.NewSource(cfg.Seed)))
+		net.Fit(scaler.Transform(x), yF, nn.BCEWithLogits{}, tcfg)
+		dets[i] = &Detector{Net: net, Scaler: scaler, Features: feats[i]}
+	})
+	csiDet, cePrim := dets[0], dets[1]
+
+	nInt, nFold := len(rcfg.Intensities), len(split.Folds)
+	seeds := parallel.Seeds(cfg.Seed^0x526F6275, nInt*nFold) // "Robu"
+	cells := make([]robustCell, nInt*nFold)
+	cellErrs := make([]error, nInt*nFold)
+	parallel.ForEach(workers, nInt*nFold, func(ci int) {
+		ii, fi := ci/nFold, ci%nFold
+		intensity := rcfg.Intensities[ii]
+		fcfg := rcfg.Profile.Scale(intensity)
+		fcfg.Seed = seeds[ci]
+		if rcfg.FullEnvOutage && intensity > 0 {
+			fcfg.EnvDead = true
+		}
+		cells[ci], cellErrs[ci] = runRobustnessCell(thin(split.Folds[fi], cfg.MaxEvalSamples), fcfg, csiDet, cePrim, rcfg)
+	})
+	for _, err := range cellErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &RobustnessResult{Points: make([]RobustnessPoint, nInt)}
+	for ii := range res.Points {
+		p := RobustnessPoint{
+			Intensity:             rcfg.Intensities[ii],
+			CSIOnly:               make([]float64, nFold),
+			Pipeline:              make([]float64, nFold),
+			TraceHash:             1469598103934665603,
+			MaxFirstFallbackFrame: -1,
+		}
+		var frames, dropped, fallback, imputed, held int
+		for fi := 0; fi < nFold; fi++ {
+			c := &cells[ii*nFold+fi]
+			p.CSIOnly[fi] = c.csiAcc
+			p.Pipeline[fi] = c.pipeAcc
+			p.CSIAvg += c.csiAcc
+			p.PipeAvg += c.pipeAcc
+			frames += c.frames
+			dropped += c.dropped
+			fallback += c.fallback
+			imputed += c.imputed
+			held += c.held
+			p.Degradations += c.degradations
+			p.Recoveries += c.recoveries
+			if c.firstFallback > p.MaxFirstFallbackFrame {
+				p.MaxFirstFallbackFrame = c.firstFallback
+			}
+			p.TraceHash ^= c.traceHash
+			p.TraceHash *= 1099511628211
+		}
+		p.CSIAvg /= float64(nFold)
+		p.PipeAvg /= float64(nFold)
+		if frames > 0 {
+			p.DropRate = float64(dropped) / float64(frames)
+			p.FallbackFrac = float64(fallback) / float64(frames)
+			p.ImputedFrac = float64(imputed) / float64(frames)
+			p.HeldFrac = float64(held) / float64(frames)
+		}
+		res.Points[ii] = p
+	}
+	return res, nil
+}
+
+// runRobustnessCell streams one fold through one fault configuration,
+// scoring the CSI-only detector and the degradation pipeline on the same
+// fault trace.
+func runRobustnessCell(fold *dataset.Dataset, fcfg fault.Config, csiDet, cePrim *Detector, rcfg RobustnessConfig) (robustCell, error) {
+	var cell robustCell
+	inj := fault.NewInjector(fcfg)
+
+	csiRT, err := stream.New(stream.Config{
+		Primary:      csiDet,
+		MaxHoldGap:   rcfg.MaxHoldGap,
+		SmootherNeed: rcfg.SmootherNeed,
+	})
+	if err != nil {
+		return cell, err
+	}
+	pipeRT, err := stream.New(stream.Config{
+		Primary:        cePrim,
+		Fallback:       csiDet,
+		PrimaryUsesEnv: true,
+		MaxHoldGap:     rcfg.MaxHoldGap,
+		WatchdogFrames: rcfg.WatchdogFrames,
+		RecoverFrames:  rcfg.RecoverFrames,
+		SmootherNeed:   rcfg.SmootherNeed,
+	})
+	if err != nil {
+		return cell, err
+	}
+
+	csiTrue := make([]int, 0, fold.Len())
+	csiPred := make([]int, 0, fold.Len())
+	pipePred := make([]int, 0, fold.Len())
+	for i := range fold.Records {
+		f := inj.Apply(fold.Records[i])
+		truth := f.Truth.Label()
+		dc := csiRT.Process(f)
+		dp := pipeRT.Process(f)
+		csiTrue = append(csiTrue, truth)
+		csiPred = append(csiPred, dc.State)
+		pipePred = append(pipePred, dp.State)
+	}
+	cell.csiAcc = 100 * stats.Accuracy(csiTrue, csiPred)
+	cell.pipeAcc = 100 * stats.Accuracy(csiTrue, pipePred)
+
+	ist := inj.Stats()
+	pst := pipeRT.Stats()
+	cst := csiRT.Stats()
+	cell.frames = ist.Frames
+	cell.dropped = ist.Dropped
+	cell.fallback = pst.FallbackFrames
+	cell.imputed = pst.CSIImputed
+	cell.held = pst.HeldFrames + cst.HeldFrames
+	cell.degradations = pst.Degradations
+	cell.recoveries = pst.Recoveries
+	cell.firstFallback = pst.FirstFallbackFrame
+	cell.traceHash = inj.TraceHash()
+	return cell, nil
+}

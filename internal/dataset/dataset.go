@@ -152,6 +152,13 @@ func (f *FeatureSet) UnmarshalText(b []byte) error {
 	return nil
 }
 
+// Valid reports whether f is one of the defined subsets — the check loaders
+// must run on untrusted feature tags before calling Dim (which panics on
+// unknown values).
+func (f FeatureSet) Valid() bool {
+	return f >= FeatCSI && f <= FeatTime
+}
+
 // Dim returns the feature dimensionality of the subset.
 func (f FeatureSet) Dim() int {
 	switch f {

@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -112,6 +113,14 @@ func Generate(cfg GenConfig) (*Dataset, error) {
 // memory-bounded path used by cmd/csigen for long high-rate traces and by
 // the real-time example.
 func Stream(cfg GenConfig, fn func(Record) error) error {
+	return StreamCtx(context.Background(), cfg, fn)
+}
+
+// StreamCtx is Stream with cancellation: it returns ctx.Err() promptly when
+// the context is cancelled mid-trace, letting callers (SIGINT handlers, the
+// streaming runtime) shut the generator down without draining the full
+// duration.
+func StreamCtx(ctx context.Context, cfg GenConfig, fn func(Record) error) error {
 	if cfg.Rate <= 0 {
 		return fmt.Errorf("dataset: non-positive sample rate %g", cfg.Rate)
 	}
@@ -133,6 +142,9 @@ func Stream(cfg GenConfig, fn func(Record) error) error {
 
 	end := cfg.Start.Add(cfg.Duration)
 	for t := cfg.Start; t.Before(end); t = t.Add(dt) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		snap := occ.Step(t, dt)
 		st := env.Step(t, dt, snap.Count)
 		amps := ch.Sample(&snap, st, dtSec)

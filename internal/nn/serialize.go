@@ -162,6 +162,12 @@ func Load(r io.Reader) (*Network, error) {
 			if in == 0 || out == 0 || in > 1<<20 || out > 1<<20 {
 				return nil, fmt.Errorf("nn: implausible dense dims %dx%d", in, out)
 			}
+			// Cap the weight allocation, not just each dimension: a hostile
+			// header with in = out = 1<<20 would otherwise demand 8 TiB
+			// before the read even fails.
+			if uint64(in)*uint64(out) > 1<<24 {
+				return nil, fmt.Errorf("nn: implausible dense size %dx%d", in, out)
+			}
 			d := NewDense(int(in), int(out), rand.New(rand.NewSource(0)))
 			if err := readFloat32s(br, d.W.Data); err != nil {
 				return nil, err
@@ -181,6 +187,11 @@ func Load(r io.Reader) (*Network, error) {
 			if err := binary.Read(br, binary.LittleEndian, &p); err != nil {
 				return nil, err
 			}
+			// NewDropout panics on rates outside [0,1); a corrupt file must
+			// produce an error instead.
+			if math.IsNaN(p) || p < 0 || p >= 1 {
+				return nil, fmt.Errorf("nn: corrupt dropout probability %v", p)
+			}
 			net.Layers = append(net.Layers, NewDropout(p, rand.New(rand.NewSource(0))))
 		case kindConv1D:
 			var dims [4]uint32
@@ -194,6 +205,9 @@ func Load(r io.Reader) (*Network, error) {
 			}
 			if dims[2] > dims[3] {
 				return nil, fmt.Errorf("nn: conv kernel %d exceeds length %d", dims[2], dims[3])
+			}
+			if uint64(dims[0])*uint64(dims[1])*uint64(dims[2]) > 1<<24 {
+				return nil, fmt.Errorf("nn: implausible conv size %dx%dx%d", dims[0], dims[1], dims[2])
 			}
 			c := NewConv1D(int(dims[0]), int(dims[1]), int(dims[2]), int(dims[3]), rand.New(rand.NewSource(0)))
 			if err := readFloat32s(br, c.W.Data); err != nil {

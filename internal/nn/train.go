@@ -17,6 +17,11 @@ type TrainConfig struct {
 	ClipNorm    float64 // 0 disables gradient clipping
 	Seed        int64
 	Shuffle     bool
+	// StartEpoch skips the first StartEpoch epochs while still replaying
+	// their shuffle draws, so a run resumed from a checkpoint walks the
+	// exact batch sequence the uninterrupted run would have. Set by
+	// FitCheckpointed; zero for a fresh run.
+	StartEpoch int
 	// Optimizer overrides the default AdamW when non-nil.
 	Optimizer Optimizer
 	// OnEpoch, when non-nil, receives (epoch, meanLoss) after each epoch.
@@ -77,8 +82,22 @@ func (n *Network) Fit(x, y *tensor.Matrix, loss Loss, cfg TrainConfig) []float64
 	}
 	var gradBuf *tensor.Matrix
 
-	history := make([]float64, 0, cfg.Epochs)
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	// Replay the shuffle draws of already-completed epochs so a resumed
+	// run sees the same batch order as an uninterrupted one.
+	if cfg.StartEpoch < 0 {
+		cfg.StartEpoch = 0
+	}
+	if cfg.StartEpoch > cfg.Epochs {
+		cfg.StartEpoch = cfg.Epochs
+	}
+	if cfg.Shuffle {
+		for e := 0; e < cfg.StartEpoch; e++ {
+			rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		}
+	}
+
+	history := make([]float64, 0, cfg.Epochs-cfg.StartEpoch)
+	for epoch := cfg.StartEpoch; epoch < cfg.Epochs; epoch++ {
 		if cfg.Shuffle {
 			rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		}

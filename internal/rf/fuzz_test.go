@@ -1,0 +1,99 @@
+package rf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+func fuzzSeedForest(t testing.TB) []byte {
+	rng := rand.New(rand.NewSource(4))
+	n, dim := 120, 5
+	x := tensor.NewMatrix(n, dim)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < dim; j++ {
+			v := rng.NormFloat64()
+			x.Set(i, j, v)
+			s += v
+		}
+		if s > 0 {
+			y[i] = 1
+		}
+	}
+	cfg := ForestConfig{NumTrees: 4, MaxDepth: 6, MinLeaf: 2, SubsampleRatio: 1, Seed: 2}
+	f := FitClassifier(x, y, cfg)
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadRejectsTruncation: every strict prefix of a valid forest must fail
+// with an error, never a panic.
+func TestLoadRejectsTruncation(t *testing.T) {
+	raw := fuzzSeedForest(t)
+	step := 1
+	if len(raw) > 4096 {
+		step = 37
+	}
+	for cut := 0; cut < len(raw); cut += step {
+		if _, err := Load(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", cut, len(raw))
+		}
+	}
+}
+
+// TestLoadNeverPanicsOnBitFlips: flips may produce a valid different forest
+// (a changed threshold byte) but must never panic or loop.
+func TestLoadNeverPanicsOnBitFlips(t *testing.T) {
+	raw := fuzzSeedForest(t)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		mut := append([]byte(nil), raw...)
+		mut[rng.Intn(len(mut))] ^= 1 << rng.Intn(8)
+		_, _ = Load(bytes.NewReader(mut))
+	}
+}
+
+// TestLoadRejectsHostileNodeCount: a tiny file claiming 2^31 nodes per tree
+// must be rejected without attempting the allocation.
+func TestLoadRejectsHostileNodeCount(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0x31, 0x4F, 0x46, 0x52}) // "RFO1" little-endian
+	buf.WriteByte(0)                          // flags
+	buf.Write([]byte{5, 0, 0, 0})             // nFeat
+	buf.Write([]byte{1, 0, 0, 0})             // nTrees
+	buf.Write([]byte{0, 0, 0, 0x80})          // nNodes = 1<<31
+	start := time.Now()
+	if _, err := Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("hostile node count accepted")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("hostile node count took %v to reject — allocation not capped", d)
+	}
+}
+
+// FuzzLoad drives Load with arbitrary bytes: reject freely, never panic;
+// accepted forests must re-save.
+func FuzzLoad(f *testing.F) {
+	raw := fuzzSeedForest(f)
+	f.Add(raw)
+	f.Add(raw[:len(raw)/3])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		forest, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := forest.Save(&buf); err != nil {
+			t.Fatalf("loaded forest failed to re-save: %v", err)
+		}
+	})
+}

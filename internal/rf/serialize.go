@@ -103,7 +103,9 @@ func Load(r io.Reader) (*Forest, error) {
 		if err := binary.Read(br, binary.LittleEndian, &nNodes); err != nil {
 			return nil, err
 		}
-		if nNodes == 0 || nNodes > 1<<28 {
+		// 1<<22 nodes is far beyond any forest this package trains, and low
+		// enough that a corrupt header cannot demand gigabytes up front.
+		if nNodes == 0 || nNodes > 1<<22 {
 			return nil, fmt.Errorf("rf: implausible node count %d", nNodes)
 		}
 		t := &Tree{regression: f.regression, nodes: make([]node, nNodes)}

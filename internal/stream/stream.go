@@ -1,0 +1,424 @@
+// Package stream is the hardened runtime between a (possibly faulty) CSI
+// capture and an occupancy detector. It owns everything deployment needs
+// that a clean-room evaluation does not:
+//
+//   - imputation — short gaps from dropped frames are bridged by holding
+//     the last CSI vector; missing env readings are held or linearly
+//     extrapolated, policy-selectable;
+//   - graceful degradation — a watchdog counts consecutive missing env
+//     readings and swaps the CSI+Env primary detector for a CSI-only
+//     fallback when the env feed dies, swapping back after the feed has
+//     been healthy again for a recovery window;
+//   - hysteresis smoothing — per-sample flicker is debounced before a
+//     state transition is announced (Smoother, shared with the examples);
+//   - bounded-queue consumption — the asynchronous Run loop reads from a
+//     bounded channel with a per-read timeout, exponential backoff with
+//     seeded jitter, and a dead-feed watchdog, so a stalled producer can
+//     neither wedge the consumer nor grow memory without bound.
+//
+// The synchronous Process path is purely deterministic: its output is a
+// function of the frame sequence alone, never of time or scheduling, which
+// is what lets internal/core's robustness sweep promise bit-identical
+// results for any worker count.
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/csi"
+	"repro/internal/dataset"
+	"repro/internal/fault"
+)
+
+// Predictor is the slice of a detector the runtime needs. *core.Detector
+// implements it; the indirection keeps this package free of a dependency
+// cycle with internal/core.
+type Predictor interface {
+	PredictRecord(r *dataset.Record) (float64, int)
+}
+
+// Mode identifies which detector served a frame.
+type Mode int
+
+// Runtime modes.
+const (
+	ModePrimary Mode = iota
+	ModeFallback
+	ModeHeld // no inference ran; the previous decision was held
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModePrimary:
+		return "primary"
+	case ModeFallback:
+		return "fallback"
+	case ModeHeld:
+		return "held"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ImputePolicy selects how missing env readings are bridged.
+type ImputePolicy int
+
+// Imputation policies for env gaps.
+const (
+	// ImputeHold repeats the last delivered reading.
+	ImputeHold ImputePolicy = iota
+	// ImputeLinear extrapolates linearly from the last two readings.
+	ImputeLinear
+)
+
+// Config parametrises the runtime. A zero Fallback disables degradation
+// (the primary is used throughout, with imputed env when missing).
+type Config struct {
+	// Primary is the preferred detector (typically CSI+Env).
+	Primary Predictor
+	// Fallback, when non-nil, takes over while the env feed is dead
+	// (typically the CSI-only detector).
+	Fallback Predictor
+	// PrimaryUsesEnv declares whether Primary consumes Temp/Humidity. When
+	// false, env faults never trigger imputation or fallback.
+	PrimaryUsesEnv bool
+
+	// MaxHoldGap is the longest run of dropped frames bridged by holding
+	// the last CSI vector; longer gaps hold the previous *decision*
+	// instead of fabricating data. Default 8.
+	MaxHoldGap int
+	// Imputation selects the env gap-bridging policy. Default ImputeHold.
+	Imputation ImputePolicy
+	// WatchdogFrames is how many consecutive frames without a fresh env
+	// reading the watchdog tolerates before degrading to Fallback.
+	// Default 40 (2 s at the paper's 20 Hz).
+	WatchdogFrames int
+	// RecoverFrames is how many consecutive healthy env frames are needed
+	// before returning to Primary. Default 100 (5 s at 20 Hz).
+	RecoverFrames int
+	// SmootherNeed enables hysteresis smoothing of the announced state
+	// when > 0: a flip requires that many consecutive contrary samples.
+	SmootherNeed int
+
+	// ReadTimeout bounds one queue read in Run. Default 250 ms.
+	ReadTimeout time.Duration
+	// BackoffInitial/BackoffMax bound the exponential backoff between
+	// timed-out reads. Defaults 50 ms / 2 s.
+	BackoffInitial time.Duration
+	BackoffMax     time.Duration
+	// DeadFeedTimeouts is how many consecutive timed-out reads Run
+	// tolerates before declaring the feed dead. Default 8.
+	DeadFeedTimeouts int
+	// Seed drives the backoff jitter.
+	Seed int64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.MaxHoldGap == 0 {
+		c.MaxHoldGap = 8
+	}
+	if c.WatchdogFrames == 0 {
+		c.WatchdogFrames = 40
+	}
+	if c.RecoverFrames == 0 {
+		c.RecoverFrames = 100
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = 250 * time.Millisecond
+	}
+	if c.BackoffInitial == 0 {
+		c.BackoffInitial = 50 * time.Millisecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.DeadFeedTimeouts == 0 {
+		c.DeadFeedTimeouts = 8
+	}
+	return c
+}
+
+// Decision is the runtime's output for one frame.
+type Decision struct {
+	// P is the model probability of occupancy (NaN-free; held frames
+	// repeat the previous probability).
+	P float64
+	// Pred is the per-sample model decision (0/1).
+	Pred int
+	// State is the announced (smoothed) occupancy state.
+	State int
+	// Flipped reports a smoothed state transition on this frame.
+	Flipped bool
+	// Mode identifies which detector served the frame.
+	Mode Mode
+	// CSIImputed / EnvImputed mark bridged inputs.
+	CSIImputed bool
+	EnvImputed bool
+}
+
+// Stats aggregates runtime behaviour for reporting and tests.
+type Stats struct {
+	Frames         int
+	PrimaryFrames  int
+	FallbackFrames int
+	HeldFrames     int
+	CSIImputed     int
+	EnvImputed     int
+	Degradations   int // primary → fallback transitions
+	Recoveries     int // fallback → primary transitions
+	Flips          int // smoothed state transitions
+	// FirstFallbackFrame is the index of the first fallback-served frame
+	// (-1 until one occurs).
+	FirstFallbackFrame int
+	// Run-loop health.
+	ReadTimeouts int
+	MaxBackoff   time.Duration
+	DeadFeed     bool
+}
+
+// Runtime hardens a detector against the fault channel. Not safe for
+// concurrent use; give each stream its own Runtime.
+type Runtime struct {
+	cfg Config
+	sm  *Smoother
+	rng *rand.Rand
+
+	mode       Mode
+	envMissRun int
+	envOKRun   int
+	dropRun    int
+
+	lastCSI  [csi.NumSubcarriers]float64
+	haveCSI  bool
+	lastDec  Decision
+	haveDec  bool
+	envHist  [2]envSample // [0] newest, [1] previous
+	envCount int
+
+	stats Stats
+}
+
+type envSample struct {
+	index     int
+	temp, hum float64
+}
+
+// New builds a Runtime; zero config fields take defaults. Primary must be
+// set.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Primary == nil {
+		return nil, errors.New("stream: Config.Primary is required")
+	}
+	cfg = cfg.withDefaults()
+	rt := &Runtime{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		mode: ModePrimary,
+	}
+	rt.stats.FirstFallbackFrame = -1
+	if cfg.SmootherNeed > 0 {
+		rt.sm = NewSmoother(0, cfg.SmootherNeed)
+	}
+	return rt, nil
+}
+
+// Stats returns the counters so far.
+func (rt *Runtime) Stats() Stats { return rt.stats }
+
+// Mode returns the current degradation state.
+func (rt *Runtime) Mode() Mode { return rt.mode }
+
+// Process runs one frame through imputation, the degradation state machine
+// and the detector, returning the decision. Purely deterministic in the
+// frame sequence.
+func (rt *Runtime) Process(f fault.Frame) Decision {
+	cfg := &rt.cfg
+	idx := rt.stats.Frames
+	rt.stats.Frames++
+
+	// --- env feed tracking ------------------------------------------------
+	if f.EnvOK {
+		rt.envOKRun++
+		rt.envMissRun = 0
+		rt.envHist[1] = rt.envHist[0]
+		rt.envHist[0] = envSample{index: idx, temp: f.Rec.Temp, hum: f.Rec.Humidity}
+		if rt.envCount < 2 {
+			rt.envCount++
+		}
+	} else {
+		rt.envMissRun++
+		rt.envOKRun = 0
+	}
+
+	// --- degradation state machine ---------------------------------------
+	if cfg.PrimaryUsesEnv && cfg.Fallback != nil {
+		switch rt.mode {
+		case ModePrimary:
+			if rt.envMissRun >= cfg.WatchdogFrames {
+				rt.mode = ModeFallback
+				rt.stats.Degradations++
+			}
+		case ModeFallback:
+			if rt.envOKRun >= cfg.RecoverFrames {
+				rt.mode = ModePrimary
+				rt.stats.Recoveries++
+			}
+		}
+	}
+
+	// --- CSI gap bridging -------------------------------------------------
+	rec := f.Rec
+	d := Decision{Mode: rt.mode}
+	if f.Dropped {
+		rt.dropRun++
+		if !rt.haveCSI || rt.dropRun > cfg.MaxHoldGap {
+			return rt.hold(d)
+		}
+		rec.CSI = rt.lastCSI
+		d.CSIImputed = true
+		rt.stats.CSIImputed++
+	} else {
+		rt.dropRun = 0
+		rt.lastCSI = f.Rec.CSI
+		rt.haveCSI = true
+	}
+
+	// --- env imputation & detector selection ------------------------------
+	pred := cfg.Primary
+	if rt.mode == ModeFallback {
+		pred = cfg.Fallback
+	} else if cfg.PrimaryUsesEnv && !f.EnvOK {
+		if rt.envCount == 0 {
+			// No env reading ever arrived: the primary cannot run yet.
+			if cfg.Fallback != nil {
+				pred = cfg.Fallback
+				d.Mode = ModeFallback
+			} else {
+				return rt.hold(d)
+			}
+		} else {
+			rec.Temp, rec.Humidity = rt.imputeEnv(idx)
+			d.EnvImputed = true
+			rt.stats.EnvImputed++
+		}
+	}
+
+	// --- inference --------------------------------------------------------
+	d.P, d.Pred = pred.PredictRecord(&rec)
+	d.State = d.Pred
+	if rt.sm != nil {
+		d.State, d.Flipped = rt.sm.Push(d.Pred)
+		if d.Flipped {
+			rt.stats.Flips++
+		}
+	}
+	switch d.Mode {
+	case ModeFallback:
+		rt.stats.FallbackFrames++
+		if rt.stats.FirstFallbackFrame < 0 {
+			rt.stats.FirstFallbackFrame = idx
+		}
+	default:
+		rt.stats.PrimaryFrames++
+	}
+	rt.lastDec = d
+	rt.haveDec = true
+	return d
+}
+
+// hold repeats the previous decision when no inference can run.
+func (rt *Runtime) hold(d Decision) Decision {
+	d.Mode = ModeHeld
+	rt.stats.HeldFrames++
+	if rt.haveDec {
+		d.P, d.Pred, d.State = rt.lastDec.P, rt.lastDec.Pred, rt.lastDec.State
+	}
+	return d
+}
+
+// imputeEnv bridges a missing env reading at frame idx.
+func (rt *Runtime) imputeEnv(idx int) (temp, hum float64) {
+	last := rt.envHist[0]
+	if rt.cfg.Imputation == ImputeHold || rt.envCount < 2 {
+		return last.temp, last.hum
+	}
+	prev := rt.envHist[1]
+	span := float64(last.index - prev.index)
+	if span <= 0 {
+		return last.temp, last.hum
+	}
+	ahead := float64(idx - last.index)
+	return last.temp + (last.temp-prev.temp)/span*ahead,
+		last.hum + (last.hum-prev.hum)/span*ahead
+}
+
+// ErrDeadFeed is returned by Run when the source stops delivering frames
+// for DeadFeedTimeouts consecutive read timeouts.
+var ErrDeadFeed = errors.New("stream: feed dead (no frames within the watchdog window)")
+
+// Run consumes frames from a bounded channel until it closes, the context
+// is cancelled, or the dead-feed watchdog fires. Each read is bounded by
+// ReadTimeout; timed-out reads back off exponentially with seeded jitter.
+// fn receives every frame with its decision; a non-nil error from fn stops
+// the loop and is returned.
+//
+// The producer writing to frames gets backpressure for free: sends block
+// once the channel's buffer — the bounded queue — is full.
+func (rt *Runtime) Run(ctx context.Context, frames <-chan fault.Frame, fn func(fault.Frame, Decision) error) error {
+	cfg := &rt.cfg
+	backoff := cfg.BackoffInitial
+	timeouts := 0
+	timer := time.NewTimer(cfg.ReadTimeout)
+	defer timer.Stop()
+	for {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(cfg.ReadTimeout)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case f, ok := <-frames:
+			if !ok {
+				return nil
+			}
+			timeouts = 0
+			backoff = cfg.BackoffInitial
+			d := rt.Process(f)
+			if err := fn(f, d); err != nil {
+				return err
+			}
+		case <-timer.C:
+			rt.stats.ReadTimeouts++
+			timeouts++
+			if timeouts >= cfg.DeadFeedTimeouts {
+				rt.stats.DeadFeed = true
+				return ErrDeadFeed
+			}
+			// Exponential backoff with ±25% seeded jitter.
+			jitter := 1 + (rt.rng.Float64()-0.5)/2
+			sleep := time.Duration(float64(backoff) * jitter)
+			if sleep > rt.stats.MaxBackoff {
+				rt.stats.MaxBackoff = sleep
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(sleep):
+			}
+			backoff *= 2
+			if backoff > cfg.BackoffMax {
+				backoff = cfg.BackoffMax
+			}
+		}
+	}
+}

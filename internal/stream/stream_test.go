@@ -1,0 +1,372 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/fault"
+)
+
+// fakePred records every record it is asked to classify and returns a
+// canned answer.
+type fakePred struct {
+	p     float64
+	pred  int
+	calls []dataset.Record
+}
+
+func (f *fakePred) PredictRecord(r *dataset.Record) (float64, int) {
+	f.calls = append(f.calls, *r)
+	return f.p, f.pred
+}
+
+// frame builds a clean frame with recognisable CSI and env values.
+func frame(i int, temp float64) fault.Frame {
+	var f fault.Frame
+	f.Index = i
+	f.EnvOK = true
+	f.Rec.Time = time.Date(2022, 1, 5, 9, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Second)
+	f.Rec.Temp = temp
+	f.Rec.Humidity = temp * 2
+	for k := range f.Rec.CSI {
+		f.Rec.CSI[k] = float64(i*100 + k)
+	}
+	f.Truth = f.Rec
+	return f
+}
+
+func TestSmootherHysteresis(t *testing.T) {
+	sm := NewSmoother(0, 3)
+	seq := []int{1, 1, 0, 1, 1, 1, 0, 0, 0}
+	wantState := []int{0, 0, 0, 0, 0, 1, 1, 1, 0}
+	wantFlip := []bool{false, false, false, false, false, true, false, false, true}
+	for i, p := range seq {
+		st, fl := sm.Push(p)
+		if st != wantState[i] || fl != wantFlip[i] {
+			t.Fatalf("step %d: got (%d,%v), want (%d,%v)", i, st, fl, wantState[i], wantFlip[i])
+		}
+	}
+}
+
+func TestCleanFramesPassThroughUnchanged(t *testing.T) {
+	prim := &fakePred{p: 0.9, pred: 1}
+	rt, err := New(Config{Primary: prim, PrimaryUsesEnv: true, Fallback: &fakePred{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		f := frame(i, 20+float64(i))
+		d := rt.Process(f)
+		if d.Mode != ModePrimary || d.CSIImputed || d.EnvImputed {
+			t.Fatalf("frame %d: clean frame altered: %+v", i, d)
+		}
+		if d.P != 0.9 || d.Pred != 1 || d.State != 1 {
+			t.Fatalf("frame %d: decision %+v", i, d)
+		}
+		if prim.calls[i] != f.Rec {
+			t.Fatalf("frame %d: record mutated before inference", i)
+		}
+	}
+	st := rt.Stats()
+	if st.PrimaryFrames != 10 || st.FallbackFrames != 0 || st.HeldFrames != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCSIHoldImputationAndHeldDecisions(t *testing.T) {
+	prim := &fakePred{p: 0.8, pred: 1}
+	rt, err := New(Config{Primary: prim, MaxHoldGap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := frame(0, 20)
+	rt.Process(good)
+
+	// Two dropped frames bridge with the held CSI vector.
+	for i := 1; i <= 2; i++ {
+		f := frame(i, 20)
+		f.Dropped = true
+		f.Rec.CSI = [64]float64{}
+		d := rt.Process(f)
+		if !d.CSIImputed || d.Mode != ModePrimary {
+			t.Fatalf("drop %d: %+v", i, d)
+		}
+		if prim.calls[len(prim.calls)-1].CSI != good.Rec.CSI {
+			t.Fatalf("drop %d: imputed CSI is not the held vector", i)
+		}
+	}
+	// The third consecutive drop exceeds MaxHoldGap: decision held.
+	f := frame(3, 20)
+	f.Dropped = true
+	d := rt.Process(f)
+	if d.Mode != ModeHeld {
+		t.Fatalf("long gap not held: %+v", d)
+	}
+	if d.Pred != 1 || d.P != 0.8 {
+		t.Fatalf("held decision lost the previous prediction: %+v", d)
+	}
+	st := rt.Stats()
+	if st.CSIImputed != 2 || st.HeldFrames != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestHeldBeforeAnyFrame(t *testing.T) {
+	rt, err := New(Config{Primary: &fakePred{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := frame(0, 20)
+	f.Dropped = true
+	d := rt.Process(f)
+	if d.Mode != ModeHeld || d.Pred != 0 {
+		t.Fatalf("first-frame drop: %+v", d)
+	}
+}
+
+func TestEnvImputationHoldAndLinear(t *testing.T) {
+	for _, tc := range []struct {
+		policy   ImputePolicy
+		wantTemp float64
+	}{
+		{ImputeHold, 22},   // repeat the last reading
+		{ImputeLinear, 26}, // 20, 22 at 1-frame spacing → +2/frame, 2 ahead
+	} {
+		prim := &fakePred{p: 0.6, pred: 1}
+		rt, err := New(Config{Primary: prim, PrimaryUsesEnv: true, Imputation: tc.policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.Process(frame(0, 20))
+		rt.Process(frame(1, 22))
+		f := frame(3, 99) // env missing; 99 must never be seen
+		f.EnvOK = false
+		f.Rec.Temp, f.Rec.Humidity = 0, 0
+		// Frame index inside the runtime is 2, one past the last reading at
+		// index 1; linear extrapolation steps 2-1=1... runtime indexes by
+		// arrival order, so this is frame 2: 22 + (22-20)/1*1 = 24 for
+		// linear. Recompute expectations from arrival order:
+		d := rt.Process(f)
+		if !d.EnvImputed {
+			t.Fatalf("policy %v: env not imputed: %+v", tc.policy, d)
+		}
+		got := prim.calls[len(prim.calls)-1].Temp
+		want := tc.wantTemp
+		if tc.policy == ImputeLinear {
+			want = 24
+		}
+		if got != want {
+			t.Fatalf("policy %v: imputed temp %g, want %g", tc.policy, got, want)
+		}
+	}
+}
+
+func TestDegradationAndRecovery(t *testing.T) {
+	prim := &fakePred{p: 0.9, pred: 1}
+	fb := &fakePred{p: 0.2, pred: 0}
+	rt, err := New(Config{
+		Primary: prim, Fallback: fb, PrimaryUsesEnv: true,
+		WatchdogFrames: 5, RecoverFrames: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	// Healthy warm-up.
+	for ; i < 3; i++ {
+		rt.Process(frame(i, 20))
+	}
+	// Env feed dies: within one watchdog interval the runtime degrades.
+	firstFallback := -1
+	for ; i < 20; i++ {
+		f := frame(i, 0)
+		f.EnvOK = false
+		d := rt.Process(f)
+		if d.Mode == ModeFallback && firstFallback < 0 {
+			firstFallback = i
+		}
+	}
+	if rt.Mode() != ModeFallback {
+		t.Fatalf("runtime did not degrade; mode %v", rt.Mode())
+	}
+	if firstFallback < 0 || firstFallback-3 > 5 {
+		t.Fatalf("fallback started at frame %d, want within one watchdog interval (5) of the outage at 3", firstFallback)
+	}
+	st := rt.Stats()
+	if st.Degradations != 1 || st.FirstFallbackFrame != firstFallback {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Before the watchdog fired, env was imputed for the primary.
+	if st.EnvImputed == 0 {
+		t.Fatalf("no env imputation before degradation: %+v", st)
+	}
+
+	// Feed returns: after RecoverFrames healthy frames, primary resumes.
+	for k := 0; k < 4; k++ {
+		rt.Process(frame(i, 21))
+		i++
+	}
+	if rt.Mode() != ModePrimary {
+		t.Fatalf("runtime did not recover; mode %v", rt.Mode())
+	}
+	if rt.Stats().Recoveries != 1 {
+		t.Fatalf("stats after recovery: %+v", rt.Stats())
+	}
+}
+
+func TestNoFallbackWhenPrimaryIgnoresEnv(t *testing.T) {
+	prim := &fakePred{p: 0.9, pred: 1}
+	fb := &fakePred{p: 0.2, pred: 0}
+	rt, err := New(Config{Primary: prim, Fallback: fb, WatchdogFrames: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		f := frame(i, 0)
+		f.EnvOK = false
+		d := rt.Process(f)
+		if d.Mode != ModePrimary || d.EnvImputed {
+			t.Fatalf("CSI-only primary reacted to env fault: %+v", d)
+		}
+	}
+	if len(fb.calls) != 0 {
+		t.Fatalf("fallback was consulted %d times", len(fb.calls))
+	}
+}
+
+func TestFallbackFromFirstFrameWhenEnvNeverArrives(t *testing.T) {
+	prim := &fakePred{p: 0.9, pred: 1}
+	fb := &fakePred{p: 0.2, pred: 0}
+	rt, err := New(Config{Primary: prim, Fallback: fb, PrimaryUsesEnv: true, WatchdogFrames: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := frame(0, 0)
+	f.EnvOK = false
+	d := rt.Process(f)
+	if d.Mode != ModeFallback {
+		t.Fatalf("first frame without env not served by fallback: %+v", d)
+	}
+	if len(prim.calls) != 0 {
+		t.Fatalf("primary ran without any env reading")
+	}
+}
+
+func TestNewRequiresPrimary(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted a config without a primary detector")
+	}
+}
+
+func TestRunConsumesBoundedQueue(t *testing.T) {
+	prim := &fakePred{p: 0.7, pred: 1}
+	rt, err := New(Config{Primary: prim, ReadTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan fault.Frame, 4) // bounded queue
+	go func() {
+		for i := 0; i < 50; i++ {
+			ch <- frame(i, 20) // blocks when the queue is full: backpressure
+		}
+		close(ch)
+	}()
+	n := 0
+	err = rt.Run(context.Background(), ch, func(f fault.Frame, d Decision) error {
+		if f.Index != n {
+			t.Errorf("frame %d arrived out of order (want %d)", f.Index, n)
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Fatalf("consumed %d frames, want 50", n)
+	}
+}
+
+func TestRunDetectsDeadFeed(t *testing.T) {
+	rt, err := New(Config{
+		Primary:          &fakePred{},
+		ReadTimeout:      5 * time.Millisecond,
+		BackoffInitial:   time.Millisecond,
+		BackoffMax:       4 * time.Millisecond,
+		DeadFeedTimeouts: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan fault.Frame) // nobody ever sends
+	start := time.Now()
+	err = rt.Run(context.Background(), ch, func(fault.Frame, Decision) error { return nil })
+	if !errors.Is(err, ErrDeadFeed) {
+		t.Fatalf("err = %v, want ErrDeadFeed", err)
+	}
+	st := rt.Stats()
+	if !st.DeadFeed || st.ReadTimeouts != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("dead-feed detection took too long")
+	}
+}
+
+func TestRunStopsOnContextCancel(t *testing.T) {
+	rt, err := New(Config{Primary: &fakePred{}, ReadTimeout: 10 * time.Millisecond, BackoffInitial: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan fault.Frame)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	if err := rt.Run(ctx, ch, func(fault.Frame, Decision) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunPropagatesHandlerError(t *testing.T) {
+	rt, err := New(Config{Primary: &fakePred{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan fault.Frame, 1)
+	ch <- frame(0, 20)
+	sentinel := errors.New("stop")
+	if err := rt.Run(context.Background(), ch, func(fault.Frame, Decision) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestSmoothedRuntimeCountsFlips(t *testing.T) {
+	// Predictor alternates every 4 frames; with need=3 the smoother flips
+	// once per plateau.
+	alt := &altPred{}
+	rt, err := New(Config{Primary: alt, SmootherNeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		rt.Process(frame(i, 20))
+	}
+	if got := rt.Stats().Flips; got != 3 {
+		t.Fatalf("flips = %d, want 3", got)
+	}
+}
+
+type altPred struct{ n int }
+
+func (a *altPred) PredictRecord(*dataset.Record) (float64, int) {
+	a.n++
+	if (a.n-1)/4%2 == 1 {
+		return 0.9, 1
+	}
+	return 0.1, 0
+}
