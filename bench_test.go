@@ -22,6 +22,7 @@ import (
 	"repro/internal/csi"
 	"repro/internal/dataset"
 	"repro/internal/envsim"
+	"repro/internal/infer"
 	"repro/internal/linmodel"
 	"repro/internal/nn"
 	"repro/internal/rf"
@@ -294,16 +295,67 @@ func BenchmarkInferenceMLPSingle(b *testing.B) {
 	}
 }
 
-// BenchmarkInferenceMLPBatch256 measures amortised batch inference.
+// BenchmarkInferenceMLPSingleFused measures the arena's fused single-row
+// path — vector·matrix over raw slices, no tensor.Matrix wrapping, zero
+// allocations — which the inference engine uses for batches of one.
+func BenchmarkInferenceMLPSingleFused(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := nn.NewMLP(66, core.PaperHidden, 1, rng)
+	arena := nn.NewArena(net)
+	row := tensor.NewMatrix(1, 66).RandomizeNormal(rng, 1).Row(0)
+	arena.PredictProb1(row) // warm the scratch buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.PredictProb1(row)
+	}
+}
+
+// BenchmarkInferenceMLPBatch256 measures amortised batch inference through
+// the forward arena — the engine's steady-state batched path, zero
+// allocations per pass (the pre-arena PredictProbs path cost 18 allocs and
+// ~2.1 MB per batch; see BENCH_*.json for the recorded before/after).
 func BenchmarkInferenceMLPBatch256(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	net := nn.NewMLP(66, core.PaperHidden, 1, rng)
+	arena := nn.NewArena(net)
 	x := tensor.NewMatrix(256, 66).RandomizeNormal(rng, 1)
+	probs := make([]float64, 256)
+	arena.PredictProbsInto(probs, x) // warm the scratch buffers
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		net.PredictProbs(x)
+		arena.PredictProbsInto(probs, x)
 	}
 	b.ReportMetric(256, "samples/op")
+}
+
+// BenchmarkEngineMultiFeed drives 64 concurrent feeds through the batched
+// inference engine — the cmd/loadgen scenario as a Go benchmark. Each op is
+// one record scored end-to-end (submit, coalesce, batched forward, reply).
+func BenchmarkEngineMultiFeed(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	net := nn.NewMLP(66, core.PaperHidden, 1, rng)
+	eng, err := infer.New(infer.Config{NewScorer: infer.NetworkScorer(net)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	rows := make([][]float64, 64)
+	for i := range rows {
+		rows[i] = tensor.NewMatrix(1, 66).RandomizeNormal(rng, 1).Row(0)
+		eng.Predict(rows[i]) // warm arenas and the request pool
+	}
+	b.ReportAllocs()
+	b.SetParallelism(64)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			eng.Predict(rows[i&63])
+			i++
+		}
+	})
 }
 
 // BenchmarkInferenceRFSingle contrasts the RF per-sample cost (§V-B argues

@@ -1,0 +1,169 @@
+// Command loadgen measures serving throughput of the batched inference
+// engine against the direct per-record path, under a fleet of concurrent
+// sensor feeds sharing one trained detector — the deployment shape §IV-B's
+// "lightweight model on commodity hardware" argument implies but the paper
+// never benchmarks.
+//
+// It trains (or loads) a detector, replays a bank of records from -feeds
+// concurrent goroutines through both paths, and reports records/sec, the
+// speedup, and the engine's coalescing statistics. With -verify it first
+// checks every engine prediction bit-for-bit against Detector.PredictRecord,
+// which must hold for any -workers/-batch/-delay combination (DESIGN.md §9).
+//
+// Usage:
+//
+//	loadgen [-feeds n] [-per-feed n] [-workers n] [-batch n] [-delay d]
+//	        [-model detector.bin] [-epochs n] [-seed n] [-verify]
+//
+// On a single-core host the engine's win is allocation, not parallelism:
+// expect ~1x wall-clock with zero steady-state garbage; on multi-core hosts
+// the per-worker arenas and micro-batches deliver the scaling.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		feeds   = flag.Int("feeds", 64, "concurrent feed goroutines")
+		perFeed = flag.Int("per-feed", 2000, "records each feed submits")
+		workers = flag.Int("workers", 0, "engine workers (0 = one per core)")
+		batch   = flag.Int("batch", 256, "engine micro-batch cap")
+		delay   = flag.Duration("delay", -1, "coalescing window (<0: engine default 2ms)")
+		model   = flag.String("model", "", "detector bundle (empty: train on the fly)")
+		epochs  = flag.Int("epochs", 2, "training epochs when no -model is given")
+		seed    = flag.Int64("seed", 11, "dataset seed")
+		verify  = flag.Bool("verify", false, "check engine output bit-identical to the direct path first")
+	)
+	flag.Parse()
+	if *feeds < 1 || *perFeed < 1 || *workers < 0 || *batch < 1 || *epochs < 1 {
+		fail(fmt.Errorf("flags out of range: -feeds %d -per-feed %d -workers %d -batch %d -epochs %d",
+			*feeds, *perFeed, *workers, *batch, *epochs))
+	}
+
+	det, recs := buildFixture(*model, *seed, *epochs)
+	fmt.Printf("loadgen: %d feeds × %d records, %d cores, net %v, bank %d records\n",
+		*feeds, *perFeed, runtime.NumCPU(), det.Net, len(recs))
+
+	scfg := core.ServeConfig{Workers: *workers, MaxBatch: *batch}
+	if *delay >= 0 {
+		scfg.MaxDelay = *delay
+		if *delay == 0 {
+			scfg.MaxDelay = -1 // caller asked for no waiting, not the default
+		}
+	}
+
+	if *verify {
+		verifyBitIdentical(det, recs, scfg)
+	}
+
+	// Direct path: every feed calls Detector.PredictRecord, which extracts,
+	// standardises and runs one full allocating forward per record.
+	directRate := run(*feeds, *perFeed, recs, det.PredictRecord)
+	fmt.Printf("loadgen: direct  %10.0f records/sec\n", directRate)
+
+	// Engine path: same feeds, same records, served through per-worker
+	// arenas with micro-batch coalescing.
+	de, err := core.NewDetectorEngine(det, scfg)
+	fail(err)
+	engineRate := run(*feeds, *perFeed, recs, de.PredictRecord)
+	st := de.Stats()
+	de.Close()
+	fmt.Printf("loadgen: engine  %10.0f records/sec   (%.2fx)\n", engineRate, engineRate/directRate)
+	fmt.Printf("loadgen: engine stats: %d requests, %d batches (avg %.2f rows, max %d), %d fused single-row, %d full\n",
+		st.Requests, st.Batches, st.AvgBatch(), st.MaxBatchSeen, st.FastPath, st.FullBatches)
+}
+
+// buildFixture loads or trains the detector and assembles the record bank.
+func buildFixture(model string, seed int64, epochs int) (*core.Detector, []dataset.Record) {
+	gcfg := dataset.DefaultGenConfig(0.5, seed)
+	gcfg.Duration = 24 * time.Hour
+	d, err := dataset.Generate(gcfg)
+	fail(err)
+	var det *core.Detector
+	if model != "" {
+		det, err = core.LoadDetectorFile(model)
+		fail(err)
+	} else {
+		fmt.Printf("loadgen: training paper MLP (%d epochs) on a synthetic day...\n", epochs)
+		dcfg := core.DefaultDetectorConfig()
+		dcfg.Train.Epochs = epochs
+		det, err = core.TrainDetector(d, dcfg)
+		fail(err)
+	}
+	recs := d.Records
+	if len(recs) > 4096 {
+		recs = recs[:4096]
+	}
+	return det, recs
+}
+
+// run replays the bank from feeds goroutines through predict and returns the
+// aggregate records/sec. Each feed walks the bank from a distinct offset so
+// concurrent requests are not lock-step identical.
+func run(feeds, perFeed int, recs []dataset.Record, predict func(*dataset.Record) (float64, int)) float64 {
+	var wg sync.WaitGroup
+	start := time.Now()
+	for f := 0; f < feeds; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			for k := 0; k < perFeed; k++ {
+				i := (f*131 + k) % len(recs)
+				predict(&recs[i])
+			}
+		}(f)
+	}
+	wg.Wait()
+	return float64(feeds*perFeed) / time.Since(start).Seconds()
+}
+
+// verifyBitIdentical replays every bank record through a fresh engine and
+// requires exact equality with the direct path.
+func verifyBitIdentical(det *core.Detector, recs []dataset.Record, scfg core.ServeConfig) {
+	de, err := core.NewDetectorEngine(det, scfg)
+	fail(err)
+	defer de.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for f := 0; f < 8; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			for k := 0; k < len(recs); k++ {
+				i := (f*53 + k) % len(recs)
+				wantP, wantL := det.PredictRecord(&recs[i])
+				p, l := de.PredictRecord(&recs[i])
+				if p != wantP || l != wantL {
+					select {
+					case errs <- fmt.Errorf("record %d: engine (%v,%d) != direct (%v,%d)", i, p, l, wantP, wantL):
+					default:
+					}
+					return
+				}
+			}
+		}(f)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		fail(fmt.Errorf("verify: %w", err))
+	}
+	fmt.Printf("loadgen: verify: %d records × 8 feeds bit-identical to the direct path\n", len(recs))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}

@@ -43,9 +43,14 @@ func main() {
 		seed      = flag.Int64("seed", 42, "stream random seed")
 		intensity = flag.Float64("fault", 0, "fault-channel intensity (0 = clean, 1 = ~20% bursty loss + env outages)")
 		smooth    = flag.Int("smooth", 0, "state flips only after k consecutive contrary samples (0 = raw)")
+		workers   = flag.Int("workers", 0, "inference engine workers (0 = one per core)")
+		maxBatch  = flag.Int("batch", 256, "inference engine micro-batch cap")
 	)
 	flag.Parse()
 	fail(validateFlags(*rate, *minutes, *intensity, *smooth, *model))
+	if *workers < 0 || *maxBatch < 1 {
+		fail(fmt.Errorf("-workers must be >= 0 and -batch >= 1 (got %d, %d)", *workers, *maxBatch))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -71,9 +76,27 @@ func main() {
 		fail(err)
 	}
 
+	// Serve the detectors through the batched inference engine: per-worker
+	// forward arenas and micro-batch coalescing, with predictions
+	// bit-identical to calling the detectors directly (DESIGN.md §9). One
+	// stream barely exercises the batching, but this is the deployment
+	// shape — cmd/loadgen drives the same path with many feeds.
+	scfgServe := core.ServeConfig{Workers: *workers, MaxBatch: *maxBatch}
+	primaryEng, err := core.NewDetectorEngine(primary, scfgServe)
+	fail(err)
+	defer primaryEng.Close()
+	var fallbackPred stream.Predictor
+	var fallbackEng *core.DetectorEngine
+	if fallback != nil {
+		fallbackEng, err = core.NewDetectorEngine(fallback, scfgServe)
+		fail(err)
+		defer fallbackEng.Close()
+		fallbackPred = fallbackEng
+	}
+
 	rt, err := stream.New(stream.Config{
-		Primary:        primary,
-		Fallback:       fallback,
+		Primary:        primaryEng,
+		Fallback:       fallbackPred,
 		PrimaryUsesEnv: primary.Features != dataset.FeatCSI,
 		SmootherNeed:   *smooth,
 		Seed:           *seed,
@@ -141,6 +164,15 @@ func main() {
 	ist, rst := inj.Stats(), rt.Stats()
 	fmt.Printf("occupredict: %d samples, streaming accuracy %.2f%%\n",
 		cm.total, 100*float64(cm.correct)/float64(maxi(cm.total, 1)))
+	est := primaryEng.Stats()
+	if fallbackEng != nil {
+		fst := fallbackEng.Stats()
+		est.Requests += fst.Requests
+		est.Batches += fst.Batches
+		est.FastPath += fst.FastPath
+	}
+	fmt.Printf("occupredict: engine: %d requests in %d micro-batches (avg %.2f rows, %d fused single-row)\n",
+		est.Requests, est.Batches, est.AvgBatch(), est.FastPath)
 	if *intensity > 0 {
 		fmt.Printf("occupredict: faults: %.1f%% frames dropped, %d env gaps, %d null bursts, %d AGC jumps\n",
 			100*ist.DropRate(), ist.EnvMissing, ist.NullBursts, ist.AGCJumps)

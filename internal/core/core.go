@@ -87,15 +87,19 @@ func (d *Detector) Evaluate(ds *dataset.Dataset) stats.ConfusionMatrix {
 }
 
 // PredictRecord classifies one record, returning P(occupied) and the label.
+// This is the direct (one record, one forward) reference path; a fleet of
+// feeds sharing one model should go through DetectorEngine instead, which
+// produces bit-identical results with batching and no per-call garbage.
 func (d *Detector) PredictRecord(r *dataset.Record) (float64, int) {
 	row := dataset.FeatureRow(r, d.Features)
 	d.Scaler.TransformRow(row)
 	x := tensor.FromSlice(1, len(row), row)
-	p := d.Net.PredictProbs(x)[0]
-	if p >= 0.5 {
+	var probs [1]float64
+	d.Net.PredictProbsInto(probs[:], x)
+	if p := probs[0]; p >= 0.5 {
 		return p, 1
 	}
-	return p, 0
+	return probs[0], 0
 }
 
 // EnvRegressor estimates temperature and humidity from CSI amplitudes (the

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// serveFixture trains a small detector and collects a bank of records.
+func serveFixture(t *testing.T) (*Detector, []dataset.Record) {
+	t.Helper()
+	_, split := testSplit(t)
+	det, err := TrainDetector(thin(split.Train, 600), quickDetectorCfg(dataset.FeatCSIEnv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := split.Folds[0].Records
+	if len(recs) > 256 {
+		recs = recs[:256]
+	}
+	return det, recs
+}
+
+// TestDetectorEngineBitIdentical: the engine-served prediction must equal
+// the direct Detector.PredictRecord path bit for bit, for every record,
+// under heavy concurrent submission and across worker counts (run with
+// -race).
+func TestDetectorEngineBitIdentical(t *testing.T) {
+	det, recs := serveFixture(t)
+	type ref struct {
+		p     float64
+		label int
+	}
+	want := make([]ref, len(recs))
+	for i := range recs {
+		p, l := det.PredictRecord(&recs[i])
+		want[i] = ref{p, l}
+	}
+	for _, workers := range []int{1, 4} {
+		de, err := NewDetectorEngine(det, ServeConfig{
+			Workers:  workers,
+			MaxBatch: 32,
+			MaxDelay: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const feeds = 16
+		var wg sync.WaitGroup
+		for f := 0; f < feeds; f++ {
+			wg.Add(1)
+			go func(f int) {
+				defer wg.Done()
+				for k := 0; k < 2*len(recs); k++ {
+					i := (f*31 + k) % len(recs)
+					p, l := de.PredictRecord(&recs[i])
+					if p != want[i].p || l != want[i].label {
+						t.Errorf("workers=%d rec=%d: engine (%v,%d) != direct (%v,%d)",
+							workers, i, p, l, want[i].p, want[i].label)
+						return
+					}
+				}
+			}(f)
+		}
+		wg.Wait()
+		st := de.Stats()
+		de.Close()
+		if wantN := int64(feeds * 2 * len(recs)); st.Requests != wantN {
+			t.Fatalf("workers=%d: engine served %d requests, want %d", workers, st.Requests, wantN)
+		}
+	}
+}
+
+// TestDetectorEngineValidation covers constructor errors and MaxDelay
+// normalisation.
+func TestDetectorEngineValidation(t *testing.T) {
+	if _, err := NewDetectorEngine(nil, ServeConfig{}); err == nil {
+		t.Fatal("expected error for nil detector")
+	}
+	if _, err := NewDetectorEngine(&Detector{}, ServeConfig{}); err == nil {
+		t.Fatal("expected error for untrained detector")
+	}
+}
+
+// TestDetectorEnginePredictRow checks the pre-standardised row entry point
+// against PredictRecord.
+func TestDetectorEnginePredictRow(t *testing.T) {
+	det, recs := serveFixture(t)
+	de, err := NewDetectorEngine(det, ServeConfig{Workers: 2, MaxDelay: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer de.Close()
+	if de.Detector() != det {
+		t.Fatal("Detector accessor")
+	}
+	r := &recs[0]
+	wantP, wantL := det.PredictRecord(r)
+	row := dataset.FeatureRow(r, det.Features)
+	det.Scaler.TransformRow(row)
+	p, l := de.PredictRow(row)
+	if p != wantP || l != wantL {
+		t.Fatalf("PredictRow (%v,%d) != (%v,%d)", p, l, wantP, wantL)
+	}
+}

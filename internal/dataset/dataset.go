@@ -201,6 +201,17 @@ func FeatureRow(r *Record, f FeatureSet) []float64 {
 	return row
 }
 
+// FeatureRowInto extracts one record's features into a caller-owned slice
+// of length f.Dim() — the allocation-free variant the serving path uses at
+// stream rate. Returns dst.
+func FeatureRowInto(dst []float64, r *Record, f FeatureSet) []float64 {
+	if len(dst) != f.Dim() {
+		panic(fmt.Sprintf("dataset: FeatureRowInto dst length %d != %d", len(dst), f.Dim()))
+	}
+	fillFeatures(dst, r, f)
+	return dst
+}
+
 // Matrix materialises the feature matrix for the subset plus the binary
 // labels, ready for any of the three model families.
 func (d *Dataset) Matrix(f FeatureSet) (*tensor.Matrix, []int) {

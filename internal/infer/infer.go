@@ -1,0 +1,347 @@
+// Package infer is the batched inference engine: it serves one trained
+// model to many concurrent callers at hardware speed. Three mechanisms,
+// stacked:
+//
+//   - per-worker arenas — each worker goroutine owns a Scorer built by the
+//     configured factory (for nn models: an nn.Arena over the shared
+//     network), so a steady-state forward pass performs zero heap
+//     allocations and workers never contend on scratch memory;
+//   - micro-batch coalescing — concurrent single-row requests landing on
+//     the submission queue are gathered into one batched forward of up to
+//     MaxBatch rows, waiting at most MaxDelay for stragglers, which
+//     amortises the matmul across feeds (one weight-matrix traversal scores
+//     the whole batch instead of one traversal per row);
+//   - a fused single-sample fast path — a batch of one skips matrix
+//     assembly entirely and runs the Scorer's row path (for nn: vector·
+//     matrix over raw slices, no tensor.Matrix wrapping).
+//
+// Determinism guarantee (same discipline as internal/parallel and the
+// stream runtime): each row's score is a pure function of that row and the
+// model — never of which worker ran it, how requests were coalesced, or
+// where batch boundaries fell. The matmul kernels accumulate each output
+// row independently in a fixed order, so batching changes only *when* a row
+// is scored, not its bits. TestEngineBitIdentical sweeps worker counts and
+// batch bounds to enforce this.
+//
+// The engine deliberately does not know about feature extraction or
+// scalers; it scores prepared feature rows. core.DetectorEngine layers
+// record→features→standardise→Predict on top and plugs into the stream
+// runtime's Predictor seam.
+package infer
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Scorer is one worker's private view of a model. Implementations are NOT
+// required to be safe for concurrent use — the engine builds one per worker
+// from the Config.NewScorer factory. ScoreBatch and ScoreRow must agree bit
+// for bit with each other (and with the model's reference prediction path)
+// on every row.
+type Scorer interface {
+	// InputDim returns the feature width the model expects.
+	InputDim() int
+	// ScoreBatch writes the per-row scores of x into dst (len = x.Rows).
+	ScoreBatch(dst []float64, x *tensor.Matrix)
+	// ScoreRow scores a single feature row — the batch-of-one fast path.
+	ScoreRow(row []float64) float64
+}
+
+// netScorer adapts an nn.Arena to Scorer.
+type netScorer struct{ arena *nn.Arena }
+
+func (s *netScorer) InputDim() int { return s.arena.Network().InputDim() }
+func (s *netScorer) ScoreBatch(dst []float64, x *tensor.Matrix) {
+	s.arena.PredictProbsInto(dst, x)
+}
+func (s *netScorer) ScoreRow(row []float64) float64 { return s.arena.PredictProb1(row) }
+
+// NetworkScorer returns a Scorer factory serving a shared trained network
+// through per-worker forward arenas. The network's weights must not be
+// mutated (trained) while the engine is live.
+func NetworkScorer(net *nn.Network) func() Scorer {
+	return func() Scorer { return &netScorer{arena: nn.NewArena(net)} }
+}
+
+// rowScorer adapts a per-row scoring function (e.g. rf.Forest.PredictProb,
+// linmodel.Logistic.PredictProb) to Scorer. The function itself must be safe
+// to call from one goroutine at a time per Scorer instance; the same fn is
+// shared across workers, so it must also not mutate shared state — true for
+// the RF and logistic baselines, whose predict paths only read the model.
+type rowScorer struct {
+	dim int
+	fn  func(row []float64) float64
+}
+
+func (s *rowScorer) InputDim() int { return s.dim }
+func (s *rowScorer) ScoreBatch(dst []float64, x *tensor.Matrix) {
+	for i := range dst {
+		dst[i] = s.fn(x.Row(i))
+	}
+}
+func (s *rowScorer) ScoreRow(row []float64) float64 { return s.fn(row) }
+
+// RowScorer returns a Scorer factory for models that score row-by-row (the
+// RF and logistic-regression baselines). dim is the expected feature width.
+func RowScorer(dim int, fn func(row []float64) float64) func() Scorer {
+	return func() Scorer { return &rowScorer{dim: dim, fn: fn} }
+}
+
+// Config parametrises an Engine.
+type Config struct {
+	// NewScorer builds one Scorer per worker. Required.
+	NewScorer func() Scorer
+	// Workers is the number of scoring goroutines. <= 0 selects
+	// parallel.Workers semantics (GOMAXPROCS).
+	Workers int
+	// MaxBatch caps how many queued requests one worker coalesces into a
+	// single batched forward. Default 256. 1 disables coalescing.
+	MaxBatch int
+	// MaxDelay is how long a worker holding a batch of ONE waits for
+	// company before scoring it. 0 (the default) means score immediately
+	// once the queue is momentarily empty — lowest latency, coalescing
+	// only under genuine concurrent load. Multi-row batches are never
+	// held: under load the next batch forms while the current one scores,
+	// so waiting would only idle the scorer (see coalesce).
+	MaxDelay time.Duration
+	// QueueDepth is the submission-queue buffer. Default 4×MaxBatch.
+	// Submitters block (backpressure) once it is full.
+	QueueDepth int
+}
+
+// Stats is a snapshot of engine counters.
+type Stats struct {
+	// Requests is the number of rows scored.
+	Requests int64
+	// Batches is the number of forward passes (including batches of one).
+	Batches int64
+	// FastPath counts batches of one served by the fused row path.
+	FastPath int64
+	// FullBatches counts batches that hit MaxBatch exactly.
+	FullBatches int64
+	// MaxBatchSeen is the largest batch coalesced so far.
+	MaxBatchSeen int64
+}
+
+// AvgBatch returns the mean coalesced batch size.
+func (s Stats) AvgBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Requests) / float64(s.Batches)
+}
+
+// request is one queued row; out is a rendezvous of capacity 1.
+type request struct {
+	row []float64
+	out chan float64
+}
+
+// Engine is the concurrent batched scorer. Safe for use from any number of
+// goroutines. Close drains in-flight work; Predict must not be called
+// concurrently with or after Close.
+type Engine struct {
+	cfg  Config
+	dim  int
+	reqs chan *request
+	pool sync.Pool
+	wg   sync.WaitGroup
+
+	requests    atomic.Int64
+	batches     atomic.Int64
+	fastPath    atomic.Int64
+	fullBatches atomic.Int64
+	maxBatch    atomic.Int64
+}
+
+// New validates cfg, spawns the workers and returns the running engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.NewScorer == nil {
+		return nil, errors.New("infer: Config.NewScorer is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = defaultWorkers()
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.MaxBatch
+	}
+	probe := cfg.NewScorer()
+	if probe == nil {
+		return nil, errors.New("infer: NewScorer returned nil")
+	}
+	e := &Engine{
+		cfg:  cfg,
+		dim:  probe.InputDim(),
+		reqs: make(chan *request, cfg.QueueDepth),
+	}
+	e.pool.New = func() any { return &request{out: make(chan float64, 1)} }
+	e.wg.Add(cfg.Workers)
+	// The probe scorer serves worker 0; the rest build their own.
+	go e.worker(probe)
+	for w := 1; w < cfg.Workers; w++ {
+		go e.worker(cfg.NewScorer())
+	}
+	return e, nil
+}
+
+// InputDim returns the feature width the engine scores.
+func (e *Engine) InputDim() int { return e.dim }
+
+// Predict scores one feature row, blocking until a worker has served it.
+// The row is read until Predict returns and is not retained. Zero heap
+// allocations in steady state (requests are pooled). Must not be called
+// after Close.
+func (e *Engine) Predict(row []float64) float64 {
+	r := e.pool.Get().(*request)
+	r.row = row
+	e.reqs <- r
+	p := <-r.out
+	r.row = nil
+	e.pool.Put(r)
+	return p
+}
+
+// PredictLabel scores one row and thresholds at 0.5.
+func (e *Engine) PredictLabel(row []float64) (float64, int) {
+	p := e.Predict(row)
+	if p >= 0.5 {
+		return p, 1
+	}
+	return p, 0
+}
+
+// Close stops the workers after the queue drains and waits for them to
+// exit. Callers must ensure no Predict is in flight or issued afterwards.
+func (e *Engine) Close() {
+	close(e.reqs)
+	e.wg.Wait()
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Requests:     e.requests.Load(),
+		Batches:      e.batches.Load(),
+		FastPath:     e.fastPath.Load(),
+		FullBatches:  e.fullBatches.Load(),
+		MaxBatchSeen: e.maxBatch.Load(),
+	}
+}
+
+// worker owns one Scorer plus preallocated batch storage and loops:
+// take one request, coalesce whatever else is queued (up to MaxBatch,
+// waiting at most MaxDelay), score, reply.
+func (e *Engine) worker(sc Scorer) {
+	defer e.wg.Done()
+	maxB := e.cfg.MaxBatch
+	batch := make([]*request, 0, maxB)
+	x := tensor.NewMatrix(maxB, e.dim)
+	probs := make([]float64, maxB)
+	var timer *time.Timer
+	if e.cfg.MaxDelay > 0 {
+		timer = time.NewTimer(time.Hour)
+		if !timer.Stop() {
+			<-timer.C
+		}
+		defer timer.Stop()
+	}
+	for first := range e.reqs {
+		batch = append(batch[:0], first)
+		e.coalesce(&batch, timer)
+		e.score(sc, batch, x, probs)
+	}
+}
+
+// coalesce drains queued requests into *batch up to MaxBatch: first
+// whatever is immediately available, then — if MaxDelay is configured and
+// the batch is still a singleton — whatever arrives before the deadline.
+//
+// The straggler wait deliberately applies only to batches of one. A
+// multi-row batch proves concurrent load, and under concurrent load the
+// next batch forms by itself while this one scores (service time is the
+// natural coalescing window); holding a formed batch for the full budget
+// just idles the scorer. The budget exists to let a lone request gather
+// company when load is light but bursty, and is spent at most once per
+// batch.
+func (e *Engine) coalesce(batch *[]*request, timer *time.Timer) {
+	maxB := e.cfg.MaxBatch
+	waited := false
+	for len(*batch) < maxB {
+		select {
+		case r, ok := <-e.reqs:
+			if !ok {
+				return
+			}
+			*batch = append(*batch, r)
+			continue
+		default:
+		}
+		// Queue momentarily empty.
+		if timer == nil || len(*batch) > 1 || waited {
+			return
+		}
+		waited = true
+		timer.Reset(e.cfg.MaxDelay)
+		select {
+		case r, ok := <-e.reqs:
+			if ok {
+				*batch = append(*batch, r)
+			}
+		case <-timer.C:
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		if len(*batch) == 1 {
+			return // budget spent, still alone
+		}
+	}
+}
+
+// score runs one coalesced batch and replies to every submitter.
+func (e *Engine) score(sc Scorer, batch []*request, x *tensor.Matrix, probs []float64) {
+	n := len(batch)
+	e.requests.Add(int64(n))
+	e.batches.Add(1)
+	for {
+		m := e.maxBatch.Load()
+		if int64(n) <= m || e.maxBatch.CompareAndSwap(m, int64(n)) {
+			break
+		}
+	}
+	if n == e.cfg.MaxBatch {
+		e.fullBatches.Add(1)
+	}
+	if n == 1 {
+		e.fastPath.Add(1)
+		batch[0].out <- sc.ScoreRow(batch[0].row)
+		return
+	}
+	// EnsureShape reslices the preallocated backing in place (capacity is
+	// MaxBatch rows), so assembling the batch never allocates.
+	xb := tensor.EnsureShape(x, n, e.dim)
+	for i, r := range batch {
+		copy(xb.Row(i), r.row)
+	}
+	sc.ScoreBatch(probs[:n], xb)
+	for i, r := range batch {
+		r.out <- probs[i]
+	}
+}
+
+// defaultWorkers mirrors parallel.Workers(0): one worker per schedulable
+// core.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }

@@ -1,0 +1,189 @@
+package infer
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// testNet builds a small MLP plus a bank of feature rows and the reference
+// (serial PredictProbs) score for each row.
+func testNet(t testing.TB, rows int) (*nn.Network, [][]float64, []float64) {
+	rng := rand.New(rand.NewSource(31))
+	net := nn.NewMLP(24, []int{32, 16}, 1, rng)
+	x := tensor.NewMatrix(rows, 24).RandomizeNormal(rng, 1)
+	want := net.PredictProbs(x)
+	rs := make([][]float64, rows)
+	for i := range rs {
+		rs[i] = x.Row(i)
+	}
+	return net, rs, want
+}
+
+// TestEngineBitIdentical is the acceptance guarantee: for any worker count,
+// any MaxBatch, any MaxDelay — i.e. any possible coalescing of concurrent
+// submitters into batches — every row scores bit-identically to the direct
+// serial PredictProbs path. Run under -race this also proves the engine's
+// memory discipline.
+func TestEngineBitIdentical(t *testing.T) {
+	net, rows, want := testNet(t, 64)
+	cases := []struct {
+		workers, maxBatch int
+		delay             time.Duration
+	}{
+		{1, 1, 0},
+		{1, 256, 0},
+		{2, 3, 0},
+		{4, 7, 500 * time.Microsecond},
+		{8, 256, 2 * time.Millisecond},
+	}
+	for _, c := range cases {
+		eng, err := New(Config{
+			NewScorer: NetworkScorer(net),
+			Workers:   c.workers,
+			MaxBatch:  c.maxBatch,
+			MaxDelay:  c.delay,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const feeds = 32
+		var wg sync.WaitGroup
+		for f := 0; f < feeds; f++ {
+			wg.Add(1)
+			go func(f int) {
+				defer wg.Done()
+				// Each feed walks the row bank from its own offset so the
+				// engine sees interleaved, repeating traffic.
+				for k := 0; k < 3*len(rows); k++ {
+					i := (f + k) % len(rows)
+					if p := eng.Predict(rows[i]); p != want[i] {
+						t.Errorf("workers=%d maxBatch=%d: row %d scored %v, want %v",
+							c.workers, c.maxBatch, i, p, want[i])
+						return
+					}
+				}
+			}(f)
+		}
+		wg.Wait()
+		st := eng.Stats()
+		eng.Close()
+		if got := int64(feeds * 3 * len(rows)); st.Requests != got {
+			t.Fatalf("workers=%d: stats lost requests: %d != %d", c.workers, st.Requests, got)
+		}
+		if st.MaxBatchSeen > int64(c.maxBatch) {
+			t.Fatalf("coalesced %d rows past MaxBatch %d", st.MaxBatchSeen, c.maxBatch)
+		}
+	}
+}
+
+// TestEngineCoalesces checks that under concurrent load with a latency
+// budget the engine actually forms multi-row batches (the whole point).
+func TestEngineCoalesces(t *testing.T) {
+	net, rows, _ := testNet(t, 64)
+	eng, err := New(Config{
+		NewScorer: NetworkScorer(net),
+		Workers:   1,
+		MaxBatch:  64,
+		MaxDelay:  2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const feeds = 48
+	var wg sync.WaitGroup
+	for f := 0; f < feeds; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			for k := 0; k < 20; k++ {
+				eng.Predict(rows[(f+k)%len(rows)])
+			}
+		}(f)
+	}
+	wg.Wait()
+	st := eng.Stats()
+	eng.Close()
+	if st.MaxBatchSeen < 2 {
+		t.Fatalf("no coalescing observed under %d concurrent feeds (max batch %d)",
+			feeds, st.MaxBatchSeen)
+	}
+	if avg := st.AvgBatch(); avg <= 1 {
+		t.Fatalf("average batch %v, want > 1", avg)
+	}
+}
+
+// TestEngineRowScorer serves a row-function model (the RF/LR baseline seam)
+// and checks scores and stats.
+func TestEngineRowScorer(t *testing.T) {
+	fn := func(row []float64) float64 { return row[0] * 2 }
+	eng, err := New(Config{NewScorer: RowScorer(3, fn), Workers: 2, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for f := 0; f < 16; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			row := []float64{float64(f), 1, 2}
+			for k := 0; k < 25; k++ {
+				if p := eng.Predict(row); p != float64(2*f) {
+					t.Errorf("row scorer: got %v want %v", p, 2*f)
+					return
+				}
+			}
+		}(f)
+	}
+	wg.Wait()
+	eng.Close()
+	if eng.InputDim() != 3 {
+		t.Fatal("InputDim")
+	}
+}
+
+// TestEngineConfigErrors covers constructor validation.
+func TestEngineConfigErrors(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("expected error without NewScorer")
+	}
+	if _, err := New(Config{NewScorer: func() Scorer { return nil }}); err == nil {
+		t.Fatal("expected error on nil scorer")
+	}
+}
+
+// TestPredictLabel checks the threshold helper.
+func TestPredictLabel(t *testing.T) {
+	eng, err := New(Config{NewScorer: RowScorer(1, func(r []float64) float64 { return r[0] }), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if p, l := eng.PredictLabel([]float64{0.75}); p != 0.75 || l != 1 {
+		t.Fatalf("got (%v,%d)", p, l)
+	}
+	if p, l := eng.PredictLabel([]float64{0.25}); p != 0.25 || l != 0 {
+		t.Fatalf("got (%v,%d)", p, l)
+	}
+}
+
+// TestEnginePredictZeroAlloc: the submit path itself must not allocate in
+// steady state (pooled requests). Allocations by the Go runtime for channel
+// operations are already zero; this guards the request plumbing.
+func TestEnginePredictZeroAlloc(t *testing.T) {
+	net, rows, _ := testNet(t, 8)
+	eng, err := New(Config{NewScorer: NetworkScorer(net), Workers: 1, MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.Predict(rows[0]) // warm pool + arena
+	n := testing.AllocsPerRun(50, func() { eng.Predict(rows[0]) })
+	if n > 0 {
+		t.Fatalf("Predict allocates %v per call in steady state, want 0", n)
+	}
+}

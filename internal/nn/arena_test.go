@@ -1,0 +1,148 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// arenaTestNets builds a few representative stacks: the paper MLP, a stack
+// with every fusable activation, and a CNN (non-fusable fallback).
+func arenaTestNets() map[string]*Network {
+	rng := rand.New(rand.NewSource(21))
+	mixed := NewNetwork(
+		NewDense(12, 16, rng), NewReLU(),
+		NewDropout(0.3, rng),
+		NewDense(16, 8, rng), NewSigmoid(),
+		NewDense(8, 6, rng), NewTanh(),
+		NewDense(6, 1, rng),
+	)
+	return map[string]*Network{
+		"mlp":   NewMLP(12, []int{32, 16}, 1, rng),
+		"mixed": mixed,
+		"cnn":   NewCNN(12, 1, rng),
+	}
+}
+
+// TestArenaBitIdentical: every arena path must reproduce the allocating
+// inference path bit for bit, for any batch size, including batch-size
+// changes that reshape the scratch (grow and shrink).
+func TestArenaBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for name, net := range arenaTestNets() {
+		in := net.InputDim()
+		a := NewArena(net)
+		for _, rows := range []int{1, 3, 17, 64, 2, 64, 1} {
+			x := tensor.NewMatrix(rows, in).RandomizeNormal(rng, 1)
+			want := net.PredictProbs(x)
+			got := a.PredictProbsInto(make([]float64, rows), x)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s rows=%d: arena diverges at row %d: %v != %v",
+						name, rows, i, got[i], want[i])
+				}
+			}
+			// Fused single-row path against each batch row.
+			for i := 0; i < rows; i++ {
+				if p := a.PredictProb1(x.Row(i)); p != want[i] {
+					t.Fatalf("%s rows=%d: PredictProb1 diverges at row %d: %v != %v",
+						name, rows, i, p, want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestArenaZeroAlloc is the steady-state guarantee: once scratch has grown,
+// arena passes allocate nothing.
+func TestArenaZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	net := NewMLP(66, []int{128, 256, 128}, 1, rng)
+	a := NewArena(net)
+	x := tensor.NewMatrix(64, 66).RandomizeNormal(rng, 1)
+	dst := make([]float64, 64)
+	a.PredictProbsInto(dst, x) // grow scratch
+	if n := testing.AllocsPerRun(10, func() { a.PredictProbsInto(dst, x) }); n != 0 {
+		t.Fatalf("arena batch pass allocates %v per run, want 0", n)
+	}
+	row := x.Row(0)
+	a.PredictProb1(row)
+	if n := testing.AllocsPerRun(10, func() { a.PredictProb1(row) }); n != 0 {
+		t.Fatalf("fused single-sample pass allocates %v per run, want 0", n)
+	}
+	// Shrinking the batch must not allocate either (in-place reslice).
+	small := tensor.FromSlice(3, 66, x.Data[:3*66])
+	dst3 := dst[:3]
+	a.PredictProbsInto(dst3, small)
+	if n := testing.AllocsPerRun(10, func() { a.PredictProbsInto(dst3, small) }); n != 0 {
+		t.Fatalf("arena shrunk-batch pass allocates %v per run, want 0", n)
+	}
+}
+
+// TestArenaSharedNetworkConcurrent: many arenas over one network, used from
+// many goroutines, must agree with the serial path (run with -race).
+func TestArenaSharedNetworkConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	net := NewMLP(10, []int{16, 8}, 1, rng)
+	x := tensor.NewMatrix(32, 10).RandomizeNormal(rng, 1)
+	want := net.PredictProbs(x)
+	const workers = 8
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			a := NewArena(net)
+			dst := make([]float64, x.Rows)
+			for iter := 0; iter < 50; iter++ {
+				a.PredictProbsInto(dst, x)
+				for i := range want {
+					if dst[i] != want[i] {
+						errs <- "arena diverged under concurrency"
+						return
+					}
+				}
+			}
+			errs <- ""
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if e := <-errs; e != "" {
+			t.Fatal(e)
+		}
+	}
+}
+
+// TestPredictProbsInto covers the new Into variants on Network itself.
+func TestPredictProbsInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	net := NewMLP(8, []int{8}, 1, rng)
+	x := tensor.NewMatrix(5, 8).RandomizeNormal(rng, 1)
+	want := net.PredictProbs(x)
+	got := net.PredictProbsInto(make([]float64, 5), x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PredictProbsInto diverges at %d", i)
+		}
+	}
+	wantB := net.PredictBinary(x)
+	gotB := net.PredictBinaryInto(make([]int, 5), make([]float64, 5), x)
+	for i := range wantB {
+		if gotB[i] != wantB[i] {
+			t.Fatalf("PredictBinaryInto diverges at %d", i)
+		}
+	}
+	for _, fn := range []func(){
+		func() { net.PredictProbsInto(make([]float64, 4), x) },
+		func() { net.PredictBinaryInto(make([]int, 4), make([]float64, 5), x) },
+		func() { NewArena(net).PredictProbsInto(make([]float64, 4), x) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on dst length mismatch")
+				}
+			}()
+			fn()
+		}()
+	}
+}

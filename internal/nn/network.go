@@ -125,27 +125,48 @@ func (n *Network) OutputDim() int {
 // PredictProbs runs inference on x and applies a sigmoid to the single
 // logit column, returning P(class=1) per row.
 func (n *Network) PredictProbs(x *tensor.Matrix) []float64 {
+	return n.PredictProbsInto(make([]float64, x.Rows), x)
+}
+
+// PredictProbsInto is PredictProbs writing into a caller-owned slice of
+// length x.Rows, for hot callers that score repeatedly and do not want a
+// fresh probs allocation per call (the per-layer forward allocations remain;
+// use an Arena to eliminate those too). Returns dst.
+func (n *Network) PredictProbsInto(dst []float64, x *tensor.Matrix) []float64 {
+	if len(dst) != x.Rows {
+		panic(fmt.Sprintf("nn: PredictProbsInto dst length %d != rows %d", len(dst), x.Rows))
+	}
 	out := n.Forward(x, false)
 	if out.Cols != 1 {
 		panic(fmt.Sprintf("nn: PredictProbs on %d-column output", out.Cols))
 	}
-	probs := make([]float64, out.Rows)
-	for i := range probs {
-		probs[i] = SigmoidScalar(out.Data[i])
+	for i := range dst {
+		dst[i] = SigmoidScalar(out.Data[i])
 	}
-	return probs
+	return dst
 }
 
 // PredictBinary thresholds PredictProbs at 0.5.
 func (n *Network) PredictBinary(x *tensor.Matrix) []int {
-	probs := n.PredictProbs(x)
-	out := make([]int, len(probs))
+	return n.PredictBinaryInto(make([]int, x.Rows), make([]float64, x.Rows), x)
+}
+
+// PredictBinaryInto is PredictBinary writing into caller-owned slices (dst
+// for labels, probs as scratch for the sigmoid outputs), both of length
+// x.Rows. Returns dst.
+func (n *Network) PredictBinaryInto(dst []int, probs []float64, x *tensor.Matrix) []int {
+	if len(dst) != x.Rows {
+		panic(fmt.Sprintf("nn: PredictBinaryInto dst length %d != rows %d", len(dst), x.Rows))
+	}
+	n.PredictProbsInto(probs, x)
 	for i, p := range probs {
 		if p >= 0.5 {
-			out[i] = 1
+			dst[i] = 1
+		} else {
+			dst[i] = 0
 		}
 	}
-	return out
+	return dst
 }
 
 // PredictRegression runs inference and returns the raw (linear) outputs,

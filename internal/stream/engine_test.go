@@ -1,0 +1,90 @@
+package stream_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/stream"
+)
+
+// TestRuntimeOnEngineBitIdentical is the rewiring guarantee: a Runtime
+// whose Predictors are served through the batched inference engine
+// (core.DetectorEngine) must emit exactly the decision sequence of a
+// Runtime calling the detectors directly — same probabilities (bit for
+// bit), same labels, same mode transitions — across a faulty stream that
+// exercises imputation, fallback and recovery.
+func TestRuntimeOnEngineBitIdentical(t *testing.T) {
+	gcfg := dataset.DefaultGenConfig(1.0/30, 9)
+	gcfg.Start = time.Date(2022, 1, 5, 8, 0, 0, 0, time.UTC)
+	gcfg.Duration = 26 * time.Hour
+	d, err := dataset.Generate(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := core.DefaultDetectorConfig()
+	dcfg.Hidden = []int{32, 16}
+	dcfg.Train.Epochs = 4
+	primary, err := core.TrainDetector(d, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg.Features = dataset.FeatCSI
+	fallback, err := core.TrainDetector(d, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A moderately hostile frame sequence: drops, env outages, recovery.
+	inj := fault.NewInjector(fault.DefaultProfile(3).Scale(0.8))
+	frames := make([]fault.Frame, 0, 600)
+	for i := 0; i < 600; i++ {
+		frames = append(frames, inj.Apply(d.Records[i%d.Len()]))
+	}
+
+	runCfg := stream.Config{
+		Primary:        primary,
+		Fallback:       fallback,
+		PrimaryUsesEnv: true,
+		WatchdogFrames: 10,
+		RecoverFrames:  20,
+		SmootherNeed:   3,
+	}
+	direct, err := stream.New(runCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantDecs []stream.Decision
+	for _, f := range frames {
+		wantDecs = append(wantDecs, direct.Process(f))
+	}
+
+	pe, err := core.NewDetectorEngine(primary, core.ServeConfig{Workers: 2, MaxBatch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pe.Close()
+	fe, err := core.NewDetectorEngine(fallback, core.ServeConfig{Workers: 2, MaxBatch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe.Close()
+	engCfg := runCfg
+	engCfg.Primary = pe
+	engCfg.Fallback = fe
+	served, err := stream.New(engCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range frames {
+		got := served.Process(f)
+		if got != wantDecs[i] {
+			t.Fatalf("frame %d: engine-served decision %+v != direct %+v", i, got, wantDecs[i])
+		}
+	}
+	if direct.Stats() != served.Stats() {
+		t.Fatalf("runtime stats diverge: %+v != %+v", direct.Stats(), served.Stats())
+	}
+}

@@ -1,0 +1,128 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMatMulBlockedBitIdentical is the contract the serving determinism
+// guarantee rests on: the blocked kernel must reproduce the flat kernel bit
+// for bit on shapes straddling every block boundary (multiples, off-by-one,
+// scalar k tails, single rows).
+func TestMatMulBlockedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := []struct{ m, k, n int }{
+		{1, 7, 530},
+		{3, 514, 513},
+		{65, 512, 512},
+		{64, 513, 515},
+		{2, 1030, 700},
+		{130, 66, 2049},
+		{5, 2048, 512},
+	}
+	for _, s := range shapes {
+		a := NewMatrix(s.m, s.k).RandomizeNormal(rng, 1)
+		b := NewMatrix(s.k, s.n).RandomizeNormal(rng, 1)
+		// Sprinkle exact zeros so the zero-skip branches run in both kernels.
+		for i := 0; i < len(a.Data); i += 17 {
+			a.Data[i] = 0
+		}
+		flat := NewMatrix(s.m, s.n)
+		matmulRange(flat, a, b, 0, s.m)
+		blocked := NewMatrix(s.m, s.n)
+		matmulRangeBlocked(blocked, a, b, 0, s.m)
+		for i, v := range flat.Data {
+			if blocked.Data[i] != v {
+				t.Fatalf("%dx%dx%d: blocked kernel diverges at %d: %v != %v",
+					s.m, s.k, s.n, i, blocked.Data[i], v)
+			}
+		}
+		// And through the public dispatch (which may parallelise).
+		got := MatMul(nil, a, b)
+		for i, v := range flat.Data {
+			if got.Data[i] != v {
+				t.Fatalf("%dx%dx%d: MatMul dispatch diverges at %d", s.m, s.k, s.n, i)
+			}
+		}
+	}
+}
+
+// TestRowMatMulInto checks the fused single-sample kernel against the 1×N
+// matrix path, bias included, bit for bit.
+func TestRowMatMulInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, s := range []struct{ k, n int }{{1, 1}, {7, 5}, {66, 128}, {256, 129}, {515, 2049}} {
+		row := make([]float64, s.k)
+		for i := range row {
+			row[i] = rng.NormFloat64()
+		}
+		row[0] = 0 // exercise the zero-skip branch
+		b := NewMatrix(s.k, s.n).RandomizeNormal(rng, 1)
+		bias := make([]float64, s.n)
+		for i := range bias {
+			bias[i] = rng.NormFloat64()
+		}
+		want := MatMul(nil, FromSlice(1, s.k, row), b)
+		want.AddRowVector(bias)
+		dst := make([]float64, s.n)
+		RowMatMulInto(dst, row, b, bias)
+		for j, v := range want.Data {
+			if dst[j] != v {
+				t.Fatalf("%dx%d: RowMatMulInto diverges at %d: %v != %v", s.k, s.n, j, dst[j], v)
+			}
+		}
+		// nil bias variant.
+		want2 := MatMul(nil, FromSlice(1, s.k, row), b)
+		RowMatMulInto(dst, row, b, nil)
+		for j, v := range want2.Data {
+			if dst[j] != v {
+				t.Fatalf("%dx%d: RowMatMulInto(nil bias) diverges at %d", s.k, s.n, j)
+			}
+		}
+	}
+}
+
+func TestRowMatMulIntoPanics(t *testing.T) {
+	b := NewMatrix(3, 2)
+	for _, fn := range []func(){
+		func() { RowMatMulInto(make([]float64, 2), make([]float64, 2), b, nil) },
+		func() { RowMatMulInto(make([]float64, 3), make([]float64, 3), b, nil) },
+		func() { RowMatMulInto(make([]float64, 2), make([]float64, 3), b, make([]float64, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on shape mismatch")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// BenchmarkMatMulLargeBlocked measures the shape class the blocked kernel
+// exists for: b far beyond L2.
+func BenchmarkMatMulLargeBlocked(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	a := NewMatrix(256, 1024).RandomizeNormal(rng, 1)
+	c := NewMatrix(1024, 1024).RandomizeNormal(rng, 1)
+	dst := NewMatrix(256, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(dst, a, c)
+	}
+}
+
+// BenchmarkMatMulLargeFlat is the same shape forced through the flat kernel
+// for comparison.
+func BenchmarkMatMulLargeFlat(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	a := NewMatrix(256, 1024).RandomizeNormal(rng, 1)
+	c := NewMatrix(1024, 1024).RandomizeNormal(rng, 1)
+	dst := NewMatrix(256, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Zero()
+		matmulRange(dst, a, c, 0, a.Rows)
+	}
+}

@@ -229,12 +229,19 @@ func MatMul(dst, a, b *Matrix) *Matrix {
 		dst.Zero()
 	}
 	work := a.Rows * a.Cols * b.Cols
+	// Above the L2 footprint threshold the cache-blocked kernel (blocked.go)
+	// takes over; it accumulates every output element in the same order as
+	// matmulRange, so the dispatch never changes results (bit for bit).
+	kernel := matmulRange
+	if matmulUseBlocked(a.Rows, a.Cols, b.Cols) {
+		kernel = matmulRangeBlocked
+	}
 	if work >= matmulParallelThreshold && a.Rows > 1 {
 		parallelRows(a.Rows, func(lo, hi int) {
-			matmulRange(dst, a, b, lo, hi)
+			kernel(dst, a, b, lo, hi)
 		})
 	} else {
-		matmulRange(dst, a, b, 0, a.Rows)
+		kernel(dst, a, b, 0, a.Rows)
 	}
 	return dst
 }
@@ -274,6 +281,34 @@ func matmulRange(dst, a, b *Matrix, lo, hi int) {
 			}
 		}
 	}
+}
+
+// MatMulSerial computes a×b into dst (allocating when dst is nil) on the
+// calling goroutine only — same kernels and cache-blocking dispatch as
+// MatMul, bit-identical output, but no goroutine fan-out and no closure
+// allocation. This is the variant for callers that already own their
+// parallelism (one serving-engine worker per core, each with a private
+// arena): fanning out inside the matmul there would oversubscribe the
+// machine, and the closure the parallel path allocates would break the
+// arena's zero-allocation guarantee.
+func MatMulSerial(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", a.Cols, b.Rows))
+	}
+	if dst == nil {
+		dst = NewMatrix(a.Rows, b.Cols)
+	} else {
+		if dst.Rows != a.Rows || dst.Cols != b.Cols {
+			panic("tensor: MatMul dst shape mismatch")
+		}
+		dst.Zero()
+	}
+	if matmulUseBlocked(a.Rows, a.Cols, b.Cols) {
+		matmulRangeBlocked(dst, a, b, 0, a.Rows)
+	} else {
+		matmulRange(dst, a, b, 0, a.Rows)
+	}
+	return dst
 }
 
 // MatMulATB computes aᵀ×b into dst (allocating when nil). a is m×r, b is m×c,

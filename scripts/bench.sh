@@ -1,25 +1,51 @@
 #!/usr/bin/env bash
-# bench.sh — run the headline benchmarks and record the numbers as JSON.
+# bench.sh — run the headline benchmarks, record the numbers as JSON, and
+# diff the inference numbers against the most recent previous record.
 #
 # Usage: scripts/bench.sh [output.json]
 #
-# Writes BENCH_<date>.json in the repo root by default. The four benchmarks
-# cover the experiment grid end-to-end (Table4Full), the training hot path
-# (TrainEpochMLP), the matmul kernel underneath everything (MatMul), and
-# batch inference (InferenceMLPBatch256).
+# Writes BENCH_<date>.json in the repo root by default (BENCH_<date>T<time>
+# if today's file already exists, so reruns never clobber a recorded run).
+# The benchmarks cover the experiment grid end-to-end (Table4Full), the
+# training hot path (TrainEpochMLP), the matmul kernel underneath everything
+# (MatMul), and the serving stack (InferenceMLPBatch256 through the forward
+# arena, the fused single-row path, and the multi-feed engine).
+#
+# After writing, the inference benchmarks (Inference*/Engine*) are compared
+# against the latest earlier BENCH_*.json: a >15% ns/op regression prints a
+# diagnosis and exits 1. CI runs this in a non-blocking job — the failure is
+# a flag for a human, not a merge gate, because 3-iteration runs on shared
+# runners are noisy.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_$(date +%F).json}"
-benches='BenchmarkTable4Full|BenchmarkTrainEpochMLP|BenchmarkMatMul$|BenchmarkInferenceMLPBatch256'
+if [[ -z "${1:-}" && -e "$out" ]]; then
+  out="BENCH_$(date +%FT%H%M%S).json"
+fi
+benches='BenchmarkTable4Full|BenchmarkTrainEpochMLP|BenchmarkMatMul$|BenchmarkInferenceMLPBatch256|BenchmarkInferenceMLPSingleFused|BenchmarkEngineMultiFeed'
 
 raw="$(go test -bench="$benches" -benchtime=3x -benchmem -run '^$' . 2>&1)"
 echo "$raw"
 
+# The most recent earlier record, by the UTC date embedded in each file
+# (file mtimes are meaningless after a fresh clone).
+prev=""
+prev_date=""
+for f in BENCH_*.json; do
+  [[ -e "$f" && "$f" != "$out" ]] || continue
+  d="$(sed -n 's/.*"date": "\([^"]*\)".*/\1/p' "$f" | head -n1)"
+  if [[ "$d" > "$prev_date" ]]; then
+    prev_date="$d"
+    prev="$f"
+  fi
+done
+
 # Convert `go test -bench` lines into a JSON document, keeping the
 # environment facts needed to interpret the numbers (core count matters:
-# the parallel engine cannot speed anything up at GOMAXPROCS=1).
+# neither the parallel experiment engine nor the serving engine can show
+# wall-clock fan-out gains at GOMAXPROCS=1).
 {
   printf '{\n'
   printf '  "date": "%s",\n' "$(date -u +%FT%TZ)"
@@ -52,3 +78,31 @@ echo "$raw"
 } > "$out"
 
 echo "benchmark results written to $out"
+
+if [[ -z "$prev" ]]; then
+  echo "no earlier BENCH_*.json — skipping regression check"
+  exit 0
+fi
+
+echo "inference regression check against $prev (threshold: +15% ns/op):"
+awk -v thresh=1.15 '
+  /"name"/ {
+    name=$0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+    ns=$0;   sub(/.*"ns_per_op": /, "", ns); sub(/[^0-9].*/, "", ns)
+    if (name !~ /Inference|Engine/ || ns == "") next
+    if (FNR == NR) { old[name] = ns; next }
+    if (!(name in old) || old[name] <= 0) {
+      printf "  %-36s %12d ns/op  (new benchmark, no baseline)\n", name, ns
+      next
+    }
+    ratio = ns / old[name]
+    mark = (ratio > thresh) ? "  << REGRESSION" : ""
+    printf "  %-36s %12d -> %12d ns/op  (%.2fx)%s\n", name, old[name], ns, ratio, mark
+    if (ratio > thresh) bad = 1
+  }
+  END { exit bad }
+' "$prev" "$out" || {
+  echo "bench.sh: inference benchmark regressed >15% vs $prev" >&2
+  exit 1
+}
+echo "no inference regression"
