@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -96,7 +97,7 @@ func main() {
 		return nil
 	}
 	t0 := time.Now()
-	err = dataset.Stream(cfg, func(r dataset.Record) error {
+	err = dataset.Stream(context.Background(), cfg, func(r dataset.Record) error {
 		d.Records = append(d.Records, r)
 		if d.Len() >= 50000 {
 			return flush()

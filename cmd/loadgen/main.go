@@ -14,6 +14,11 @@
 //
 //	loadgen [-feeds n] [-per-feed n] [-workers n] [-batch n] [-delay d]
 //	        [-model detector.bin] [-epochs n] [-seed n] [-verify]
+//	        [-metrics-addr :9090]
+//
+// With -metrics-addr the engine's infer_* series (batch-size histogram,
+// queue depth, worker utilisation) are live on /metrics while the load runs,
+// and /debug/pprof/profile captures the hot path under real load.
 //
 // On a single-core host the engine's win is allocation, not parallelism:
 // expect ~1x wall-clock with zero steady-state garbage; on multi-core hosts
@@ -30,6 +35,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -43,6 +49,7 @@ func main() {
 		epochs  = flag.Int("epochs", 2, "training epochs when no -model is given")
 		seed    = flag.Int64("seed", 11, "dataset seed")
 		verify  = flag.Bool("verify", false, "check engine output bit-identical to the direct path first")
+		metrics = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (empty disables)")
 	)
 	flag.Parse()
 	if *feeds < 1 || *perFeed < 1 || *workers < 0 || *batch < 1 || *epochs < 1 {
@@ -54,7 +61,17 @@ func main() {
 	fmt.Printf("loadgen: %d feeds × %d records, %d cores, net %v, bank %d records\n",
 		*feeds, *perFeed, runtime.NumCPU(), det.Net, len(recs))
 
-	scfg := core.ServeConfig{Workers: *workers, MaxBatch: *batch}
+	var observer obs.Observer
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		srv, err := obs.StartServer(*metrics, reg)
+		fail(err)
+		defer srv.Close()
+		fmt.Printf("loadgen: metrics at %s/metrics\n", srv.URL())
+		observer = reg
+	}
+
+	scfg := core.ServeConfig{Workers: *workers, MaxBatch: *batch, Observer: observer}
 	if *delay >= 0 {
 		scfg.MaxDelay = *delay
 		if *delay == 0 {

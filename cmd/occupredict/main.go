@@ -13,10 +13,12 @@
 // Usage:
 //
 //	occupredict [-model detector.bin] [-minutes m] [-rate hz] [-seed n]
-//	            [-fault intensity] [-smooth k]
+//	            [-fault intensity] [-smooth k] [-epochs n] [-metrics-addr :9090]
 //
 // Without -model, a detector is trained on the fly first (plus a CSI-only
-// fallback so the degradation path is live).
+// fallback so the degradation path is live); -epochs shortens that training.
+// With -metrics-addr, the process serves Prometheus metrics on /metrics and
+// the standard pprof profiles on /debug/pprof/ for the whole run.
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/stream"
 )
 
@@ -45,15 +48,33 @@ func main() {
 		smooth    = flag.Int("smooth", 0, "state flips only after k consecutive contrary samples (0 = raw)")
 		workers   = flag.Int("workers", 0, "inference engine workers (0 = one per core)")
 		maxBatch  = flag.Int("batch", 256, "inference engine micro-batch cap")
+		epochs    = flag.Int("epochs", 5, "training epochs for the on-the-fly detector (ignored with -model)")
+		metrics   = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090; empty disables)")
 	)
 	flag.Parse()
 	fail(validateFlags(*rate, *minutes, *intensity, *smooth, *model))
 	if *workers < 0 || *maxBatch < 1 {
 		fail(fmt.Errorf("-workers must be >= 0 and -batch >= 1 (got %d, %d)", *workers, *maxBatch))
 	}
+	if *epochs < 1 {
+		fail(fmt.Errorf("-epochs must be >= 1 (got %d)", *epochs))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Start the observability endpoint before any heavy work so training
+	// progress is already scrapable. A nil Observer keeps every instrumented
+	// path at its zero-overhead default.
+	var observer obs.Observer
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		srv, err := obs.StartServer(*metrics, reg)
+		fail(err)
+		defer srv.Close()
+		fmt.Printf("occupredict: metrics at %s/metrics, profiles at %s/debug/pprof/\n", srv.URL(), srv.URL())
+		observer = reg
+	}
 
 	var primary, fallback *core.Detector
 	var err error
@@ -68,7 +89,8 @@ func main() {
 		d, err := dataset.Generate(cfg)
 		fail(err)
 		dcfg := core.DefaultDetectorConfig()
-		dcfg.Train.Epochs = 5
+		dcfg.Train.Epochs = *epochs
+		dcfg.Train.Observer = observer
 		primary, err = core.TrainDetector(d, dcfg)
 		fail(err)
 		dcfg.Features = dataset.FeatCSI
@@ -81,7 +103,7 @@ func main() {
 	// bit-identical to calling the detectors directly (DESIGN.md §9). One
 	// stream barely exercises the batching, but this is the deployment
 	// shape — cmd/loadgen drives the same path with many feeds.
-	scfgServe := core.ServeConfig{Workers: *workers, MaxBatch: *maxBatch}
+	scfgServe := core.ServeConfig{Workers: *workers, MaxBatch: *maxBatch, Observer: observer}
 	primaryEng, err := core.NewDetectorEngine(primary, scfgServe)
 	fail(err)
 	defer primaryEng.Close()
@@ -100,6 +122,7 @@ func main() {
 		PrimaryUsesEnv: primary.Features != dataset.FeatCSI,
 		SmootherNeed:   *smooth,
 		Seed:           *seed,
+		Observer:       observer,
 	})
 	fail(err)
 
@@ -110,12 +133,14 @@ func main() {
 	scfg.Start = dataset.PaperStart.Add(41 * time.Hour) // Jan 6, 08:08
 	scfg.Duration = time.Duration(*minutes * float64(time.Minute))
 
-	inj := fault.NewInjector(fault.DefaultProfile(*seed + 1).Scale(*intensity))
+	fcfg := fault.DefaultProfile(*seed + 1).Scale(*intensity)
+	fcfg.Observer = observer
+	inj := fault.NewInjector(fcfg)
 	frames := make(chan fault.Frame, 64)
 	prodErr := make(chan error, 1)
 	go func() {
 		defer close(frames)
-		prodErr <- dataset.StreamCtx(ctx, scfg, func(r dataset.Record) error {
+		prodErr <- dataset.Stream(ctx, scfg, func(r dataset.Record) error {
 			select {
 			case frames <- inj.Apply(r):
 				return nil

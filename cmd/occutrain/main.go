@@ -6,8 +6,11 @@
 //
 //	occutrain -data trace.csv [-features CSI|Env|C+E] [-model out.bin]
 //	          [-epochs n] [-lr f] [-batch n] [-hidden 128,256,128] [-seed n]
+//	          [-metrics-addr :9090]
 //
-// With -data "" a synthetic trace is generated on the fly.
+// With -data "" a synthetic trace is generated on the fly. With
+// -metrics-addr, training progress (train_* series) is served on /metrics
+// alongside /debug/pprof/ for profiling slow epochs.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -33,11 +37,22 @@ func main() {
 		hidden  = flag.String("hidden", "128,256,128", "hidden layer widths")
 		seed    = flag.Int64("seed", 1, "random seed")
 		trainN  = flag.Int("train", 40000, "max training samples after thinning (0 = all)")
+		metrics = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (empty disables)")
 	)
 	flag.Parse()
 
 	feat, err := parseFeatures(*featStr)
 	fail(err)
+
+	var observer obs.Observer
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		srv, err := obs.StartServer(*metrics, reg)
+		fail(err)
+		defer srv.Close()
+		fmt.Printf("occutrain: metrics at %s/metrics\n", srv.URL())
+		observer = reg
+	}
 
 	var d *dataset.Dataset
 	if *data == "" {
@@ -62,6 +77,7 @@ func main() {
 	dcfg.Train.LR = *lr
 	dcfg.Train.BatchSize = *batch
 	dcfg.Train.Seed = *seed
+	dcfg.Train.Observer = observer
 	dcfg.Seed = *seed
 	dcfg.Train.OnEpoch = func(e int, loss float64) {
 		fmt.Printf("  epoch %2d  loss %.4f\n", e+1, loss)

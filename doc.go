@@ -18,4 +18,26 @@
 // examples/. See README.md for the tour, DESIGN.md for the system inventory
 // and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
 // results.
+//
+// # Zero-allocation naming convention
+//
+// Two conventions mark the functions that write results into caller-provided
+// storage instead of allocating:
+//
+//   - High-level APIs carry an "Into" suffix and take the destination as the
+//     first parameter: nn.Network.PredictProbsInto, nn.Network.
+//     PredictBinaryInto, nn.Arena.PredictProbsInto, dataset.FeatureRowInto,
+//     tensor.RowMatMulInto. Each is the allocation-free variant of a same-
+//     named convenience API and must produce bit-identical results.
+//
+//   - BLAS-style kernels keep their classical names but still take dst
+//     first: tensor.MatMul and variants, tensor.Axpy, the nn.Loss.Grad
+//     method, and the infer.Scorer.ScoreBatch contract. Writing in place is
+//     their entire point, so the suffix would be noise.
+//
+// Everything else that takes a dst must follow one of the two. The
+// convention is enforced by TestIntoNamingConvention (naming_test.go), which
+// parses every non-test source file and flags exported functions whose first
+// parameter is named dst but whose name lacks the Into suffix and is not on
+// the kernel allowlist.
 package repro

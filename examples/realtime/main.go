@@ -78,7 +78,7 @@ func main() {
 	prodErr := make(chan error, 1)
 	go func() {
 		defer close(frames)
-		prodErr <- dataset.StreamCtx(ctx, scfg, func(r dataset.Record) error {
+		prodErr <- dataset.Stream(ctx, scfg, func(r dataset.Record) error {
 			select {
 			case frames <- inj.Apply(r):
 				return nil

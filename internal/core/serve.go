@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/infer"
+	"repro/internal/obs"
 )
 
 // ServeConfig parametrises a DetectorEngine. The zero value is a sensible
@@ -23,6 +24,9 @@ type ServeConfig struct {
 	MaxDelay time.Duration
 	// QueueDepth bounds the submission queue (default 4×MaxBatch).
 	QueueDepth int
+	// Observer receives the engine's infer_* metrics (see infer.Config).
+	// Nil disables observability.
+	Observer obs.Observer
 }
 
 // DetectorEngine serves one trained Detector to many concurrent callers
@@ -58,6 +62,7 @@ func NewDetectorEngine(d *Detector, cfg ServeConfig) (*DetectorEngine, error) {
 		MaxBatch:   cfg.MaxBatch,
 		MaxDelay:   cfg.MaxDelay,
 		QueueDepth: cfg.QueueDepth,
+		Observer:   cfg.Observer,
 	})
 	if err != nil {
 		return nil, err
@@ -94,6 +99,9 @@ func (de *DetectorEngine) PredictRow(row []float64) (float64, int) {
 }
 
 // Stats returns the underlying engine counters.
+//
+// Deprecated: see infer.Engine.Stats — pass an Observer in ServeConfig and
+// read the infer_* series instead.
 func (de *DetectorEngine) Stats() infer.Stats { return de.eng.Stats() }
 
 // Close drains and stops the engine workers. No calls may be in flight or

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -277,7 +278,7 @@ func TestStreamErrorsPropagate(t *testing.T) {
 	cfg := shortConfig()
 	cfg.Duration = time.Minute
 	wantErr := false
-	err := Stream(cfg, func(Record) error {
+	err := Stream(context.Background(), cfg, func(Record) error {
 		wantErr = true
 		return errStop
 	})
@@ -286,12 +287,12 @@ func TestStreamErrorsPropagate(t *testing.T) {
 	}
 	bad := cfg
 	bad.Rate = 0
-	if err := Stream(bad, func(Record) error { return nil }); err == nil {
+	if err := Stream(context.Background(), bad, func(Record) error { return nil }); err == nil {
 		t.Fatal("rate 0 accepted")
 	}
 	bad = cfg
 	bad.Duration = 0
-	if err := Stream(bad, func(Record) error { return nil }); err == nil {
+	if err := Stream(context.Background(), bad, func(Record) error { return nil }); err == nil {
 		t.Fatal("duration 0 accepted")
 	}
 }

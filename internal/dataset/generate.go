@@ -99,7 +99,7 @@ func Generate(cfg GenConfig) (*Dataset, error) {
 	if n > 0 {
 		d.Records = make([]Record, 0, n)
 	}
-	err := Stream(cfg, func(r Record) error {
+	err := Stream(context.Background(), cfg, func(r Record) error {
 		d.Records = append(d.Records, r)
 		return nil
 	})
@@ -111,16 +111,11 @@ func Generate(cfg GenConfig) (*Dataset, error) {
 
 // Stream generates records one at a time, invoking fn for each. It is the
 // memory-bounded path used by cmd/csigen for long high-rate traces and by
-// the real-time example.
-func Stream(cfg GenConfig, fn func(Record) error) error {
-	return StreamCtx(context.Background(), cfg, fn)
-}
-
-// StreamCtx is Stream with cancellation: it returns ctx.Err() promptly when
-// the context is cancelled mid-trace, letting callers (SIGINT handlers, the
-// streaming runtime) shut the generator down without draining the full
-// duration.
-func StreamCtx(ctx context.Context, cfg GenConfig, fn func(Record) error) error {
+// the real-time example. It returns ctx.Err() promptly when the context is
+// cancelled mid-trace, letting callers (SIGINT handlers, the streaming
+// runtime) shut the generator down without draining the full duration;
+// callers that never cancel pass context.Background().
+func Stream(ctx context.Context, cfg GenConfig, fn func(Record) error) error {
 	if cfg.Rate <= 0 {
 		return fmt.Errorf("dataset: non-positive sample rate %g", cfg.Rate)
 	}
@@ -167,4 +162,11 @@ func StreamCtx(ctx context.Context, cfg GenConfig, fn func(Record) error) error 
 		}
 	}
 	return nil
+}
+
+// StreamCtx is the pre-merge name of Stream.
+//
+// Deprecated: Stream is context-first now; call Stream directly.
+func StreamCtx(ctx context.Context, cfg GenConfig, fn func(Record) error) error {
+	return Stream(ctx, cfg, fn)
 }

@@ -21,6 +21,7 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -28,6 +29,7 @@ import (
 
 	"repro/internal/csi"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 // Frame is one record as delivered by the faulty capture pipeline.
@@ -92,6 +94,13 @@ type Config struct {
 	EnvOutageMeanLen float64
 	EnvStaleProb     float64
 	EnvDead          bool
+
+	// Observer receives injected-event counters (fault_* series). Nil
+	// disables observability; the fault trace itself — which frames drop,
+	// when the env feed dies — is a function of Seed and the record
+	// sequence alone and is never affected by the Observer (TraceHash is
+	// computed identically either way).
+	Observer obs.Observer `json:"-"`
 }
 
 // DefaultProfile returns a moderately hostile field profile at intensity 1:
@@ -178,12 +187,39 @@ func (s Stats) DropRate() float64 {
 	return float64(s.Dropped) / float64(s.Frames)
 }
 
+// metrics are the injector's obs instruments; all nil (no-op) without an
+// Observer in Config. Injectors sharing an Observer aggregate.
+type metrics struct {
+	frames     *obs.Counter
+	dropped    *obs.Counter
+	envMissing *obs.Counter
+	envStale   *obs.Counter
+	nullBursts *obs.Counter
+	agcJumps   *obs.Counter
+}
+
+// newMetrics resolves the fault instrument set against o (nil → all-nil).
+func newMetrics(o obs.Observer) metrics {
+	if o == nil {
+		return metrics{}
+	}
+	return metrics{
+		frames:     o.Counter("fault_frames_total", "frames passed through the fault channel"),
+		dropped:    o.Counter("fault_dropped_total", "frames lost to the Gilbert-Elliott channel"),
+		envMissing: o.Counter("fault_env_missing_total", "frames with no env reading delivered"),
+		envStale:   o.Counter("fault_env_stale_total", "frames with a stale env reading repeated"),
+		nullBursts: o.Counter("fault_null_bursts_total", "subcarrier null bursts started"),
+		agcJumps:   o.Counter("fault_agc_jumps_total", "AGC gain resteps injected"),
+	}
+}
+
 // Injector applies the fault channel to a record stream. It must see the
 // stream in order; it is not safe for concurrent use (give each goroutine
 // its own Injector).
 type Injector struct {
 	cfg Config
 	rng *rand.Rand
+	m   metrics
 
 	geBad     bool // Gilbert–Elliott channel state
 	logGain   float64
@@ -204,12 +240,14 @@ func NewInjector(cfg Config) *Injector {
 	return &Injector{
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		m:         newMetrics(cfg.Observer),
 		nullStart: -1,
 		hash:      1469598103934665603, // FNV-64 offset basis
 	}
 }
 
-// Stats returns the fault counts so far.
+// Stats returns the fault counts so far. For a live exported view, pass an
+// obs.Observer in Config and read the fault_* series instead.
 func (in *Injector) Stats() Stats { return in.stats }
 
 // TraceHash returns an FNV-1a digest of every fault decision so far. Two
@@ -228,6 +266,7 @@ func (in *Injector) Apply(r dataset.Record) Frame {
 	cfg := &in.cfg
 	f := Frame{Rec: r, Truth: r, Index: in.stats.Frames, EnvOK: true}
 	in.stats.Frames++
+	in.m.frames.Inc()
 
 	// Gilbert–Elliott state transition, then state-conditional loss.
 	if in.geBad {
@@ -245,6 +284,7 @@ func (in *Injector) Apply(r dataset.Record) Frame {
 		f.Dropped = true
 		f.Rec.CSI = [csi.NumSubcarriers]float64{}
 		in.stats.Dropped++
+		in.m.dropped.Inc()
 	}
 
 	if !f.Dropped {
@@ -256,6 +296,7 @@ func (in *Injector) Apply(r dataset.Record) Frame {
 			}
 			in.logGain = u
 			in.stats.AGCJumps++
+			in.m.agcJumps.Inc()
 		}
 		if in.logGain != 0 {
 			g := math.Exp2(in.logGain)
@@ -279,6 +320,7 @@ func (in *Injector) Apply(r dataset.Record) Frame {
 			in.nullWidth = w
 			in.nullLeft = 1 + geometric(in.rng, cfg.NullMeanLen)
 			in.stats.NullBursts++
+			in.m.nullBursts.Inc()
 		}
 		if in.nullLeft > 0 {
 			for k := 0; k < in.nullWidth; k++ {
@@ -312,6 +354,7 @@ func (in *Injector) Apply(r dataset.Record) Frame {
 		f.Rec.Temp = in.lastTemp
 		f.Rec.Humidity = in.lastHum
 		in.stats.EnvStale++
+		in.m.envStale.Inc()
 	}
 	if f.EnvOK && !f.EnvStale {
 		in.lastTemp, in.lastHum = f.Rec.Temp, f.Rec.Humidity
@@ -320,6 +363,7 @@ func (in *Injector) Apply(r dataset.Record) Frame {
 	if !f.EnvOK {
 		f.Rec.Temp, f.Rec.Humidity = 0, 0
 		in.stats.EnvMissing++
+		in.m.envMissing.Inc()
 	}
 
 	// Fold the frame's fault signature into the trace hash.
@@ -358,10 +402,11 @@ func geometric(rng *rand.Rand, mean float64) int {
 }
 
 // Stream composes the fault channel over dataset.Stream: it generates the
-// clean trace and invokes fn with each corrupted frame.
-func Stream(gcfg dataset.GenConfig, fcfg Config, fn func(Frame) error) error {
+// clean trace and invokes fn with each corrupted frame. Cancelling ctx stops
+// the trace mid-generation with ctx.Err().
+func Stream(ctx context.Context, gcfg dataset.GenConfig, fcfg Config, fn func(Frame) error) error {
 	in := NewInjector(fcfg)
-	return dataset.Stream(gcfg, func(r dataset.Record) error {
+	return dataset.Stream(ctx, gcfg, func(r dataset.Record) error {
 		return fn(in.Apply(r))
 	})
 }

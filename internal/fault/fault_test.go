@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -16,7 +17,7 @@ func testRecords(t *testing.T, n int) []dataset.Record {
 	cfg.Start = time.Date(2022, 1, 5, 9, 0, 0, 0, time.UTC)
 	cfg.Duration = time.Duration(n) * time.Second
 	var out []dataset.Record
-	if err := dataset.Stream(cfg, func(r dataset.Record) error {
+	if err := dataset.Stream(context.Background(), cfg, func(r dataset.Record) error {
 		out = append(out, r)
 		return nil
 	}); err != nil {
@@ -242,7 +243,7 @@ func TestStreamComposesOverDataset(t *testing.T) {
 	gcfg.Start = time.Date(2022, 1, 5, 9, 0, 0, 0, time.UTC)
 	gcfg.Duration = 60 * time.Second
 	n := 0
-	err := Stream(gcfg, DefaultProfile(1), func(f Frame) error {
+	err := Stream(context.Background(), gcfg, DefaultProfile(1), func(f Frame) error {
 		if f.Index != n {
 			t.Fatalf("frame index %d, want %d", f.Index, n)
 		}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -114,9 +115,20 @@ type Config struct {
 	// QueueDepth is the submission-queue buffer. Default 4×MaxBatch.
 	// Submitters block (backpressure) once it is full.
 	QueueDepth int
+	// Observer receives the engine's metrics: request/batch counters, the
+	// coalesced batch-size histogram, queue depth and worker utilization.
+	// Nil disables observability at zero cost. Attaching one never changes
+	// a score — instruments only count (DESIGN.md §10). Engines sharing an
+	// Observer aggregate into the same infer_* series.
+	Observer obs.Observer
 }
 
 // Stats is a snapshot of engine counters.
+//
+// Deprecated: Stats is the legacy per-Engine snapshot kept so existing
+// callers compile. New code should pass an obs.Observer in Config and read
+// the infer_* series, which add the batch-size distribution, queue depth and
+// worker utilization, and export over HTTP (DESIGN.md §10).
 type Stats struct {
 	// Requests is the number of rows scored.
 	Requests int64
@@ -144,6 +156,45 @@ type request struct {
 	out chan float64
 }
 
+// metrics are the engine's obs instruments; all nil (no-op) without an
+// Observer. The internal atomic counters stay the source of truth for the
+// deprecated per-Engine Stats(); these mirror them into exportable series.
+type metrics struct {
+	requests    *obs.Counter
+	batches     *obs.Counter
+	fastPath    *obs.Counter
+	fullBatches *obs.Counter
+	batchSize   *obs.Histogram
+	queueDepth  *obs.Gauge
+	busyWorkers *obs.Gauge
+	workers     *obs.Gauge
+	maxBatch    *obs.Gauge
+}
+
+// newMetrics resolves the engine instrument set against o (nil → all-nil).
+// The batch-size buckets are powers of two up to the configured MaxBatch,
+// so the histogram resolves exactly the coalescing behaviour MaxBatch caps.
+func newMetrics(o obs.Observer, maxBatch int) metrics {
+	if o == nil {
+		return metrics{}
+	}
+	n := 1
+	for 1<<n < maxBatch {
+		n++
+	}
+	return metrics{
+		requests:    o.Counter("infer_requests_total", "rows scored"),
+		batches:     o.Counter("infer_batches_total", "forward passes, including batches of one"),
+		fastPath:    o.Counter("infer_fast_path_total", "batches of one served by the fused row path"),
+		fullBatches: o.Counter("infer_full_batches_total", "batches that hit MaxBatch exactly"),
+		batchSize:   o.Histogram("infer_batch_size", "coalesced micro-batch sizes", obs.ExpBuckets(1, 2, n+1)),
+		queueDepth:  o.Gauge("infer_queue_depth", "submission-queue depth sampled at batch formation"),
+		busyWorkers: o.Gauge("infer_busy_workers", "workers currently scoring a batch"),
+		workers:     o.Gauge("infer_workers", "scoring goroutines configured"),
+		maxBatch:    o.Gauge("infer_max_batch_seen", "largest micro-batch coalesced so far"),
+	}
+}
+
 // Engine is the concurrent batched scorer. Safe for use from any number of
 // goroutines. Close drains in-flight work; Predict must not be called
 // concurrently with or after Close.
@@ -153,6 +204,7 @@ type Engine struct {
 	reqs chan *request
 	pool sync.Pool
 	wg   sync.WaitGroup
+	m    metrics
 
 	requests    atomic.Int64
 	batches     atomic.Int64
@@ -183,7 +235,9 @@ func New(cfg Config) (*Engine, error) {
 		cfg:  cfg,
 		dim:  probe.InputDim(),
 		reqs: make(chan *request, cfg.QueueDepth),
+		m:    newMetrics(cfg.Observer, cfg.MaxBatch),
 	}
+	e.m.workers.Set(float64(cfg.Workers))
 	e.pool.New = func() any { return &request{out: make(chan float64, 1)} }
 	e.wg.Add(cfg.Workers)
 	// The probe scorer serves worker 0; the rest build their own.
@@ -228,6 +282,11 @@ func (e *Engine) Close() {
 }
 
 // Stats returns a snapshot of the engine counters.
+//
+// Deprecated: per-Engine snapshot kept for existing callers. Prefer an
+// obs.Observer in Config; the infer_* series carry the same counts plus the
+// batch-size distribution, queue depth and worker utilization, and export
+// over /metrics.
 func (e *Engine) Stats() Stats {
 	return Stats{
 		Requests:     e.requests.Load(),
@@ -322,11 +381,20 @@ func (e *Engine) score(sc Scorer, batch []*request, x *tensor.Matrix, probs []fl
 			break
 		}
 	}
+	e.m.requests.Add(int64(n))
+	e.m.batches.Inc()
+	e.m.batchSize.Observe(float64(n))
+	e.m.maxBatch.SetMax(float64(n))
+	e.m.queueDepth.Set(float64(len(e.reqs)))
+	e.m.busyWorkers.Add(1)
+	defer e.m.busyWorkers.Add(-1)
 	if n == e.cfg.MaxBatch {
 		e.fullBatches.Add(1)
+		e.m.fullBatches.Inc()
 	}
 	if n == 1 {
 		e.fastPath.Add(1)
+		e.m.fastPath.Inc()
 		batch[0].out <- sc.ScoreRow(batch[0].row)
 		return
 	}

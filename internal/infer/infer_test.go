@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -185,5 +186,73 @@ func TestEnginePredictZeroAlloc(t *testing.T) {
 	n := testing.AllocsPerRun(50, func() { eng.Predict(rows[0]) })
 	if n > 0 {
 		t.Fatalf("Predict allocates %v per call in steady state, want 0", n)
+	}
+}
+
+// TestObserverDoesNotChangeScores scores the same rows through two engines —
+// one with a live metrics registry, one with the nil default — and requires
+// bit-identical results: instruments count, they never feed back into
+// scoring. It also cross-checks the infer_* series against the deprecated
+// Stats() counters they mirror.
+func TestObserverDoesNotChangeScores(t *testing.T) {
+	net, rows, want := testNet(t, 48)
+	reg := obs.NewRegistry()
+	for _, o := range []obs.Observer{nil, reg} {
+		eng, err := New(Config{
+			NewScorer: NetworkScorer(net),
+			Workers:   4,
+			MaxBatch:  16,
+			MaxDelay:  time.Millisecond,
+			Observer:  o,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for f := 0; f < 8; f++ {
+			wg.Add(1)
+			go func(f int) {
+				defer wg.Done()
+				for k := 0; k < 2*len(rows); k++ {
+					i := (f + k) % len(rows)
+					if p := eng.Predict(rows[i]); p != want[i] {
+						t.Errorf("observer=%v: row %d scored %v, want %v", o != nil, i, p, want[i])
+						return
+					}
+				}
+			}(f)
+		}
+		wg.Wait()
+		st := eng.Stats()
+		eng.Close()
+
+		if o == nil {
+			continue
+		}
+		snap := reg.Snapshot()
+		checks := []struct {
+			name string
+			want int64
+		}{
+			{"infer_requests_total", st.Requests},
+			{"infer_batches_total", st.Batches},
+			{"infer_fast_path_total", st.FastPath},
+			{"infer_full_batches_total", st.FullBatches},
+		}
+		for _, c := range checks {
+			m, ok := snap.Get(c.name)
+			if !ok {
+				t.Fatalf("series %s missing from registry", c.name)
+			}
+			if int64(m.Value) != c.want {
+				t.Errorf("%s = %v, want %d (mirror of Stats())", c.name, m.Value, c.want)
+			}
+		}
+		if m, ok := snap.Get("infer_batch_size"); !ok || m.Count != st.Batches {
+			t.Errorf("infer_batch_size count = %+v, want %d batches", m, st.Batches)
+		}
+		if m, ok := snap.Get("infer_max_batch_seen"); !ok || int64(m.Value) != st.MaxBatchSeen {
+			t.Errorf("infer_max_batch_seen = %+v, want %d", m, st.MaxBatchSeen)
+		}
 	}
 }

@@ -3,7 +3,9 @@ package nn
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -26,6 +28,12 @@ type TrainConfig struct {
 	Optimizer Optimizer
 	// OnEpoch, when non-nil, receives (epoch, meanLoss) after each epoch.
 	OnEpoch func(epoch int, loss float64)
+	// Observer receives per-epoch training metrics (train_* series: epoch
+	// counter, last epoch loss, epoch duration). Nil disables observability.
+	// The clock is only read when an Observer is attached, and metrics never
+	// feed back into the optimisation — the weight trajectory is bit-
+	// identical with or without one.
+	Observer obs.Observer
 }
 
 // DefaultTrainConfig returns the paper's training hyper-parameters (§V-B:
@@ -96,8 +104,24 @@ func (n *Network) Fit(x, y *tensor.Matrix, loss Loss, cfg TrainConfig) []float64
 		}
 	}
 
+	// Training metrics: resolved once per Fit, updated once per epoch —
+	// far off the hot path. mEpochs counts epochs across every Fit sharing
+	// the Observer; mLoss tracks the most recent epoch's mean loss.
+	var mEpochs *obs.Counter
+	var mLoss *obs.Gauge
+	var mDur *obs.Histogram
+	if cfg.Observer != nil {
+		mEpochs = cfg.Observer.Counter("train_epochs_total", "training epochs completed")
+		mLoss = cfg.Observer.Gauge("train_epoch_loss", "mean training loss of the last completed epoch")
+		mDur = cfg.Observer.Histogram("train_epoch_seconds", "wall-clock duration per training epoch", nil)
+	}
+
 	history := make([]float64, 0, cfg.Epochs-cfg.StartEpoch)
 	for epoch := cfg.StartEpoch; epoch < cfg.Epochs; epoch++ {
+		var t0 time.Time
+		if mDur != nil {
+			t0 = time.Now()
+		}
 		if cfg.Shuffle {
 			rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		}
@@ -132,6 +156,11 @@ func (n *Network) Fit(x, y *tensor.Matrix, loss Loss, cfg TrainConfig) []float64
 		}
 		mean := epochLoss / float64(batches)
 		history = append(history, mean)
+		mEpochs.Inc()
+		mLoss.Set(mean)
+		if mDur != nil {
+			mDur.Observe(time.Since(t0).Seconds())
+		}
 		if cfg.OnEpoch != nil {
 			cfg.OnEpoch(epoch, mean)
 		}

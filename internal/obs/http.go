@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the registry at /metrics and the
+// standard runtime profiles under /debug/pprof/ — its own mux, so callers
+// never pollute (or depend on) http.DefaultServeMux.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WriteProm(w); err != nil {
+			// Headers are gone; nothing useful left to do but drop the conn.
+			return
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running metrics/pprof endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer binds addr (host:port; ":0" picks a free port) and serves
+// Handler(r) in a background goroutine until Close. The bind happens
+// synchronously so a bad -metrics-addr fails at startup, not on first
+// scrape.
+func StartServer(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{ln: ln, srv: srv}
+	go func() {
+		// ErrServerClosed after Close is the expected shutdown path; any
+		// other error means the listener died under us, which the scrape
+		// target's absence will surface.
+		_ = srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the base http:// URL of the server.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the server immediately, closing the listener and any active
+// connections. In-flight scrapes are cut off — acceptable for a metrics
+// endpoint, and it keeps shutdown prompt for SIGINT handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServerMetricsAndPprof(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("smoke_total", "smoke").Add(7)
+	srv, err := StartServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.Contains(body, "smoke_total 7") {
+		t.Fatalf("/metrics missing sample:\n%s", body)
+	}
+
+	code, body = get("/debug/pprof/cmdline")
+	if code != http.StatusOK || body == "" {
+		t.Fatalf("/debug/pprof/cmdline status = %d, %d bytes", code, len(body))
+	}
+
+	if code, _ = get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", code)
+	}
+}
+
+func TestStartServerBadAddr(t *testing.T) {
+	if _, err := StartServer("256.0.0.1:bad", NewRegistry()); err == nil {
+		t.Fatal("expected error for a bad address")
+	}
+}

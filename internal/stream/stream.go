@@ -32,6 +32,7 @@ import (
 	"repro/internal/csi"
 	"repro/internal/dataset"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // Predictor is the slice of a detector the runtime needs. *core.Detector
@@ -116,6 +117,13 @@ type Config struct {
 	DeadFeedTimeouts int
 	// Seed drives the backoff jitter.
 	Seed int64
+
+	// Observer receives the runtime's metrics (frame/imputation/transition
+	// counters, the current mode, decision latency). Nil disables
+	// observability at zero cost; attaching one never changes a decision —
+	// instruments only count (DESIGN.md §10). Several runtimes may share
+	// one Observer: the series aggregate.
+	Observer obs.Observer
 }
 
 // withDefaults fills zero fields.
@@ -163,6 +171,11 @@ type Decision struct {
 }
 
 // Stats aggregates runtime behaviour for reporting and tests.
+//
+// Deprecated: Stats is the legacy snapshot struct kept so existing callers
+// compile; it only sees one Runtime. New code should pass an obs.Observer in
+// Config and read the stream_* series, which aggregate across runtimes and
+// export over HTTP (DESIGN.md §10).
 type Stats struct {
 	Frames         int
 	PrimaryFrames  int
@@ -182,12 +195,54 @@ type Stats struct {
 	DeadFeed     bool
 }
 
+// metrics are the runtime's obs instruments. All fields stay nil when no
+// Observer is configured; every method on a nil instrument no-ops, so the
+// uninstrumented hot path pays one nil check per touch.
+type metrics struct {
+	frames       *obs.Counter
+	primary      *obs.Counter
+	fallback     *obs.Counter
+	held         *obs.Counter
+	csiImputed   *obs.Counter
+	envImputed   *obs.Counter
+	degradations *obs.Counter
+	recoveries   *obs.Counter
+	flips        *obs.Counter
+	readTimeouts *obs.Counter
+	deadFeeds    *obs.Counter
+	mode         *obs.Gauge
+	latency      *obs.Histogram
+}
+
+// newMetrics resolves the stream instrument set against o (nil → all-nil).
+func newMetrics(o obs.Observer) metrics {
+	if o == nil {
+		return metrics{}
+	}
+	return metrics{
+		frames:       o.Counter("stream_frames_total", "frames processed by the runtime"),
+		primary:      o.Counter("stream_primary_frames_total", "frames served by the primary detector"),
+		fallback:     o.Counter("stream_fallback_frames_total", "frames served by the fallback detector"),
+		held:         o.Counter("stream_held_frames_total", "frames where the previous decision was held"),
+		csiImputed:   o.Counter("stream_csi_imputed_total", "dropped frames bridged by holding the last CSI vector"),
+		envImputed:   o.Counter("stream_env_imputed_total", "missing env readings bridged by imputation"),
+		degradations: o.Counter("stream_degradations_total", "primary-to-fallback transitions"),
+		recoveries:   o.Counter("stream_recoveries_total", "fallback-to-primary transitions"),
+		flips:        o.Counter("stream_flips_total", "smoothed occupancy state transitions"),
+		readTimeouts: o.Counter("stream_read_timeouts_total", "queue reads that timed out in Run"),
+		deadFeeds:    o.Counter("stream_dead_feeds_total", "dead-feed watchdog firings"),
+		mode:         o.Gauge("stream_mode", "current degradation mode (0=primary 1=fallback 2=held)"),
+		latency:      o.Histogram("stream_decision_latency_seconds", "per-frame decision latency in Run", obs.ExpBuckets(1e-6, 4, 10)),
+	}
+}
+
 // Runtime hardens a detector against the fault channel. Not safe for
 // concurrent use; give each stream its own Runtime.
 type Runtime struct {
 	cfg Config
 	sm  *Smoother
 	rng *rand.Rand
+	m   metrics
 
 	mode       Mode
 	envMissRun int
@@ -220,6 +275,7 @@ func New(cfg Config) (*Runtime, error) {
 		cfg:  cfg,
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 		mode: ModePrimary,
+		m:    newMetrics(cfg.Observer),
 	}
 	rt.stats.FirstFallbackFrame = -1
 	if cfg.SmootherNeed > 0 {
@@ -229,6 +285,10 @@ func New(cfg Config) (*Runtime, error) {
 }
 
 // Stats returns the counters so far.
+//
+// Deprecated: per-Runtime snapshot kept for existing callers. Prefer an
+// obs.Observer in Config; the stream_* series carry the same counts plus
+// decision latency, and export over /metrics.
 func (rt *Runtime) Stats() Stats { return rt.stats }
 
 // Mode returns the current degradation state.
@@ -241,6 +301,7 @@ func (rt *Runtime) Process(f fault.Frame) Decision {
 	cfg := &rt.cfg
 	idx := rt.stats.Frames
 	rt.stats.Frames++
+	rt.m.frames.Inc()
 
 	// --- env feed tracking ------------------------------------------------
 	if f.EnvOK {
@@ -263,11 +324,15 @@ func (rt *Runtime) Process(f fault.Frame) Decision {
 			if rt.envMissRun >= cfg.WatchdogFrames {
 				rt.mode = ModeFallback
 				rt.stats.Degradations++
+				rt.m.degradations.Inc()
+				rt.m.mode.Set(float64(ModeFallback))
 			}
 		case ModeFallback:
 			if rt.envOKRun >= cfg.RecoverFrames {
 				rt.mode = ModePrimary
 				rt.stats.Recoveries++
+				rt.m.recoveries.Inc()
+				rt.m.mode.Set(float64(ModePrimary))
 			}
 		}
 	}
@@ -283,6 +348,7 @@ func (rt *Runtime) Process(f fault.Frame) Decision {
 		rec.CSI = rt.lastCSI
 		d.CSIImputed = true
 		rt.stats.CSIImputed++
+		rt.m.csiImputed.Inc()
 	} else {
 		rt.dropRun = 0
 		rt.lastCSI = f.Rec.CSI
@@ -306,6 +372,7 @@ func (rt *Runtime) Process(f fault.Frame) Decision {
 			rec.Temp, rec.Humidity = rt.imputeEnv(idx)
 			d.EnvImputed = true
 			rt.stats.EnvImputed++
+			rt.m.envImputed.Inc()
 		}
 	}
 
@@ -316,16 +383,19 @@ func (rt *Runtime) Process(f fault.Frame) Decision {
 		d.State, d.Flipped = rt.sm.Push(d.Pred)
 		if d.Flipped {
 			rt.stats.Flips++
+			rt.m.flips.Inc()
 		}
 	}
 	switch d.Mode {
 	case ModeFallback:
 		rt.stats.FallbackFrames++
+		rt.m.fallback.Inc()
 		if rt.stats.FirstFallbackFrame < 0 {
 			rt.stats.FirstFallbackFrame = idx
 		}
 	default:
 		rt.stats.PrimaryFrames++
+		rt.m.primary.Inc()
 	}
 	rt.lastDec = d
 	rt.haveDec = true
@@ -336,6 +406,7 @@ func (rt *Runtime) Process(f fault.Frame) Decision {
 func (rt *Runtime) hold(d Decision) Decision {
 	d.Mode = ModeHeld
 	rt.stats.HeldFrames++
+	rt.m.held.Inc()
 	if rt.haveDec {
 		d.P, d.Pred, d.State = rt.lastDec.P, rt.lastDec.Pred, rt.lastDec.State
 	}
@@ -393,15 +464,27 @@ func (rt *Runtime) Run(ctx context.Context, frames <-chan fault.Frame, fn func(f
 			}
 			timeouts = 0
 			backoff = cfg.BackoffInitial
+			// The clock is only read when a latency histogram is attached,
+			// so the uninstrumented loop stays free of time syscalls. Timing
+			// wraps Process alone: fn is the caller's code.
+			var t0 time.Time
+			if rt.m.latency != nil {
+				t0 = time.Now()
+			}
 			d := rt.Process(f)
+			if rt.m.latency != nil {
+				rt.m.latency.Observe(time.Since(t0).Seconds())
+			}
 			if err := fn(f, d); err != nil {
 				return err
 			}
 		case <-timer.C:
 			rt.stats.ReadTimeouts++
+			rt.m.readTimeouts.Inc()
 			timeouts++
 			if timeouts >= cfg.DeadFeedTimeouts {
 				rt.stats.DeadFeed = true
+				rt.m.deadFeeds.Inc()
 				return ErrDeadFeed
 			}
 			// Exponential backoff with ±25% seeded jitter.

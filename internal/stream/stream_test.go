@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // fakePred records every record it is asked to classify and returns a
@@ -369,4 +370,88 @@ func (a *altPred) PredictRecord(*dataset.Record) (float64, int) {
 		return 0.9, 1
 	}
 	return 0.1, 0
+}
+
+// TestObserverDoesNotChangeDecisions replays one degrading trace through two
+// identically-configured runtimes — one with a live metrics registry, one
+// with the nil default — and requires every decision to match bit for bit.
+// Instruments only count; they must never feed back into the pipeline
+// (DESIGN.md §10). It also cross-checks the stream_* series against the
+// deprecated Stats() snapshot they mirror.
+func TestObserverDoesNotChangeDecisions(t *testing.T) {
+	trace := make([]fault.Frame, 60)
+	for i := range trace {
+		f := frame(i, 20+float64(i%5))
+		if i >= 10 && i < 35 {
+			f.EnvOK = false // env outage: imputation, then degradation
+		}
+		if i%13 == 7 {
+			f.Dropped = true // CSI gaps: hold-imputation path
+		}
+		trace[i] = f
+	}
+
+	run := func(o obs.Observer) ([]Decision, Stats) {
+		rt, err := New(Config{
+			Primary:        &fakePred{p: 0.9, pred: 1},
+			Fallback:       &fakePred{p: 0.2, pred: 0},
+			PrimaryUsesEnv: true,
+			WatchdogFrames: 5,
+			RecoverFrames:  4,
+			SmootherNeed:   2,
+			Observer:       o,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]Decision, len(trace))
+		for i, f := range trace {
+			out[i] = rt.Process(f)
+		}
+		return out, rt.Stats()
+	}
+
+	plain, wantStats := run(nil)
+	reg := obs.NewRegistry()
+	observed, gotStats := run(reg)
+
+	for i := range plain {
+		if plain[i] != observed[i] {
+			t.Fatalf("frame %d: decision diverged with observer: %+v != %+v",
+				i, observed[i], plain[i])
+		}
+	}
+	if gotStats != wantStats {
+		t.Fatalf("stats diverged with observer: %+v != %+v", gotStats, wantStats)
+	}
+
+	snap := reg.Snapshot()
+	checks := []struct {
+		name string
+		want int
+	}{
+		{"stream_frames_total", wantStats.Frames},
+		{"stream_primary_frames_total", wantStats.PrimaryFrames},
+		{"stream_fallback_frames_total", wantStats.FallbackFrames},
+		{"stream_held_frames_total", wantStats.HeldFrames},
+		{"stream_csi_imputed_total", wantStats.CSIImputed},
+		{"stream_env_imputed_total", wantStats.EnvImputed},
+		{"stream_degradations_total", wantStats.Degradations},
+		{"stream_recoveries_total", wantStats.Recoveries},
+		{"stream_flips_total", wantStats.Flips},
+	}
+	for _, c := range checks {
+		m, ok := snap.Get(c.name)
+		if !ok {
+			t.Fatalf("series %s missing from registry", c.name)
+		}
+		if int(m.Value) != c.want {
+			t.Errorf("%s = %v, want %d (mirror of Stats())", c.name, m.Value, c.want)
+		}
+	}
+	// Decision latency is observed per frame by Run (the channel-driven
+	// loop), not by direct Process calls; here it must exist but stay empty.
+	if m, ok := snap.Get("stream_decision_latency_seconds"); !ok || m.Count != 0 {
+		t.Errorf("stream_decision_latency_seconds = %+v, want registered with 0 observations", m)
+	}
 }

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# obs_smoke.sh — end-to-end check of the observability endpoint.
+#
+# Boots cmd/occupredict with -metrics-addr, polls /metrics until the first
+# successful scrape (the server starts before training, so the train_*
+# series are live while the detector fits), asserts a non-empty Prometheus
+# exposition and a working /debug/pprof/cmdline, then lets the short run
+# finish and requires exit status 0.
+#
+# Usage: scripts/obs_smoke.sh [port]   (default 19172)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+port="${1:-19172}"
+addr="127.0.0.1:${port}"
+tmp="$(mktemp -d)"
+trap 'kill "${pid:-}" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/occupredict" ./cmd/occupredict
+
+# Tiny run: 1 training epoch, 3 simulated seconds of stream, light faults so
+# the fault/stream series move too.
+"$tmp/occupredict" -minutes 0.05 -epochs 1 -fault 0.5 -metrics-addr "$addr" \
+  >"$tmp/run.log" 2>&1 &
+pid=$!
+
+metrics=""
+for _ in $(seq 1 240); do
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "obs_smoke: occupredict died before /metrics answered" >&2
+    cat "$tmp/run.log" >&2
+    exit 1
+  fi
+  if metrics="$(curl -sf "http://$addr/metrics")" && [ -n "$metrics" ]; then
+    break
+  fi
+  sleep 0.5
+done
+if [ -z "$metrics" ]; then
+  echo "obs_smoke: no successful non-empty scrape of /metrics" >&2
+  exit 1
+fi
+if ! printf '%s\n' "$metrics" | grep -q '^# TYPE train_epochs_total counter'; then
+  echo "obs_smoke: exposition is missing the train_* series:" >&2
+  printf '%s\n' "$metrics" | head -20 >&2
+  exit 1
+fi
+echo "obs_smoke: /metrics OK ($(printf '%s\n' "$metrics" | wc -l) lines)"
+
+code="$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/debug/pprof/cmdline")"
+if [ "$code" != 200 ]; then
+  echo "obs_smoke: /debug/pprof/cmdline returned $code" >&2
+  exit 1
+fi
+echo "obs_smoke: /debug/pprof/cmdline OK"
+
+# The run is short; SIGTERM is a no-op if it already finished. Either way
+# the process must flush its stats and exit 0.
+kill -TERM "$pid" 2>/dev/null || true
+if ! wait "$pid"; then
+  echo "obs_smoke: occupredict exited non-zero" >&2
+  cat "$tmp/run.log" >&2
+  exit 1
+fi
+echo "obs_smoke: clean exit"
