@@ -1,0 +1,240 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/stream"
+)
+
+// httpBatch is how many frames one ingest POST carries. Small enough that a
+// full queue yields partial accepts (exercising the 429 path), large enough
+// that the benchmark is not request-bound.
+const httpBatch = 64
+
+// runHTTPMode drives the network serving layer with feeds concurrent HTTP
+// clients. With an empty target it boots the in-process server and verifies
+// zero decision divergence: every feed subscribes to its NDJSON stream
+// (?all=1) and requires the event sequence to match, bit for bit in P, a
+// local stream.Runtime replaying the same frames over the direct detector
+// path. With -target it load-drives an external occuserve instead (the
+// divergence gate needs the server's exact weights, so it only counts and
+// reports there).
+func runHTTPMode(det *core.Detector, recs []dataset.Record, feeds, perFeed, workers, batch int, seed int64, target string, reg *obs.Registry) {
+	inProcess := target == ""
+	var (
+		srv *server.Server
+		hs  *http.Server
+	)
+	if inProcess {
+		eng, err := core.NewDetectorEngine(det, core.ServeConfig{Workers: workers, MaxBatch: batch, Observer: reg})
+		fail(err)
+		defer eng.Close()
+		srv, err = server.New(server.Config{
+			Primary:        eng,
+			PrimaryUsesEnv: det.Features != dataset.FeatCSI,
+			// A subscriber buffer covering the whole replay makes "no
+			// events dropped" a hard guarantee, so any divergence is the
+			// server's fault, not the harness's.
+			StreamBuffer: perFeed,
+			Seed:         seed,
+			Observer:     reg,
+		})
+		fail(err)
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		fail(err)
+		hs = &http.Server{Handler: srv.Handler()}
+		go hs.Serve(lis)
+		defer hs.Close()
+		target = "http://" + lis.Addr().String()
+		fmt.Printf("loadgen: in-process server at %s\n", target)
+	}
+	target = strings.TrimSuffix(target, "/")
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        feeds + 8,
+		MaxIdleConnsPerHost: feeds + 8,
+	}}
+
+	var accepted, retried, events, gaps, diverged atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for f := 0; f < feeds; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			id := fmt.Sprintf("feed-%03d", f)
+			driveFeed(client, target, id, f, perFeed, recs, det, inProcess,
+				&accepted, &retried, &events, &gaps, &diverged)
+		}(f)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if inProcess {
+		// Nothing was left behind: every feed was deleted and drained.
+		if n := srv.FeedCount(); n != 0 {
+			fail(fmt.Errorf("http: %d feeds still registered after the run", n))
+		}
+	}
+	fmt.Printf("loadgen: http    %10.0f frames/sec   (%d feeds, %d frames, %v)\n",
+		float64(accepted.Load())/elapsed.Seconds(), feeds, accepted.Load(), elapsed.Round(time.Millisecond))
+	fmt.Printf("loadgen: http stats: %d events streamed, %d batches retried after 429, %d seq gaps\n",
+		events.Load(), retried.Load(), gaps.Load())
+	if inProcess {
+		count := func(name string) int64 { return reg.Counter(name, "").Value() }
+		fmt.Printf("loadgen: server stats: %d ingested, %d rejected queue-full, %d decisions, %d events dropped\n",
+			count("server_frames_ingested_total"), count("server_rejected_queue_full_total"),
+			count("server_decisions_total"), count("server_stream_events_dropped_total"))
+		if n := diverged.Load(); n != 0 {
+			fail(fmt.Errorf("http: %d decisions diverged from the in-process reference", n))
+		}
+		if gaps.Load() != 0 {
+			fail(fmt.Errorf("http: event stream had seq gaps despite a full-size buffer"))
+		}
+		fmt.Println("loadgen: http verify: every streamed decision bit-identical to the local runtime")
+	}
+}
+
+// driveFeed registers one feed, subscribes to its full decision stream,
+// pushes perFeed frames (retrying 429 partial accepts), closes the feed and
+// waits for the stream to end, then — in-process only — replays the same
+// frames through a local stream.Runtime and compares decisions.
+func driveFeed(client *http.Client, base, id string, f, perFeed int, recs []dataset.Record,
+	det *core.Detector, verify bool,
+	accepted, retried, events, gaps, diverged *atomic.Int64) {
+
+	must := func(code, want int, op string) {
+		if code != want {
+			fail(fmt.Errorf("http: %s %s: status %d, want %d", op, id, code, want))
+		}
+	}
+	code, _ := do(client, http.MethodPut, base+"/v1/feeds/"+id, nil)
+	must(code, http.StatusCreated, "register")
+
+	// Subscribe before the first frame so the stream sees every decision.
+	streamReq, err := http.NewRequest(http.MethodGet, base+"/v1/feeds/"+id+"/stream?all=1", nil)
+	fail(err)
+	streamResp, err := client.Do(streamReq)
+	fail(err)
+	must(streamResp.StatusCode, http.StatusOK, "stream")
+	got := make([]server.Event, 0, perFeed)
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		defer streamResp.Body.Close()
+		sc := bufio.NewScanner(streamResp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			var ev server.Event
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				fail(fmt.Errorf("http: %s stream: %w", id, err))
+			}
+			got = append(got, ev)
+		}
+	}()
+
+	// Push the frame sequence in batches, retrying the rejected tail of any
+	// 429 so the accepted order — and therefore the decision sequence — is
+	// exactly the send order.
+	pending := make([]server.FrameJSON, 0, httpBatch)
+	flush := func() {
+		for len(pending) > 0 {
+			body, err := json.Marshal(server.IngestRequest{Frames: pending})
+			fail(err)
+			code, resp := do(client, http.MethodPost, base+"/v1/feeds/"+id+"/frames", body)
+			var ir server.IngestResponse
+			fail(json.Unmarshal(resp, &ir))
+			switch code {
+			case http.StatusAccepted:
+				pending = pending[:0]
+			case http.StatusTooManyRequests:
+				pending = pending[ir.Accepted:]
+				retried.Add(1)
+				time.Sleep(2 * time.Millisecond)
+			default:
+				fail(fmt.Errorf("http: ingest %s: unexpected status %d: %s", id, code, resp))
+			}
+			accepted.Add(int64(ir.Accepted))
+		}
+	}
+	for k := 0; k < perFeed; k++ {
+		r := &recs[(f*131+k)%len(recs)]
+		pending = append(pending, server.FrameJSON{
+			Time: r.Time, CSI: r.CSI[:], Temp: r.Temp, Humidity: r.Humidity,
+		})
+		if len(pending) == httpBatch {
+			flush()
+		}
+	}
+	flush()
+
+	// Close the feed: the server drains the queue (every accepted frame
+	// still gets its decision) and then ends the stream.
+	code, _ = do(client, http.MethodDelete, base+"/v1/feeds/"+id, nil)
+	must(code, http.StatusOK, "delete")
+	<-streamDone
+
+	events.Add(int64(len(got)))
+	for i := range got {
+		if int(got[i].Seq) != i {
+			gaps.Add(1)
+		}
+	}
+	if !verify {
+		return
+	}
+	if len(got) != perFeed {
+		diverged.Add(int64(perFeed - len(got)))
+		return
+	}
+	// Local reference: the identical frame sequence through a direct
+	// (unbatched, in-process) runtime. stream.Process is deterministic and
+	// the engine is bit-identical to the detector, so any mismatch is a
+	// served-path bug.
+	rt, err := stream.New(stream.Config{Primary: det, PrimaryUsesEnv: det.Features != dataset.FeatCSI})
+	fail(err)
+	for k := 0; k < perFeed; k++ {
+		r := recs[(f*131+k)%len(recs)]
+		d := rt.Process(fault.Frame{Rec: r, Truth: r, Index: k, EnvOK: true})
+		ev := got[k]
+		if math.Float64bits(ev.P) != math.Float64bits(d.P) || ev.Pred != d.Pred ||
+			ev.State != d.State || ev.Mode != d.Mode.String() {
+			diverged.Add(1)
+		}
+	}
+}
+
+// do runs one request and returns the status code and body.
+func do(client *http.Client, method, url string, body []byte) (int, []byte) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	fail(err)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	fail(err)
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	fail(err)
+	return resp.StatusCode, b
+}

@@ -50,6 +50,8 @@ func main() {
 		seed    = flag.Int64("seed", 11, "dataset seed")
 		verify  = flag.Bool("verify", false, "check engine output bit-identical to the direct path first")
 		metrics = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (empty disables)")
+		httpRun = flag.Bool("http", false, "drive the network serving layer over HTTP instead of in-process calls")
+		target  = flag.String("target", "", "with -http: URL of a running occuserve (empty: boot an in-process server and verify decisions)")
 	)
 	flag.Parse()
 	if *feeds < 1 || *perFeed < 1 || *workers < 0 || *batch < 1 || *epochs < 1 {
@@ -61,14 +63,21 @@ func main() {
 	fmt.Printf("loadgen: %d feeds × %d records, %d cores, net %v, bank %d records\n",
 		*feeds, *perFeed, runtime.NumCPU(), det.Net, len(recs))
 
-	var observer obs.Observer
+	// The registry doubles as the end-of-run stats source (the engine's
+	// infer_* series are read back from it) and, with -metrics-addr, a live
+	// Prometheus endpoint while the load runs.
+	reg := obs.NewRegistry()
+	var observer obs.Observer = reg
 	if *metrics != "" {
-		reg := obs.NewRegistry()
 		srv, err := obs.StartServer(*metrics, reg)
 		fail(err)
 		defer srv.Close()
 		fmt.Printf("loadgen: metrics at %s/metrics\n", srv.URL())
-		observer = reg
+	}
+
+	if *httpRun {
+		runHTTPMode(det, recs, *feeds, *perFeed, *workers, *batch, *seed, *target, reg)
+		return
 	}
 
 	scfg := core.ServeConfig{Workers: *workers, MaxBatch: *batch, Observer: observer}
@@ -93,11 +102,14 @@ func main() {
 	de, err := core.NewDetectorEngine(det, scfg)
 	fail(err)
 	engineRate := run(*feeds, *perFeed, recs, de.PredictRecord)
-	st := de.Stats()
 	de.Close()
+	count := func(name string) int64 { return reg.Counter(name, "").Value() }
+	requests, batches := count("infer_requests_total"), count("infer_batches_total")
+	avg := float64(requests) / float64(max(batches, 1))
 	fmt.Printf("loadgen: engine  %10.0f records/sec   (%.2fx)\n", engineRate, engineRate/directRate)
-	fmt.Printf("loadgen: engine stats: %d requests, %d batches (avg %.2f rows, max %d), %d fused single-row, %d full\n",
-		st.Requests, st.Batches, st.AvgBatch(), st.MaxBatchSeen, st.FastPath, st.FullBatches)
+	fmt.Printf("loadgen: engine stats: %d requests, %d batches (avg %.2f rows, max %.0f), %d fused single-row, %d full\n",
+		requests, batches, avg, reg.Gauge("infer_max_batch_seen", "").Value(),
+		count("infer_fast_path_total"), count("infer_full_batches_total"))
 }
 
 // buildFixture loads or trains the detector and assembles the record bank.

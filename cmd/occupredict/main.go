@@ -31,11 +31,11 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/stream"
+	"repro/pkg/occupancy"
 )
 
 func main() {
@@ -63,38 +63,35 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// Start the observability endpoint before any heavy work so training
-	// progress is already scrapable. A nil Observer keeps every instrumented
-	// path at its zero-overhead default.
-	var observer obs.Observer
+	// One registry backs everything: the end-of-run stats report reads the
+	// fault_*/stream_*/infer_* series back from it, and -metrics-addr
+	// additionally exposes it over HTTP before any heavy work so training
+	// progress is already scrapable.
+	reg := obs.NewRegistry()
+	var observer obs.Observer = reg
 	if *metrics != "" {
-		reg := obs.NewRegistry()
 		srv, err := obs.StartServer(*metrics, reg)
 		fail(err)
 		defer srv.Close()
 		fmt.Printf("occupredict: metrics at %s/metrics, profiles at %s/debug/pprof/\n", srv.URL(), srv.URL())
-		observer = reg
 	}
 
-	var primary, fallback *core.Detector
+	// Model lifecycle goes through the public facade (pkg/occupancy) — the
+	// same path an external consumer would use — with the in-module
+	// Observer hook wiring train_*/infer_* into the shared registry.
+	var primary, fallback *occupancy.Detector
 	var err error
 	if *model != "" {
-		primary, err = core.LoadDetectorFile(*model)
+		primary, err = occupancy.Load(*model)
 		fail(err)
-		fmt.Printf("occupredict: loaded %v (%v features)\n", primary.Net, primary.Features)
+		fmt.Printf("occupredict: loaded %s (%s features)\n", *model, primary.Features())
 	} else {
 		fmt.Println("occupredict: no -model; training C+E and CSI-only detectors on a synthetic day")
-		cfg := dataset.DefaultGenConfig(0.5, 7)
-		cfg.Duration = 24 * time.Hour
-		d, err := dataset.Generate(cfg)
+		tcfg := occupancy.TrainConfig{Epochs: *epochs, Observer: observer}
+		primary, err = occupancy.Train(tcfg)
 		fail(err)
-		dcfg := core.DefaultDetectorConfig()
-		dcfg.Train.Epochs = *epochs
-		dcfg.Train.Observer = observer
-		primary, err = core.TrainDetector(d, dcfg)
-		fail(err)
-		dcfg.Features = dataset.FeatCSI
-		fallback, err = core.TrainDetector(d, dcfg)
+		tcfg.Features = occupancy.FeaturesCSI
+		fallback, err = occupancy.Train(tcfg)
 		fail(err)
 	}
 
@@ -103,14 +100,13 @@ func main() {
 	// bit-identical to calling the detectors directly (DESIGN.md §9). One
 	// stream barely exercises the batching, but this is the deployment
 	// shape — cmd/loadgen drives the same path with many feeds.
-	scfgServe := core.ServeConfig{Workers: *workers, MaxBatch: *maxBatch, Observer: observer}
-	primaryEng, err := core.NewDetectorEngine(primary, scfgServe)
+	ecfg := occupancy.EngineConfig{Workers: *workers, MaxBatch: *maxBatch, Observer: observer}
+	primaryEng, err := occupancy.NewEngine(primary, ecfg)
 	fail(err)
 	defer primaryEng.Close()
 	var fallbackPred stream.Predictor
-	var fallbackEng *core.DetectorEngine
 	if fallback != nil {
-		fallbackEng, err = core.NewDetectorEngine(fallback, scfgServe)
+		fallbackEng, err := occupancy.NewEngine(fallback, ecfg)
 		fail(err)
 		defer fallbackEng.Close()
 		fallbackPred = fallbackEng
@@ -119,7 +115,7 @@ func main() {
 	rt, err := stream.New(stream.Config{
 		Primary:        primaryEng,
 		Fallback:       fallbackPred,
-		PrimaryUsesEnv: primary.Features != dataset.FeatCSI,
+		PrimaryUsesEnv: primary.Features() != occupancy.FeaturesCSI,
 		SmootherNeed:   *smooth,
 		Seed:           *seed,
 		Observer:       observer,
@@ -186,23 +182,24 @@ func main() {
 	if interrupted {
 		fmt.Println("\noccupredict: interrupted — flushing stats")
 	}
-	ist, rst := inj.Stats(), rt.Stats()
+	// Both engines and the runtime write to the shared registry, so the
+	// infer_* counters already aggregate across primary and fallback.
+	count := func(name string) int64 { return reg.Counter(name, "").Value() }
 	fmt.Printf("occupredict: %d samples, streaming accuracy %.2f%%\n",
 		cm.total, 100*float64(cm.correct)/float64(maxi(cm.total, 1)))
-	est := primaryEng.Stats()
-	if fallbackEng != nil {
-		fst := fallbackEng.Stats()
-		est.Requests += fst.Requests
-		est.Batches += fst.Batches
-		est.FastPath += fst.FastPath
-	}
+	requests, batches := count("infer_requests_total"), count("infer_batches_total")
 	fmt.Printf("occupredict: engine: %d requests in %d micro-batches (avg %.2f rows, %d fused single-row)\n",
-		est.Requests, est.Batches, est.AvgBatch(), est.FastPath)
+		requests, batches, float64(requests)/float64(maxi(int(batches), 1)),
+		count("infer_fast_path_total"))
 	if *intensity > 0 {
+		frames, dropped := count("fault_frames_total"), count("fault_dropped_total")
 		fmt.Printf("occupredict: faults: %.1f%% frames dropped, %d env gaps, %d null bursts, %d AGC jumps\n",
-			100*ist.DropRate(), ist.EnvMissing, ist.NullBursts, ist.AGCJumps)
+			100*float64(dropped)/float64(maxi(int(frames), 1)),
+			count("fault_env_missing_total"), count("fault_null_bursts_total"), count("fault_agc_jumps_total"))
 		fmt.Printf("occupredict: runtime: %d primary / %d fallback / %d held, %d CSI imputed, %d degradations, %d recoveries\n",
-			rst.PrimaryFrames, rst.FallbackFrames, rst.HeldFrames, rst.CSIImputed, rst.Degradations, rst.Recoveries)
+			count("stream_primary_frames_total"), count("stream_fallback_frames_total"),
+			count("stream_held_frames_total"), count("stream_csi_imputed_total"),
+			count("stream_degradations_total"), count("stream_recoveries_total"))
 	}
 }
 

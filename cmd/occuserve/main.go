@@ -1,0 +1,106 @@
+// Command occuserve exposes a trained occupancy detector as the multi-tenant
+// network service: many rooms ("feeds") stream CSI frames in over HTTP/JSON
+// and read occupancy decisions back, all served by one shared batched
+// inference engine.
+//
+// The API (see DESIGN.md §11):
+//
+//	PUT    /v1/feeds/{id}            register a feed
+//	POST   /v1/feeds/{id}/frames     batch-ingest CSI frames (429 + Retry-After
+//	                                 on backpressure)
+//	GET    /v1/feeds/{id}/occupancy  latest decision
+//	GET    /v1/feeds/{id}/stream     NDJSON decision stream
+//	DELETE /v1/feeds/{id}            close a feed
+//	GET    /healthz, /readyz         liveness / readiness
+//	GET    /metrics, /debug/pprof/   observability
+//
+// SIGINT/SIGTERM drains gracefully: /readyz flips to 503 and new work is
+// rejected first, queued frames finish their decisions, then the listener
+// closes.
+//
+// Usage:
+//
+//	occuserve [-addr :8080] [-model detector.bin] [-epochs n]
+//	          [-queue n] [-max-feeds n] [-rate-limit hz] [-idle-timeout d]
+//	          [-workers n] [-batch n] [-drain-timeout d] [-seed n]
+//
+// Without -model, a C+E detector (plus a CSI-only fallback for feeds whose
+// env sensors die) is trained on a synthetic day at startup.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/pkg/occupancy"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		model    = flag.String("model", "", "detector bundle (empty: train one on the fly)")
+		epochs   = flag.Int("epochs", 5, "training epochs for the on-the-fly detector (ignored with -model)")
+		workers  = flag.Int("workers", 0, "inference engine workers (0 = one per core)")
+		maxBatch = flag.Int("batch", 256, "inference engine micro-batch cap")
+		queue    = flag.Int("queue", 0, "per-feed ingest queue depth (0 = default 256)")
+		maxFeeds = flag.Int("max-feeds", 0, "concurrent feed cap (0 = default 1024)")
+		rate     = flag.Float64("rate-limit", 0, "per-feed ingest rate limit in frames/sec (0 = unlimited)")
+		idle     = flag.Duration("idle-timeout", 0, "evict feeds idle this long (0 = default 2m, negative = never)")
+		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		seed     = flag.Int64("seed", 42, "per-feed jitter seed")
+	)
+	flag.Parse()
+	if *epochs < 1 {
+		fail(fmt.Errorf("-epochs must be >= 1 (got %d)", *epochs))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var primary, fallback *occupancy.Detector
+	var err error
+	if *model != "" {
+		primary, err = occupancy.Load(*model)
+		fail(err)
+		fmt.Printf("occuserve: loaded %s (%s features)\n", *model, primary.Features())
+	} else {
+		fmt.Println("occuserve: no -model; training C+E and CSI-only detectors on a synthetic day")
+		tcfg := occupancy.TrainConfig{Features: occupancy.FeaturesCSIEnv, Epochs: *epochs, Seed: *seed}
+		primary, err = occupancy.Train(tcfg)
+		fail(err)
+		tcfg.Features = occupancy.FeaturesCSI
+		fallback, err = occupancy.Train(tcfg)
+		fail(err)
+	}
+
+	srv, err := occupancy.NewServer(primary, occupancy.ServeConfig{
+		Addr:         *addr,
+		Fallback:     fallback,
+		Workers:      *workers,
+		MaxBatch:     *maxBatch,
+		QueueDepth:   *queue,
+		MaxFeeds:     *maxFeeds,
+		RatePerSec:   *rate,
+		IdleTimeout:  *idle,
+		DrainTimeout: *drain,
+		Seed:         *seed,
+	})
+	fail(err)
+	fmt.Printf("occuserve: serving on %s (metrics at %s/metrics)\n", srv.URL(), srv.URL())
+	if err := srv.Run(ctx); err != nil {
+		fail(err)
+	}
+	fmt.Println("occuserve: drained cleanly")
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "occuserve:", err)
+		os.Exit(1)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/fault"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/tensor"
 )
@@ -58,10 +59,14 @@ func main() {
 
 	// The runtime debounces decisions (1 s of agreement at 20 Hz before a
 	// flip) and bridges short fault gaps by holding the last CSI vector.
+	// The registry collects the fault_*/stream_* counters for the final
+	// stats report.
+	reg := obs.NewRegistry()
 	rt, err := stream.New(stream.Config{
 		Primary:      det,
 		SmootherNeed: 20,
 		MaxHoldGap:   8,
+		Observer:     reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -73,7 +78,9 @@ func main() {
 	scfg.Start = dataset.PaperStart.Add(17*time.Hour + 30*time.Minute) // Jan 5, 08:38
 	scfg.Duration = 20 * time.Minute
 
-	inj := fault.NewInjector(fault.DefaultProfile(99).Scale(*intensity))
+	fcfg := fault.DefaultProfile(99).Scale(*intensity)
+	fcfg.Observer = reg
+	inj := fault.NewInjector(fcfg)
 	frames := make(chan fault.Frame, 64)
 	prodErr := make(chan error, 1)
 	go func() {
@@ -145,12 +152,14 @@ func main() {
 		fmt.Printf("online-tuned network checkpointed to %s\n", *ckptPath)
 	}
 
-	ist, rst := inj.Stats(), rt.Stats()
+	count := func(name string) int64 { return reg.Counter(name, "").Value() }
 	fmt.Printf("\nstreamed %d samples at 20 Hz: smoothed accuracy %.2f%%, %d state transitions\n",
 		n, 100*float64(correct)/float64(maxi(n, 1)), flips)
 	if *intensity > 0 {
+		frames, dropped := count("fault_frames_total"), count("fault_dropped_total")
 		fmt.Printf("faults survived: %.1f%% frames dropped, %d CSI gaps bridged, %d decisions held\n",
-			100*ist.DropRate(), rst.CSIImputed, rst.HeldFrames)
+			100*float64(dropped)/float64(maxi(int(frames), 1)),
+			count("stream_csi_imputed_total"), count("stream_held_frames_total"))
 	}
 }
 

@@ -84,6 +84,34 @@ type Config struct {
 	Seed      int64
 }
 
+// Validate reports whether the scenario is simulable: counts, dimensions,
+// rates and speeds must be non-negative, hours must lie within the day and
+// LunchOutProb must be a probability. Zero values are fine — NewSimulator
+// defaults them.
+func (c Config) Validate() error {
+	if c.NumPersons < 0 || c.FurnitureCount < 0 {
+		return fmt.Errorf("agents: negative head counts (persons %d, furniture %d)", c.NumPersons, c.FurnitureCount)
+	}
+	if c.RoomW < 0 || c.RoomH < 0 {
+		return fmt.Errorf("agents: negative room dimensions %g×%g", c.RoomW, c.RoomH)
+	}
+	if c.ArrivalMeanHour < 0 || c.ArrivalMeanHour > 24 || c.DepartMeanHour < 0 || c.DepartMeanHour > 24 {
+		return fmt.Errorf("agents: schedule hours (arrive %g, depart %g) outside [0, 24]",
+			c.ArrivalMeanHour, c.DepartMeanHour)
+	}
+	if c.ArrivalStdMin < 0 || c.DepartStdMin < 0 {
+		return fmt.Errorf("agents: negative schedule spread (arrive %g, depart %g)", c.ArrivalStdMin, c.DepartStdMin)
+	}
+	if c.LunchOutProb < 0 || c.LunchOutProb > 1 {
+		return fmt.Errorf("agents: LunchOutProb %g outside [0, 1]", c.LunchOutProb)
+	}
+	if c.ErrandRatePerHour < 0 || c.FurnitureMoveRatePerHour < 0 || c.WalkSpeed < 0 {
+		return fmt.Errorf("agents: negative rates (errand %g, furniture %g, walk %g)",
+			c.ErrandRatePerHour, c.FurnitureMoveRatePerHour, c.WalkSpeed)
+	}
+	return nil
+}
+
 // TimeRange is a closed-open absolute time interval.
 type TimeRange struct{ From, To time.Time }
 

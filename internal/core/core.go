@@ -35,6 +35,30 @@ type DetectorConfig struct {
 	Seed     int64
 }
 
+// validHidden rejects non-positive layer widths (empty selects PaperHidden).
+func validHidden(hidden []int) error {
+	for i, h := range hidden {
+		if h <= 0 {
+			return fmt.Errorf("core: hidden layer %d has non-positive width %d", i, h)
+		}
+	}
+	return nil
+}
+
+// Validate reports whether the configuration is trainable: the feature set
+// must be a known one, hidden layer widths must be positive (an empty
+// slice selects PaperHidden) and the training hyper-parameters must
+// validate. TrainDetector calls it.
+func (c DetectorConfig) Validate() error {
+	if !c.Features.Valid() {
+		return fmt.Errorf("core: unknown feature set %d", int(c.Features))
+	}
+	if err := validHidden(c.Hidden); err != nil {
+		return err
+	}
+	return c.Train.Validate()
+}
+
 // DefaultDetectorConfig returns the paper's configuration: the C+E feature
 // set, the 4-dense-layer MLP, 10 epochs at lr 5e-3 with AdamW decay.
 func DefaultDetectorConfig() DetectorConfig {
@@ -55,6 +79,9 @@ type Detector struct {
 
 // TrainDetector fits the paper's MLP on the training fold.
 func TrainDetector(train *dataset.Dataset, cfg DetectorConfig) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if train.Len() == 0 {
 		return nil, fmt.Errorf("core: empty training set")
 	}
@@ -121,6 +148,16 @@ type EnvRegressorConfig struct {
 	Seed   int64
 }
 
+// Validate reports whether the configuration is trainable (see
+// DetectorConfig.Validate; the regressor always reads CSI features, so
+// there is no feature-set field to check). TrainEnvRegressor calls it.
+func (c EnvRegressorConfig) Validate() error {
+	if err := validHidden(c.Hidden); err != nil {
+		return err
+	}
+	return c.Train.Validate()
+}
+
 // DefaultEnvRegressorConfig mirrors the detector's architecture with an MSE
 // objective.
 func DefaultEnvRegressorConfig() EnvRegressorConfig {
@@ -133,6 +170,9 @@ func DefaultEnvRegressorConfig() EnvRegressorConfig {
 
 // TrainEnvRegressor fits (T, H) ← CSI on the training fold.
 func TrainEnvRegressor(train *dataset.Dataset, cfg EnvRegressorConfig) (*EnvRegressor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if train.Len() == 0 {
 		return nil, fmt.Errorf("core: empty training set")
 	}

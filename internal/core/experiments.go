@@ -52,6 +52,25 @@ type ExperimentConfig struct {
 	Workers int
 }
 
+// Validate reports whether the grid is runnable: sample caps must be
+// non-negative (0 = use everything), hidden widths positive, and the
+// per-model hyper-parameters must each validate.
+func (c ExperimentConfig) Validate() error {
+	if c.MaxTrainSamples < 0 || c.MaxEvalSamples < 0 {
+		return fmt.Errorf("core: negative sample caps (train %d, eval %d)", c.MaxTrainSamples, c.MaxEvalSamples)
+	}
+	if err := validHidden(c.Hidden); err != nil {
+		return err
+	}
+	if err := c.NNTrain.Validate(); err != nil {
+		return err
+	}
+	if err := c.RF.Validate(); err != nil {
+		return err
+	}
+	return c.Logistic.Validate()
+}
+
 // DefaultExperimentConfig returns the paper-default hyper-parameters.
 func DefaultExperimentConfig() ExperimentConfig {
 	return ExperimentConfig{

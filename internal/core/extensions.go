@@ -31,6 +31,15 @@ type ActivityConfig struct {
 	Seed   int64
 }
 
+// Validate reports whether the configuration is trainable (positive hidden
+// widths, valid training hyper-parameters). TrainActivity calls it.
+func (c ActivityConfig) Validate() error {
+	if err := validHidden(c.Hidden); err != nil {
+		return err
+	}
+	return c.Train.Validate()
+}
+
 // DefaultActivityConfig mirrors the detector's architecture with a 3-logit
 // softmax head.
 func DefaultActivityConfig() ActivityConfig {
@@ -43,6 +52,9 @@ func DefaultActivityConfig() ActivityConfig {
 
 // TrainActivity fits the activity classifier on CSI features.
 func TrainActivity(train *dataset.Dataset, cfg ActivityConfig) (*ActivityClassifier, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if train.Len() == 0 {
 		return nil, fmt.Errorf("core: empty training set")
 	}

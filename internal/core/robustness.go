@@ -8,6 +8,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/linmodel"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/stream"
@@ -35,6 +36,25 @@ type RobustnessConfig struct {
 	// zero to score raw per-sample predictions (required for the clean
 	// run to reproduce Table IV bit-identically).
 	SmootherNeed int
+}
+
+// Validate reports whether the sweep is runnable: intensities must be
+// non-negative, the base fault profile must validate, and the runtime
+// tuning knobs must be non-negative (zero selects stream defaults).
+func (c RobustnessConfig) Validate() error {
+	for i, v := range c.Intensities {
+		if v < 0 {
+			return fmt.Errorf("core: negative fault intensity %g at index %d", v, i)
+		}
+	}
+	if err := c.Profile.Validate(); err != nil {
+		return err
+	}
+	if c.WatchdogFrames < 0 || c.RecoverFrames < 0 || c.MaxHoldGap < 0 || c.SmootherNeed < 0 {
+		return fmt.Errorf("core: negative runtime tuning (watchdog %d, recover %d, hold %d, smoother %d)",
+			c.WatchdogFrames, c.RecoverFrames, c.MaxHoldGap, c.SmootherNeed)
+	}
+	return nil
 }
 
 // DefaultRobustnessConfig sweeps from clean to heavily degraded.
@@ -209,12 +229,19 @@ func RunRobustness(split *dataset.Split, cfg ExperimentConfig, rcfg RobustnessCo
 // fault trace.
 func runRobustnessCell(fold *dataset.Dataset, fcfg fault.Config, csiDet, cePrim *Detector, rcfg RobustnessConfig) (robustCell, error) {
 	var cell robustCell
+	// Per-cell registries stand in for the removed Stats() snapshots: each
+	// component writes its counters to a private Registry the cell reads
+	// back after the stream ends. Registries are cheap (a map and a mutex)
+	// and cells never share one, so the fan-out stays deterministic.
+	injReg, pipeReg, csiReg := obs.NewRegistry(), obs.NewRegistry(), obs.NewRegistry()
+	fcfg.Observer = injReg
 	inj := fault.NewInjector(fcfg)
 
 	csiRT, err := stream.New(stream.Config{
 		Primary:      csiDet,
 		MaxHoldGap:   rcfg.MaxHoldGap,
 		SmootherNeed: rcfg.SmootherNeed,
+		Observer:     csiReg,
 	})
 	if err != nil {
 		return cell, err
@@ -227,6 +254,7 @@ func runRobustnessCell(fold *dataset.Dataset, fcfg fault.Config, csiDet, cePrim 
 		WatchdogFrames: rcfg.WatchdogFrames,
 		RecoverFrames:  rcfg.RecoverFrames,
 		SmootherNeed:   rcfg.SmootherNeed,
+		Observer:       pipeReg,
 	})
 	if err != nil {
 		return cell, err
@@ -247,17 +275,17 @@ func runRobustnessCell(fold *dataset.Dataset, fcfg fault.Config, csiDet, cePrim 
 	cell.csiAcc = 100 * stats.Accuracy(csiTrue, csiPred)
 	cell.pipeAcc = 100 * stats.Accuracy(csiTrue, pipePred)
 
-	ist := inj.Stats()
-	pst := pipeRT.Stats()
-	cst := csiRT.Stats()
-	cell.frames = ist.Frames
-	cell.dropped = ist.Dropped
-	cell.fallback = pst.FallbackFrames
-	cell.imputed = pst.CSIImputed
-	cell.held = pst.HeldFrames + cst.HeldFrames
-	cell.degradations = pst.Degradations
-	cell.recoveries = pst.Recoveries
-	cell.firstFallback = pst.FirstFallbackFrame
+	count := func(reg *obs.Registry, name string) int {
+		return int(reg.Counter(name, "").Value())
+	}
+	cell.frames = count(injReg, "fault_frames_total")
+	cell.dropped = count(injReg, "fault_dropped_total")
+	cell.fallback = count(pipeReg, "stream_fallback_frames_total")
+	cell.imputed = count(pipeReg, "stream_csi_imputed_total")
+	cell.held = count(pipeReg, "stream_held_frames_total") + count(csiReg, "stream_held_frames_total")
+	cell.degradations = count(pipeReg, "stream_degradations_total")
+	cell.recoveries = count(pipeReg, "stream_recoveries_total")
+	cell.firstFallback = pipeRT.FirstFallbackFrame()
 	cell.traceHash = inj.TraceHash()
 	return cell, nil
 }

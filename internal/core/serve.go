@@ -29,6 +29,19 @@ type ServeConfig struct {
 	Observer obs.Observer
 }
 
+// Validate reports whether the engine parameters are usable. Workers uses
+// <= 0 for "one per core" and a negative MaxDelay means "never wait", so
+// only negative sizes fail. NewDetectorEngine calls it.
+func (c ServeConfig) Validate() error {
+	if c.MaxBatch < 0 {
+		return fmt.Errorf("core: negative MaxBatch %d", c.MaxBatch)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("core: negative QueueDepth %d", c.QueueDepth)
+	}
+	return nil
+}
+
 // DetectorEngine serves one trained Detector to many concurrent callers
 // through the batched inference engine (internal/infer): per-worker forward
 // arenas, micro-batch coalescing, and a fused single-sample path. It
@@ -50,6 +63,9 @@ type DetectorEngine struct {
 func NewDetectorEngine(d *Detector, cfg ServeConfig) (*DetectorEngine, error) {
 	if d == nil || d.Net == nil || d.Scaler == nil {
 		return nil, fmt.Errorf("core: NewDetectorEngine needs a trained detector")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.MaxDelay == 0 {
 		cfg.MaxDelay = 2 * time.Millisecond
@@ -97,12 +113,6 @@ func (de *DetectorEngine) PredictRecord(r *dataset.Record) (float64, int) {
 func (de *DetectorEngine) PredictRow(row []float64) (float64, int) {
 	return de.eng.PredictLabel(row)
 }
-
-// Stats returns the underlying engine counters.
-//
-// Deprecated: see infer.Engine.Stats — pass an Observer in ServeConfig and
-// read the infer_* series instead.
-func (de *DetectorEngine) Stats() infer.Stats { return de.eng.Stats() }
 
 // Close drains and stops the engine workers. No calls may be in flight or
 // follow.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 // serveFixture trains a small detector and collects a bank of records.
@@ -39,10 +40,12 @@ func TestDetectorEngineBitIdentical(t *testing.T) {
 		want[i] = ref{p, l}
 	}
 	for _, workers := range []int{1, 4} {
+		reg := obs.NewRegistry()
 		de, err := NewDetectorEngine(det, ServeConfig{
 			Workers:  workers,
 			MaxBatch: 32,
 			MaxDelay: time.Millisecond,
+			Observer: reg,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -65,10 +68,9 @@ func TestDetectorEngineBitIdentical(t *testing.T) {
 			}(f)
 		}
 		wg.Wait()
-		st := de.Stats()
 		de.Close()
-		if wantN := int64(feeds * 2 * len(recs)); st.Requests != wantN {
-			t.Fatalf("workers=%d: engine served %d requests, want %d", workers, st.Requests, wantN)
+		if wantN, got := int64(feeds*2*len(recs)), reg.Counter("infer_requests_total", "").Value(); got != wantN {
+			t.Fatalf("workers=%d: engine served %d requests, want %d", workers, got, wantN)
 		}
 	}
 }

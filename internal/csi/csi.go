@@ -26,6 +26,7 @@
 package csi
 
 import (
+	"fmt"
 	"math"
 	"math/cmplx"
 	"math/rand"
@@ -80,6 +81,30 @@ type Config struct {
 	// AGCRate is the exponential AGC adaptation rate (1/s).
 	AGCRate float64
 	Seed    int64
+}
+
+// Validate reports whether the channel parameters are physical:
+// frequencies, counts, jitters and noise must be non-negative and
+// ShadowDepth must be a fraction in [0, 1]. Zero values are fine —
+// NewSampler defaults them.
+func (c Config) Validate() error {
+	if c.CenterFreqHz < 0 || c.SubcarrierSpacingHz < 0 {
+		return fmt.Errorf("csi: negative frequencies (center %g, spacing %g)", c.CenterFreqHz, c.SubcarrierSpacingHz)
+	}
+	if c.WallReflections < 0 {
+		return fmt.Errorf("csi: negative WallReflections %d", c.WallReflections)
+	}
+	if c.ShadowDepth < 0 || c.ShadowDepth > 1 {
+		return fmt.Errorf("csi: ShadowDepth %g outside [0, 1]", c.ShadowDepth)
+	}
+	if c.BodyReflectivity < 0 || c.ShadowWidth < 0 || c.HumidityAbsorption < 0 ||
+		c.MotionPhaseJitter < 0 || c.StillPhaseJitter < 0 || c.NoiseSigma < 0 ||
+		c.AGCTarget < 0 || c.AGCRate < 0 {
+		return fmt.Errorf("csi: negative channel parameter (body %g, shadow width %g, absorption %g, motion %g, still %g, noise %g, agc %g/%g)",
+			c.BodyReflectivity, c.ShadowWidth, c.HumidityAbsorption,
+			c.MotionPhaseJitter, c.StillPhaseJitter, c.NoiseSigma, c.AGCTarget, c.AGCRate)
+	}
+	return nil
 }
 
 // DefaultConfig returns the paper-matched setup: 2.4 GHz, TX/RX 2 m apart in

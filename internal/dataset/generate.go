@@ -33,6 +33,29 @@ type GenConfig struct {
 	CSI    csi.Config
 }
 
+// Validate reports whether the scenario can generate: the sampling rate and
+// duration must be positive (and the rate low enough that a tick is at
+// least one nanosecond), and the nested simulator configs must themselves
+// validate. Stream calls it; callers may too, as a pre-flight check.
+func (c GenConfig) Validate() error {
+	if c.Rate <= 0 {
+		return fmt.Errorf("dataset: non-positive sample rate %g", c.Rate)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("dataset: non-positive duration %v", c.Duration)
+	}
+	if dt := time.Duration(float64(time.Second) / c.Rate); dt <= 0 {
+		return fmt.Errorf("dataset: rate %g too high", c.Rate)
+	}
+	if err := c.Agents.Validate(); err != nil {
+		return err
+	}
+	if err := c.Env.Validate(); err != nil {
+		return err
+	}
+	return c.CSI.Validate()
+}
+
 // DefaultGenConfig returns a paper-shaped scenario at the given sampling
 // rate: the 74-hour window of §V-A with the fold-4 heater outage and the
 // fold-5 heat-boost + full-occupancy afternoon scripted so the Table III /
@@ -116,19 +139,13 @@ func Generate(cfg GenConfig) (*Dataset, error) {
 // runtime) shut the generator down without draining the full duration;
 // callers that never cancel pass context.Background().
 func Stream(ctx context.Context, cfg GenConfig, fn func(Record) error) error {
-	if cfg.Rate <= 0 {
-		return fmt.Errorf("dataset: non-positive sample rate %g", cfg.Rate)
-	}
-	if cfg.Duration <= 0 {
-		return fmt.Errorf("dataset: non-positive duration %v", cfg.Duration)
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
 	if cfg.Start.IsZero() {
 		cfg.Start = PaperStart
 	}
 	dt := time.Duration(float64(time.Second) / cfg.Rate)
-	if dt <= 0 {
-		return fmt.Errorf("dataset: rate %g too high", cfg.Rate)
-	}
 
 	occ := agents.New(cfg.Agents)
 	env := envsim.NewSimulator(cfg.Env, rand.New(rand.NewSource(cfg.Seed+3)))
@@ -162,11 +179,4 @@ func Stream(ctx context.Context, cfg GenConfig, fn func(Record) error) error {
 		}
 	}
 	return nil
-}
-
-// StreamCtx is the pre-merge name of Stream.
-//
-// Deprecated: Stream is context-first now; call Stream directly.
-func StreamCtx(ctx context.Context, cfg GenConfig, fn func(Record) error) error {
-	return Stream(ctx, cfg, fn)
 }

@@ -10,6 +10,7 @@
 package envsim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"time"
@@ -81,6 +82,29 @@ type Interval struct {
 // Contains reports whether t lies in the interval.
 func (iv Interval) Contains(t time.Time) bool {
 	return !t.Before(iv.From) && t.Before(iv.To)
+}
+
+// Validate reports whether the physical parameters are sensible: rates,
+// powers and noise amplitudes must be non-negative and the heating
+// schedule hours must lie in [0, 24]. Zero values are fine — NewSimulator
+// defaults them.
+func (c Config) Validate() error {
+	if c.Hysteresis < 0 || c.HeaterPower < 0 || c.WallLeak < 0 ||
+		c.OccupantHeat < 0 || c.OccupantMoisture < 0 || c.VentExchange < 0 ||
+		c.BoostFactor < 0 {
+		return fmt.Errorf("envsim: negative rate or power (hyst %g, heater %g, leak %g, occ heat %g, occ moisture %g, vent %g, boost %g)",
+			c.Hysteresis, c.HeaterPower, c.WallLeak, c.OccupantHeat, c.OccupantMoisture, c.VentExchange, c.BoostFactor)
+	}
+	if c.NoiseTemp < 0 || c.NoiseHumidity < 0 || c.SensorNoiseTemp < 0 {
+		return fmt.Errorf("envsim: negative noise amplitude (temp %g, humidity %g, sensor %g)",
+			c.NoiseTemp, c.NoiseHumidity, c.SensorNoiseTemp)
+	}
+	if c.HeatingStartHour < 0 || c.HeatingStartHour > 24 ||
+		c.HeatingEndHour < 0 || c.HeatingEndHour > 24 {
+		return fmt.Errorf("envsim: heating hours [%d, %d) outside [0, 24]",
+			c.HeatingStartHour, c.HeatingEndHour)
+	}
+	return nil
 }
 
 // DefaultConfig returns a January-office parameterisation tuned so the

@@ -103,6 +103,39 @@ type Config struct {
 	Observer obs.Observer `json:"-"`
 }
 
+// Validate reports whether every probability lies in [0, 1] and every
+// width, burst length and jitter is non-negative. The zero value (the
+// identity channel) is valid. NewInjector cannot fail, so Validate is the
+// pre-flight check for externally supplied profiles.
+func (c Config) Validate() error {
+	probs := [...]struct {
+		name string
+		v    float64
+	}{
+		{"PGoodToBad", c.PGoodToBad}, {"PBadToGood", c.PBadToGood},
+		{"LossGood", c.LossGood}, {"LossBad", c.LossBad},
+		{"AGCJumpProb", c.AGCJumpProb}, {"AGCRecovery", c.AGCRecovery},
+		{"NullProb", c.NullProb}, {"EnvOutageProb", c.EnvOutageProb},
+		{"EnvStaleProb", c.EnvStaleProb},
+	}
+	for _, p := range probs {
+		if p.v < 0 || p.v > 1 || math.IsNaN(p.v) {
+			return fmt.Errorf("fault: %s %g outside [0, 1]", p.name, p.v)
+		}
+	}
+	if c.NullMaxWidth < 0 || c.NullMaxWidth > csi.NumSubcarriers {
+		return fmt.Errorf("fault: NullMaxWidth %d outside [0, %d]", c.NullMaxWidth, csi.NumSubcarriers)
+	}
+	if c.AGCJumpMaxLog2 < 0 || c.NullMeanLen < 0 || c.EnvOutageMeanLen < 0 {
+		return fmt.Errorf("fault: negative burst shape (agc log2 %g, null mean %g, outage mean %g)",
+			c.AGCJumpMaxLog2, c.NullMeanLen, c.EnvOutageMeanLen)
+	}
+	if c.JitterStd < 0 {
+		return fmt.Errorf("fault: negative JitterStd %v", c.JitterStd)
+	}
+	return nil
+}
+
 // DefaultProfile returns a moderately hostile field profile at intensity 1:
 // ~20% bursty frame loss, occasional AGC resteps and null bursts, 5 ms
 // timestamp jitter and intermittent env outages.
@@ -169,24 +202,6 @@ func (c Config) Active() bool {
 		c.EnvStaleProb > 0 || c.EnvDead
 }
 
-// Stats counts the faults an Injector has produced.
-type Stats struct {
-	Frames     int
-	Dropped    int
-	EnvMissing int
-	EnvStale   int
-	NullBursts int
-	AGCJumps   int
-}
-
-// DropRate returns the fraction of frames lost.
-func (s Stats) DropRate() float64 {
-	if s.Frames == 0 {
-		return 0
-	}
-	return float64(s.Dropped) / float64(s.Frames)
-}
-
 // metrics are the injector's obs instruments; all nil (no-op) without an
 // Observer in Config. Injectors sharing an Observer aggregate.
 type metrics struct {
@@ -231,8 +246,8 @@ type Injector struct {
 	lastHum   float64
 	haveEnv   bool
 
-	stats Stats
-	hash  uint64
+	frames int // frames passed through; also the next frame index
+	hash   uint64
 }
 
 // NewInjector builds an Injector for the given configuration.
@@ -245,10 +260,6 @@ func NewInjector(cfg Config) *Injector {
 		hash:      1469598103934665603, // FNV-64 offset basis
 	}
 }
-
-// Stats returns the fault counts so far. For a live exported view, pass an
-// obs.Observer in Config and read the fault_* series instead.
-func (in *Injector) Stats() Stats { return in.stats }
 
 // TraceHash returns an FNV-1a digest of every fault decision so far. Two
 // injectors with the same configuration fed the same records produce the
@@ -264,8 +275,8 @@ func (in *Injector) fold(v uint64) {
 // consumer would observe. The clean record is preserved in Frame.Truth.
 func (in *Injector) Apply(r dataset.Record) Frame {
 	cfg := &in.cfg
-	f := Frame{Rec: r, Truth: r, Index: in.stats.Frames, EnvOK: true}
-	in.stats.Frames++
+	f := Frame{Rec: r, Truth: r, Index: in.frames, EnvOK: true}
+	in.frames++
 	in.m.frames.Inc()
 
 	// Gilbert–Elliott state transition, then state-conditional loss.
@@ -283,7 +294,6 @@ func (in *Injector) Apply(r dataset.Record) Frame {
 	if loss > 0 && in.rng.Float64() < loss {
 		f.Dropped = true
 		f.Rec.CSI = [csi.NumSubcarriers]float64{}
-		in.stats.Dropped++
 		in.m.dropped.Inc()
 	}
 
@@ -295,7 +305,6 @@ func (in *Injector) Apply(r dataset.Record) Frame {
 				u = -u
 			}
 			in.logGain = u
-			in.stats.AGCJumps++
 			in.m.agcJumps.Inc()
 		}
 		if in.logGain != 0 {
@@ -319,7 +328,6 @@ func (in *Injector) Apply(r dataset.Record) Frame {
 			in.nullStart = in.rng.Intn(csi.NumSubcarriers)
 			in.nullWidth = w
 			in.nullLeft = 1 + geometric(in.rng, cfg.NullMeanLen)
-			in.stats.NullBursts++
 			in.m.nullBursts.Inc()
 		}
 		if in.nullLeft > 0 {
@@ -353,7 +361,6 @@ func (in *Injector) Apply(r dataset.Record) Frame {
 		f.EnvStale = true
 		f.Rec.Temp = in.lastTemp
 		f.Rec.Humidity = in.lastHum
-		in.stats.EnvStale++
 		in.m.envStale.Inc()
 	}
 	if f.EnvOK && !f.EnvStale {
@@ -362,7 +369,6 @@ func (in *Injector) Apply(r dataset.Record) Frame {
 	}
 	if !f.EnvOK {
 		f.Rec.Temp, f.Rec.Humidity = 0, 0
-		in.stats.EnvMissing++
 		in.m.envMissing.Inc()
 	}
 
@@ -409,10 +415,4 @@ func Stream(ctx context.Context, gcfg dataset.GenConfig, fcfg Config, fn func(Fr
 	return dataset.Stream(ctx, gcfg, func(r dataset.Record) error {
 		return fn(in.Apply(r))
 	})
-}
-
-// String summarises the stats for logs.
-func (s Stats) String() string {
-	return fmt.Sprintf("frames=%d dropped=%d (%.1f%%) envMissing=%d envStale=%d nullBursts=%d agcJumps=%d",
-		s.Frames, s.Dropped, 100*s.DropRate(), s.EnvMissing, s.EnvStale, s.NullBursts, s.AGCJumps)
 }

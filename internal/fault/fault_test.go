@@ -8,7 +8,13 @@ import (
 
 	"repro/internal/csi"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
+
+// count reads one counter back from a test registry.
+func count(reg *obs.Registry, name string) int {
+	return int(reg.Counter(name, "").Value())
+}
 
 // testRecords returns a short clean trace to push through the channel.
 func testRecords(t *testing.T, n int) []dataset.Record {
@@ -31,7 +37,8 @@ func testRecords(t *testing.T, n int) []dataset.Record {
 
 func TestZeroConfigIsIdentity(t *testing.T) {
 	recs := testRecords(t, 200)
-	in := NewInjector(Config{Seed: 1})
+	reg := obs.NewRegistry()
+	in := NewInjector(Config{Seed: 1, Observer: reg})
 	for i, r := range recs {
 		f := in.Apply(r)
 		if f.Dropped || !f.EnvOK || f.EnvStale || f.Nulled != 0 || f.AGCGlitch {
@@ -44,9 +51,13 @@ func TestZeroConfigIsIdentity(t *testing.T) {
 			t.Fatalf("frame %d: truth record mutated", i)
 		}
 	}
-	s := in.Stats()
-	if s.Dropped != 0 || s.EnvMissing != 0 || s.NullBursts != 0 || s.AGCJumps != 0 {
-		t.Fatalf("identity channel accumulated stats: %+v", s)
+	for _, name := range []string{
+		"fault_dropped_total", "fault_env_missing_total",
+		"fault_null_bursts_total", "fault_agc_jumps_total",
+	} {
+		if v := count(reg, name); v != 0 {
+			t.Fatalf("identity channel accumulated %s = %d", name, v)
+		}
 	}
 }
 
@@ -70,7 +81,10 @@ func TestScaleZeroDisablesEverything(t *testing.T) {
 func TestDeterministicTraces(t *testing.T) {
 	recs := testRecords(t, 500)
 	cfg := DefaultProfile(7)
-	a, b := NewInjector(cfg), NewInjector(cfg)
+	regA, regB := obs.NewRegistry(), obs.NewRegistry()
+	cfgA, cfgB := cfg, cfg
+	cfgA.Observer, cfgB.Observer = regA, regB
+	a, b := NewInjector(cfgA), NewInjector(cfgB)
 	for _, r := range recs {
 		fa, fb := a.Apply(r), b.Apply(r)
 		if fa != fb {
@@ -80,8 +94,13 @@ func TestDeterministicTraces(t *testing.T) {
 	if a.TraceHash() != b.TraceHash() {
 		t.Fatalf("trace hashes differ: %x vs %x", a.TraceHash(), b.TraceHash())
 	}
-	if a.Stats() != b.Stats() {
-		t.Fatalf("stats differ: %+v vs %+v", a.Stats(), b.Stats())
+	for _, name := range []string{
+		"fault_frames_total", "fault_dropped_total", "fault_env_missing_total",
+		"fault_env_stale_total", "fault_null_bursts_total", "fault_agc_jumps_total",
+	} {
+		if count(regA, name) != count(regB, name) {
+			t.Fatalf("%s differs: %d vs %d", name, count(regA, name), count(regB, name))
+		}
 	}
 
 	// A different seed must give a different trace.
@@ -132,7 +151,8 @@ func TestBurstyLossRateAndBurstiness(t *testing.T) {
 
 func TestEnvDeadKillsFeedEveryFrame(t *testing.T) {
 	recs := testRecords(t, 100)
-	in := NewInjector(Config{Seed: 1, EnvDead: true})
+	reg := obs.NewRegistry()
+	in := NewInjector(Config{Seed: 1, EnvDead: true, Observer: reg})
 	for _, r := range recs {
 		f := in.Apply(r)
 		if f.EnvOK {
@@ -145,8 +165,8 @@ func TestEnvDeadKillsFeedEveryFrame(t *testing.T) {
 			t.Fatalf("truth lost the clean env reading")
 		}
 	}
-	if got := in.Stats().EnvMissing; got != len(recs) {
-		t.Fatalf("EnvMissing = %d, want %d", got, len(recs))
+	if got := count(reg, "fault_env_missing_total"); got != len(recs) {
+		t.Fatalf("fault_env_missing_total = %d, want %d", got, len(recs))
 	}
 }
 
@@ -185,7 +205,8 @@ func TestAGCJumpScalesWholeVector(t *testing.T) {
 
 func TestNullBurstsZeroContiguousBlock(t *testing.T) {
 	recs := testRecords(t, 600)
-	cfg := Config{Seed: 2, NullProb: 0.05, NullMaxWidth: 6, NullMeanLen: 5}
+	reg := obs.NewRegistry()
+	cfg := Config{Seed: 2, NullProb: 0.05, NullMaxWidth: 6, NullMeanLen: 5, Observer: reg}
 	in := NewInjector(cfg)
 	nulled := 0
 	for _, r := range recs {
@@ -206,8 +227,8 @@ func TestNullBurstsZeroContiguousBlock(t *testing.T) {
 	if nulled == 0 {
 		t.Fatalf("no null burst in 600 frames at p=0.05")
 	}
-	if in.Stats().NullBursts == 0 {
-		t.Fatalf("stats missed the null bursts")
+	if count(reg, "fault_null_bursts_total") == 0 {
+		t.Fatalf("counters missed the null bursts")
 	}
 }
 

@@ -33,7 +33,6 @@ import (
 	"errors"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/nn"
@@ -123,31 +122,15 @@ type Config struct {
 	Observer obs.Observer
 }
 
-// Stats is a snapshot of engine counters.
-//
-// Deprecated: Stats is the legacy per-Engine snapshot kept so existing
-// callers compile. New code should pass an obs.Observer in Config and read
-// the infer_* series, which add the batch-size distribution, queue depth and
-// worker utilization, and export over HTTP (DESIGN.md §10).
-type Stats struct {
-	// Requests is the number of rows scored.
-	Requests int64
-	// Batches is the number of forward passes (including batches of one).
-	Batches int64
-	// FastPath counts batches of one served by the fused row path.
-	FastPath int64
-	// FullBatches counts batches that hit MaxBatch exactly.
-	FullBatches int64
-	// MaxBatchSeen is the largest batch coalesced so far.
-	MaxBatchSeen int64
-}
-
-// AvgBatch returns the mean coalesced batch size.
-func (s Stats) AvgBatch() float64 {
-	if s.Batches == 0 {
-		return 0
+// Validate reports whether the configuration can build an engine. Sizing
+// fields use <= 0 to select defaults, so only the missing scorer factory —
+// the one thing New cannot invent — fails. New calls it; callers may too,
+// as a pre-flight check.
+func (c Config) Validate() error {
+	if c.NewScorer == nil {
+		return errors.New("infer: Config.NewScorer is required")
 	}
-	return float64(s.Requests) / float64(s.Batches)
+	return nil
 }
 
 // request is one queued row; out is a rendezvous of capacity 1.
@@ -157,8 +140,8 @@ type request struct {
 }
 
 // metrics are the engine's obs instruments; all nil (no-op) without an
-// Observer. The internal atomic counters stay the source of truth for the
-// deprecated per-Engine Stats(); these mirror them into exportable series.
+// Observer. The infer_* series are the engine's only counters — callers
+// wanting numbers attach an obs.Registry and read it back.
 type metrics struct {
 	requests    *obs.Counter
 	batches     *obs.Counter
@@ -205,18 +188,12 @@ type Engine struct {
 	pool sync.Pool
 	wg   sync.WaitGroup
 	m    metrics
-
-	requests    atomic.Int64
-	batches     atomic.Int64
-	fastPath    atomic.Int64
-	fullBatches atomic.Int64
-	maxBatch    atomic.Int64
 }
 
 // New validates cfg, spawns the workers and returns the running engine.
 func New(cfg Config) (*Engine, error) {
-	if cfg.NewScorer == nil {
-		return nil, errors.New("infer: Config.NewScorer is required")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = defaultWorkers()
@@ -279,22 +256,6 @@ func (e *Engine) PredictLabel(row []float64) (float64, int) {
 func (e *Engine) Close() {
 	close(e.reqs)
 	e.wg.Wait()
-}
-
-// Stats returns a snapshot of the engine counters.
-//
-// Deprecated: per-Engine snapshot kept for existing callers. Prefer an
-// obs.Observer in Config; the infer_* series carry the same counts plus the
-// batch-size distribution, queue depth and worker utilization, and export
-// over /metrics.
-func (e *Engine) Stats() Stats {
-	return Stats{
-		Requests:     e.requests.Load(),
-		Batches:      e.batches.Load(),
-		FastPath:     e.fastPath.Load(),
-		FullBatches:  e.fullBatches.Load(),
-		MaxBatchSeen: e.maxBatch.Load(),
-	}
 }
 
 // worker owns one Scorer plus preallocated batch storage and loops:
@@ -373,14 +334,6 @@ func (e *Engine) coalesce(batch *[]*request, timer *time.Timer) {
 // score runs one coalesced batch and replies to every submitter.
 func (e *Engine) score(sc Scorer, batch []*request, x *tensor.Matrix, probs []float64) {
 	n := len(batch)
-	e.requests.Add(int64(n))
-	e.batches.Add(1)
-	for {
-		m := e.maxBatch.Load()
-		if int64(n) <= m || e.maxBatch.CompareAndSwap(m, int64(n)) {
-			break
-		}
-	}
 	e.m.requests.Add(int64(n))
 	e.m.batches.Inc()
 	e.m.batchSize.Observe(float64(n))
@@ -389,11 +342,9 @@ func (e *Engine) score(sc Scorer, batch []*request, x *tensor.Matrix, probs []fl
 	e.m.busyWorkers.Add(1)
 	defer e.m.busyWorkers.Add(-1)
 	if n == e.cfg.MaxBatch {
-		e.fullBatches.Add(1)
 		e.m.fullBatches.Inc()
 	}
 	if n == 1 {
-		e.fastPath.Add(1)
 		e.m.fastPath.Inc()
 		batch[0].out <- sc.ScoreRow(batch[0].row)
 		return

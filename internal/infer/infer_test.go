@@ -43,11 +43,13 @@ func TestEngineBitIdentical(t *testing.T) {
 		{8, 256, 2 * time.Millisecond},
 	}
 	for _, c := range cases {
+		reg := obs.NewRegistry()
 		eng, err := New(Config{
 			NewScorer: NetworkScorer(net),
 			Workers:   c.workers,
 			MaxBatch:  c.maxBatch,
 			MaxDelay:  c.delay,
+			Observer:  reg,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -71,13 +73,12 @@ func TestEngineBitIdentical(t *testing.T) {
 			}(f)
 		}
 		wg.Wait()
-		st := eng.Stats()
 		eng.Close()
-		if got := int64(feeds * 3 * len(rows)); st.Requests != got {
-			t.Fatalf("workers=%d: stats lost requests: %d != %d", c.workers, st.Requests, got)
+		if want, got := int64(feeds*3*len(rows)), reg.Counter("infer_requests_total", "").Value(); got != want {
+			t.Fatalf("workers=%d: counters lost requests: %d != %d", c.workers, got, want)
 		}
-		if st.MaxBatchSeen > int64(c.maxBatch) {
-			t.Fatalf("coalesced %d rows past MaxBatch %d", st.MaxBatchSeen, c.maxBatch)
+		if seen := reg.Gauge("infer_max_batch_seen", "").Value(); seen > float64(c.maxBatch) {
+			t.Fatalf("coalesced %.0f rows past MaxBatch %d", seen, c.maxBatch)
 		}
 	}
 }
@@ -86,11 +87,13 @@ func TestEngineBitIdentical(t *testing.T) {
 // budget the engine actually forms multi-row batches (the whole point).
 func TestEngineCoalesces(t *testing.T) {
 	net, rows, _ := testNet(t, 64)
+	reg := obs.NewRegistry()
 	eng, err := New(Config{
 		NewScorer: NetworkScorer(net),
 		Workers:   1,
 		MaxBatch:  64,
 		MaxDelay:  2 * time.Millisecond,
+		Observer:  reg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -107,14 +110,15 @@ func TestEngineCoalesces(t *testing.T) {
 		}(f)
 	}
 	wg.Wait()
-	st := eng.Stats()
 	eng.Close()
-	if st.MaxBatchSeen < 2 {
-		t.Fatalf("no coalescing observed under %d concurrent feeds (max batch %d)",
-			feeds, st.MaxBatchSeen)
+	if seen := reg.Gauge("infer_max_batch_seen", "").Value(); seen < 2 {
+		t.Fatalf("no coalescing observed under %d concurrent feeds (max batch %.0f)",
+			feeds, seen)
 	}
-	if avg := st.AvgBatch(); avg <= 1 {
-		t.Fatalf("average batch %v, want > 1", avg)
+	requests := reg.Counter("infer_requests_total", "").Value()
+	batches := reg.Counter("infer_batches_total", "").Value()
+	if batches == 0 || float64(requests)/float64(batches) <= 1 {
+		t.Fatalf("average batch %d/%d, want > 1", requests, batches)
 	}
 }
 
@@ -192,11 +196,12 @@ func TestEnginePredictZeroAlloc(t *testing.T) {
 // TestObserverDoesNotChangeScores scores the same rows through two engines —
 // one with a live metrics registry, one with the nil default — and requires
 // bit-identical results: instruments count, they never feed back into
-// scoring. It also cross-checks the infer_* series against the deprecated
-// Stats() counters they mirror.
+// scoring. It also checks the infer_* series obey the engine's accounting
+// invariants (no lost requests, histogram count equals batch count).
 func TestObserverDoesNotChangeScores(t *testing.T) {
 	net, rows, want := testNet(t, 48)
 	reg := obs.NewRegistry()
+	const feeds = 8
 	for _, o := range []obs.Observer{nil, reg} {
 		eng, err := New(Config{
 			NewScorer: NetworkScorer(net),
@@ -209,7 +214,7 @@ func TestObserverDoesNotChangeScores(t *testing.T) {
 			t.Fatal(err)
 		}
 		var wg sync.WaitGroup
-		for f := 0; f < 8; f++ {
+		for f := 0; f < feeds; f++ {
 			wg.Add(1)
 			go func(f int) {
 				defer wg.Done()
@@ -223,36 +228,34 @@ func TestObserverDoesNotChangeScores(t *testing.T) {
 			}(f)
 		}
 		wg.Wait()
-		st := eng.Stats()
 		eng.Close()
+	}
 
-		if o == nil {
-			continue
+	snap := reg.Snapshot()
+	get := func(name string) obs.MetricSnapshot {
+		m, ok := snap.Get(name)
+		if !ok {
+			t.Fatalf("series %s missing from registry", name)
 		}
-		snap := reg.Snapshot()
-		checks := []struct {
-			name string
-			want int64
-		}{
-			{"infer_requests_total", st.Requests},
-			{"infer_batches_total", st.Batches},
-			{"infer_fast_path_total", st.FastPath},
-			{"infer_full_batches_total", st.FullBatches},
-		}
-		for _, c := range checks {
-			m, ok := snap.Get(c.name)
-			if !ok {
-				t.Fatalf("series %s missing from registry", c.name)
-			}
-			if int64(m.Value) != c.want {
-				t.Errorf("%s = %v, want %d (mirror of Stats())", c.name, m.Value, c.want)
-			}
-		}
-		if m, ok := snap.Get("infer_batch_size"); !ok || m.Count != st.Batches {
-			t.Errorf("infer_batch_size count = %+v, want %d batches", m, st.Batches)
-		}
-		if m, ok := snap.Get("infer_max_batch_seen"); !ok || int64(m.Value) != st.MaxBatchSeen {
-			t.Errorf("infer_max_batch_seen = %+v, want %d", m, st.MaxBatchSeen)
-		}
+		return m
+	}
+	requests := int64(get("infer_requests_total").Value)
+	batches := int64(get("infer_batches_total").Value)
+	fastPath := int64(get("infer_fast_path_total").Value)
+	fullBatches := int64(get("infer_full_batches_total").Value)
+	if wantReq := int64(feeds * 2 * len(rows)); requests != wantReq {
+		t.Errorf("infer_requests_total = %d, want %d (no lost requests)", requests, wantReq)
+	}
+	if batches <= 0 || batches > requests {
+		t.Errorf("infer_batches_total = %d, want in (0, %d]", batches, requests)
+	}
+	if fastPath > batches || fullBatches > batches {
+		t.Errorf("fast=%d full=%d exceed batches=%d", fastPath, fullBatches, batches)
+	}
+	if m := get("infer_batch_size"); m.Count != batches {
+		t.Errorf("infer_batch_size count = %d, want %d batches", m.Count, batches)
+	}
+	if m := get("infer_max_batch_seen"); m.Value < 1 || m.Value > 16 {
+		t.Errorf("infer_max_batch_seen = %v, want within [1, MaxBatch]", m.Value)
 	}
 }

@@ -83,6 +83,18 @@ type LogisticConfig struct {
 	Seed      int64
 }
 
+// Validate reports whether the configuration is trainable (zero sizes are
+// defaulted by Fit, so only negative values fail).
+func (c LogisticConfig) Validate() error {
+	if c.Epochs < 0 || c.BatchSize < 0 {
+		return fmt.Errorf("linmodel: negative training sizes (epochs %d, batch %d)", c.Epochs, c.BatchSize)
+	}
+	if c.LR < 0 || c.L2 < 0 {
+		return fmt.Errorf("linmodel: negative rates (lr %g, l2 %g)", c.LR, c.L2)
+	}
+	return nil
+}
+
 // DefaultLogisticConfig mirrors scikit-learn-ish defaults adapted to GD.
 func DefaultLogisticConfig() LogisticConfig {
 	return LogisticConfig{Epochs: 30, BatchSize: 256, LR: 0.1, L2: 1e-4, Seed: 1}

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/tensor"
@@ -88,6 +89,20 @@ type FitConfig struct {
 	// Patience stops training after this many epochs without validation
 	// improvement (0 = no early stopping even with a validation split).
 	Patience int
+}
+
+// Validate extends TrainConfig.Validate with the schedule fields.
+func (c FitConfig) Validate() error {
+	if err := c.TrainConfig.Validate(); err != nil {
+		return err
+	}
+	if c.ValFraction < 0 || c.ValFraction >= 1 {
+		return fmt.Errorf("nn: ValFraction %g outside [0, 1)", c.ValFraction)
+	}
+	if c.Patience < 0 {
+		return fmt.Errorf("nn: negative Patience %d", c.Patience)
+	}
+	return nil
 }
 
 // FitResult reports what FitValidated did.

@@ -36,6 +36,21 @@ type TrainConfig struct {
 	Observer obs.Observer
 }
 
+// Validate reports whether the configuration is trainable. Fit defaults
+// zero sizes, so Validate only rejects the contradictions defaulting cannot
+// repair: negative counts and rates.
+func (c TrainConfig) Validate() error {
+	if c.Epochs < 0 || c.BatchSize < 0 || c.StartEpoch < 0 {
+		return fmt.Errorf("nn: negative training sizes (epochs %d, batch %d, start %d)",
+			c.Epochs, c.BatchSize, c.StartEpoch)
+	}
+	if c.LR < 0 || c.WeightDecay < 0 || c.ClipNorm < 0 {
+		return fmt.Errorf("nn: negative training rates (lr %g, decay %g, clip %g)",
+			c.LR, c.WeightDecay, c.ClipNorm)
+	}
+	return nil
+}
+
 // DefaultTrainConfig returns the paper's training hyper-parameters (§V-B:
 // "trained for 10 epochs with a learning rate of 5e-3", AdamW decay [23]).
 func DefaultTrainConfig() TrainConfig {

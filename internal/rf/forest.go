@@ -23,6 +23,18 @@ type ForestConfig struct {
 	Seed           int64
 }
 
+// Validate reports whether the configuration is trainable (zero sizes are
+// defaulted by Fit, so only contradictions fail).
+func (c ForestConfig) Validate() error {
+	if c.NumTrees < 0 || c.MinLeaf < 0 {
+		return fmt.Errorf("rf: negative forest sizes (trees %d, min leaf %d)", c.NumTrees, c.MinLeaf)
+	}
+	if c.SubsampleRatio < 0 || c.SubsampleRatio > 1 {
+		return fmt.Errorf("rf: SubsampleRatio %g outside [0, 1]", c.SubsampleRatio)
+	}
+	return nil
+}
+
 // DefaultForestConfig mirrors common scikit-learn defaults scaled for a
 // pure-Go training budget.
 func DefaultForestConfig() ForestConfig {

@@ -38,6 +38,19 @@ type TreeConfig struct {
 	MinImpurity float64
 }
 
+// Validate reports whether the bounds are usable. MaxDepth and MTry use
+// <= 0 as "unlimited"/"all features", so only truly contradictory values
+// fail.
+func (c TreeConfig) Validate() error {
+	if c.MinLeaf < 0 {
+		return fmt.Errorf("rf: negative MinLeaf %d", c.MinLeaf)
+	}
+	if c.MinImpurity < 0 {
+		return fmt.Errorf("rf: negative MinImpurity %g", c.MinImpurity)
+	}
+	return nil
+}
+
 type builder struct {
 	x    *tensor.Matrix
 	y    []float64

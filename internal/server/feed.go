@@ -1,0 +1,292 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/stream"
+)
+
+// idleTimeoutReads is how many consecutive read timeouts evict a feed: the
+// stream runtime's dead-feed watchdog doubles as the server's idle-feed
+// eviction, so no separate janitor goroutine exists. Both the timed reads
+// and the capped backoff sleeps between them consume the idle budget, so
+// ReadTimeout is IdleTimeout/(2*idleTimeoutReads) and the backoff is capped
+// at one ReadTimeout — total time-to-eviction lands near IdleTimeout
+// (within the runtime's ±25% backoff jitter).
+const idleTimeoutReads = 8
+
+// Event is one decision as published to clients: the latest-decision read
+// and every NDJSON stream line carry exactly this shape. Seq is the frame
+// index the decision answers; consecutive events from a healthy subscriber
+// have consecutive Seq (in ?all=1 mode), so a gap proves events were
+// dropped on a slow subscriber — the server never drops silently.
+type Event struct {
+	Seq        int64     `json:"seq"`
+	Time       time.Time `json:"time"`
+	P          float64   `json:"p"`
+	Pred       int       `json:"pred"`
+	State      int       `json:"state"`
+	Flipped    bool      `json:"flipped"`
+	Mode       string    `json:"mode"`
+	CSIImputed bool      `json:"csi_imputed,omitempty"`
+	EnvImputed bool      `json:"env_imputed,omitempty"`
+}
+
+// subscriber is one NDJSON stream client.
+type subscriber struct {
+	ch  chan Event
+	all bool // every decision, not just transitions
+}
+
+// feed is one tenant: a bounded ingest queue feeding a dedicated
+// stream.Runtime, plus the latest decision and any live subscribers.
+type feed struct {
+	id   string
+	srv  *Server
+	seed int64
+
+	// mu guards the ingest side (queue sends vs. closure, the frame
+	// index, the token bucket), the latest decision, and the subscriber
+	// set. Handlers must check closed under mu before sending, which is
+	// what makes "close the queue to drain" safe against concurrent
+	// producers: a send can never race the close.
+	mu        sync.Mutex
+	queue     chan fault.Frame
+	closed    bool // no further ingest (drain, unregister, or runtime end)
+	ended     bool // the runtime has finished; no further events will come
+	nextIndex int
+	tokens    float64
+	lastFill  time.Time
+	last      Event
+	haveLast  bool
+	subs      map[*subscriber]struct{}
+
+	done chan struct{}
+}
+
+// newFeed builds the feed and validates its runtime configuration eagerly
+// so registration — not the first frame — reports a broken server config.
+// Callers hold s.mu.
+func (s *Server) newFeed(id string, seed int64) (*feed, error) {
+	f := &feed{
+		id:       id,
+		srv:      s,
+		seed:     seed,
+		queue:    make(chan fault.Frame, s.cfg.QueueDepth),
+		tokens:   float64(s.cfg.Burst),
+		lastFill: time.Now(),
+		subs:     make(map[*subscriber]struct{}),
+		done:     make(chan struct{}),
+	}
+	if _, err := stream.New(f.runtimeConfig()); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// runtimeConfig derives the per-feed stream configuration from the server
+// configuration. The idle watchdog maps onto the runtime's dead-feed
+// watchdog (see idleTimeoutReads).
+func (f *feed) runtimeConfig() stream.Config {
+	cfg := f.srv.cfg
+	sc := stream.Config{
+		Primary:        cfg.Primary,
+		Fallback:       cfg.Fallback,
+		PrimaryUsesEnv: cfg.PrimaryUsesEnv,
+		MaxHoldGap:     cfg.MaxHoldGap,
+		WatchdogFrames: cfg.WatchdogFrames,
+		RecoverFrames:  cfg.RecoverFrames,
+		SmootherNeed:   cfg.SmootherNeed,
+		Seed:           f.seed,
+		Observer:       cfg.Observer,
+	}
+	if cfg.IdleTimeout < 0 {
+		// Eviction disabled: keep the watchdog practically unreachable.
+		sc.ReadTimeout = time.Minute
+		sc.DeadFeedTimeouts = 1 << 30
+	} else {
+		sc.ReadTimeout = cfg.IdleTimeout / (2 * idleTimeoutReads)
+		sc.DeadFeedTimeouts = idleTimeoutReads
+		sc.BackoffInitial = sc.ReadTimeout / 4
+		sc.BackoffMax = sc.ReadTimeout
+	}
+	return sc
+}
+
+// run owns the feed's runtime until the queue closes (drain/unregister),
+// the context dies, or the idle watchdog evicts it.
+func (f *feed) run(ctx context.Context) {
+	s := f.srv
+	defer s.wg.Done()
+	defer close(f.done)
+
+	rt, err := stream.New(f.runtimeConfig())
+	if err != nil {
+		// newFeed validated this config; reaching here is a programming
+		// error, but a dead feed must still leave the routing table.
+		s.remove(f)
+		f.closeSubs()
+		return
+	}
+	err = rt.Run(ctx, f.queue, func(fr fault.Frame, d stream.Decision) error {
+		ev := Event{
+			Seq:        int64(fr.Index),
+			Time:       fr.Rec.Time,
+			P:          d.P,
+			Pred:       d.Pred,
+			State:      d.State,
+			Flipped:    d.Flipped,
+			Mode:       d.Mode.String(),
+			CSIImputed: d.CSIImputed,
+			EnvImputed: d.EnvImputed,
+		}
+		s.m.decisions.Inc()
+		f.mu.Lock()
+		transition := !f.haveLast || f.last.State != d.State
+		f.last = ev
+		f.haveLast = true
+		for sub := range f.subs {
+			if !sub.all && !transition {
+				continue
+			}
+			select {
+			case sub.ch <- ev:
+			default:
+				// Slow subscriber: drop, visibly. The seq gap tells the
+				// client; the counter tells the operator.
+				s.m.eventsDropped.Inc()
+			}
+		}
+		f.mu.Unlock()
+		return nil
+	})
+
+	if errors.Is(err, stream.ErrDeadFeed) {
+		s.m.feedsEvicted.Inc()
+	} else {
+		s.m.feedsClosed.Inc()
+	}
+	s.remove(f)
+	// Stop accepting frames: eviction and context death leave the queue
+	// channel open, so mark the feed closed and let producers see 404.
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	f.closeSubs()
+}
+
+// closeQueue stops ingest and lets the runtime drain the remaining frames.
+// Idempotent.
+func (f *feed) closeQueue() {
+	f.mu.Lock()
+	if !f.closed {
+		f.closed = true
+		close(f.queue)
+	}
+	f.mu.Unlock()
+}
+
+// closeSubs ends every subscriber's stream and bars new ones.
+func (f *feed) closeSubs() {
+	f.mu.Lock()
+	f.ended = true
+	for sub := range f.subs {
+		close(sub.ch)
+	}
+	f.subs = make(map[*subscriber]struct{})
+	f.mu.Unlock()
+}
+
+// subscribe attaches an NDJSON client; false when the feed already ended
+// (a new subscriber would hang forever on a channel nobody writes).
+func (f *feed) subscribe(all bool) (*subscriber, bool) {
+	sub := &subscriber{ch: make(chan Event, f.srv.cfg.StreamBuffer), all: all}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.ended {
+		return nil, false
+	}
+	f.subs[sub] = struct{}{}
+	return sub, true
+}
+
+// unsubscribe detaches a client (idempotent with closeSubs).
+func (f *feed) unsubscribe(sub *subscriber) {
+	f.mu.Lock()
+	delete(f.subs, sub)
+	f.mu.Unlock()
+}
+
+// latest returns the newest decision, if any frame has been processed.
+func (f *feed) latest() (Event, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.last, f.haveLast
+}
+
+// ingestResult is the outcome of one batch enqueue.
+type ingestResult struct {
+	accepted int
+	rejected int
+	reason   string // "queue_full" | "rate_limited" | "" when all accepted
+	retry    time.Duration
+}
+
+// enqueue pushes frames into the queue without ever blocking: the token
+// bucket is charged first, then each frame is offered with a non-blocking
+// send. The first limit hit stops the batch; accepted frames stay
+// accepted (they are already in the queue and will get decisions), the
+// rest are reported back for the client to retry. The second return is
+// false when the feed has ended.
+func (f *feed) enqueue(frames []fault.Frame) (ingestResult, bool) {
+	s := f.srv
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ingestResult{}, false
+	}
+
+	allowed := len(frames)
+	var res ingestResult
+	if rate := s.cfg.RatePerSec; rate > 0 {
+		now := time.Now()
+		f.tokens += now.Sub(f.lastFill).Seconds() * rate
+		if burst := float64(s.cfg.Burst); f.tokens > burst {
+			f.tokens = burst
+		}
+		f.lastFill = now
+		if int(f.tokens) < allowed {
+			allowed = int(f.tokens)
+			res.reason = "rate_limited"
+			res.retry = time.Duration(float64(len(frames)-allowed) / rate * float64(time.Second))
+		}
+	}
+	for i := range frames[:allowed] {
+		frames[i].Index = f.nextIndex
+		select {
+		case f.queue <- frames[i]:
+			f.nextIndex++
+			res.accepted++
+		default:
+			res.reason = "queue_full"
+			res.retry = time.Second
+		}
+		if res.reason == "queue_full" {
+			break
+		}
+	}
+	f.tokens -= float64(res.accepted)
+	res.rejected = len(frames) - res.accepted
+	s.m.framesIngested.Add(int64(res.accepted))
+	switch res.reason {
+	case "queue_full":
+		s.m.rejQueueFull.Add(int64(res.rejected))
+	case "rate_limited":
+		s.m.rejRateLimited.Add(int64(res.rejected))
+	}
+	return res, true
+}

@@ -1,0 +1,311 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/csi"
+	"repro/internal/fault"
+)
+
+// maxIngestBody bounds one ingest request. A 64-subcarrier frame is ~1.5 KB
+// of JSON; 8 MB comfortably fits several thousand frames — far past any
+// sane batch — while keeping a hostile client from ballooning the heap.
+const maxIngestBody = 8 << 20
+
+// FrameJSON is the wire form of one CSI frame. CSI must carry exactly
+// csi.NumSubcarriers amplitudes unless the frame is marked dropped (a
+// dropped frame never delivered amplitudes; the field may be omitted).
+// EnvOK defaults to true so the common case needs no flag.
+type FrameJSON struct {
+	Time     time.Time `json:"time"`
+	CSI      []float64 `json:"csi"`
+	Temp     float64   `json:"temp"`
+	Humidity float64   `json:"humidity"`
+	EnvOK    *bool     `json:"env_ok,omitempty"`
+	Dropped  bool      `json:"dropped,omitempty"`
+}
+
+// toFrame validates and converts one wire frame (Index is assigned at
+// enqueue time).
+func (fj *FrameJSON) toFrame() (fault.Frame, error) {
+	var f fault.Frame
+	f.Dropped = fj.Dropped
+	f.EnvOK = fj.EnvOK == nil || *fj.EnvOK
+	f.Rec.Time = fj.Time
+	if !fj.Dropped {
+		if len(fj.CSI) != csi.NumSubcarriers {
+			return f, fmt.Errorf("csi has %d subcarriers, want %d", len(fj.CSI), csi.NumSubcarriers)
+		}
+		for k, v := range fj.CSI {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return f, fmt.Errorf("csi[%d] is not finite", k)
+			}
+			f.Rec.CSI[k] = v
+		}
+	}
+	if f.EnvOK {
+		if math.IsNaN(fj.Temp) || math.IsInf(fj.Temp, 0) || math.IsNaN(fj.Humidity) || math.IsInf(fj.Humidity, 0) {
+			return f, errors.New("env reading is not finite")
+		}
+		f.Rec.Temp, f.Rec.Humidity = fj.Temp, fj.Humidity
+	}
+	f.Truth = f.Rec
+	return f, nil
+}
+
+// IngestRequest is the body of POST /v1/feeds/{id}/frames.
+type IngestRequest struct {
+	Frames []FrameJSON `json:"frames"`
+}
+
+// IngestResponse reports how much of the batch was accepted. On 429 the
+// client should retry the remaining len-Accepted frames after Retry-After.
+type IngestResponse struct {
+	Accepted int    `json:"accepted"`
+	Rejected int    `json:"rejected,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// FeedInfo describes one feed in registration and listing responses.
+type FeedInfo struct {
+	ID         string `json:"id"`
+	QueueDepth int    `json:"queue_depth"`
+	Decisions  int64  `json:"decisions"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	PUT    /v1/feeds/{id}            register a feed (idempotent)
+//	DELETE /v1/feeds/{id}            close a feed, draining its queue
+//	GET    /v1/feeds                 list feeds
+//	POST   /v1/feeds/{id}/frames     batch-ingest CSI frames
+//	GET    /v1/feeds/{id}/occupancy  latest decision
+//	GET    /v1/feeds/{id}/stream     NDJSON decision stream (?all=1: every
+//	                                 decision, default: state transitions)
+//	GET    /healthz                  process liveness
+//	GET    /readyz                   503 once draining
+//
+// Every route except the NDJSON stream is bounded by RequestTimeout.
+// Metrics/pprof are deliberately not mounted here — compose with
+// obs.Handler on the same mux (see cmd/occuserve).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	bounded := func(h http.HandlerFunc) http.Handler {
+		return http.TimeoutHandler(s.instrument(h), s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+	}
+	mux.Handle("PUT /v1/feeds/{id}", bounded(s.handleRegister))
+	mux.Handle("DELETE /v1/feeds/{id}", bounded(s.handleUnregister))
+	mux.Handle("GET /v1/feeds", bounded(s.handleList))
+	mux.Handle("POST /v1/feeds/{id}/frames", bounded(s.handleIngest))
+	mux.Handle("GET /v1/feeds/{id}/occupancy", bounded(s.handleOccupancy))
+	mux.HandleFunc("GET /v1/feeds/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	return mux
+}
+
+// instrument observes request latency on the bounded routes.
+func (s *Server) instrument(h http.HandlerFunc) http.Handler {
+	if s.m.reqLatency == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		s.m.reqLatency.Observe(time.Since(t0).Seconds())
+	})
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.m.rejDraining.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"server is draining"})
+		return
+	}
+	id := r.PathValue("id")
+	if !validFeedID(id) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"feed id must be 1-128 chars of [a-zA-Z0-9._-]"})
+		return
+	}
+	f, existed, err := s.register(id)
+	switch {
+	case errors.Is(err, errFeedLimit):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		return
+	}
+	code := http.StatusCreated
+	if existed {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, FeedInfo{ID: f.id, QueueDepth: s.cfg.QueueDepth})
+}
+
+func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	f := s.lookup(r.PathValue("id"))
+	if f == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown feed"})
+		return
+	}
+	f.closeQueue()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "closing"})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	infos := make([]FeedInfo, 0, len(s.feeds))
+	for _, f := range s.feeds {
+		f.mu.Lock()
+		n := int64(f.nextIndex)
+		f.mu.Unlock()
+		infos = append(infos, FeedInfo{ID: f.id, QueueDepth: s.cfg.QueueDepth, Decisions: n})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"feeds": infos})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.m.rejDraining.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"server is draining"})
+		return
+	}
+	f := s.lookup(r.PathValue("id"))
+	if f == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown feed"})
+		return
+	}
+	var req IngestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"malformed frame batch: " + err.Error()})
+		return
+	}
+	if len(req.Frames) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"empty frame batch"})
+		return
+	}
+	frames := make([]fault.Frame, len(req.Frames))
+	for i := range req.Frames {
+		var err error
+		if frames[i], err = req.Frames[i].toFrame(); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("frame %d: %v", i, err)})
+			return
+		}
+	}
+	res, ok := f.enqueue(frames)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{"feed is closed"})
+		return
+	}
+	body := IngestResponse{Accepted: res.accepted, Rejected: res.rejected, Reason: res.reason}
+	if res.rejected > 0 {
+		secs := int(res.retry/time.Second) + 1
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, body)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, body)
+}
+
+func (s *Server) handleOccupancy(w http.ResponseWriter, r *http.Request) {
+	f := s.lookup(r.PathValue("id"))
+	if f == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown feed"})
+		return
+	}
+	ev, ok := f.latest()
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, ev)
+}
+
+// handleStream serves the NDJSON decision stream. It is the one unbounded
+// route: it runs until the client disconnects or the feed ends. Transitions
+// only by default; ?all=1 emits every decision (each line carries seq, so
+// any drop on a slow client is detectable as a gap).
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	f := s.lookup(r.PathValue("id"))
+	if f == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown feed"})
+		return
+	}
+	all := r.URL.Query().Get("all") != ""
+	sub, ok := f.subscribe(all)
+	if !ok {
+		writeJSON(w, http.StatusGone, errorResponse{"feed has ended"})
+		return
+	}
+	defer f.unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-sub.ch:
+			if !open {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}
+
+// writeJSON emits one JSON body with the right headers.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// validFeedID accepts 1-128 chars of [a-zA-Z0-9._-].
+func validFeedID(id string) bool {
+	if len(id) == 0 || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

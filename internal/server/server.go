@@ -1,0 +1,288 @@
+// Package server is the multi-tenant network serving layer: it accepts CSI
+// frame streams from many rooms ("feeds") over HTTP/JSON and routes each
+// feed into its own degradation-aware stream.Runtime, all backed by one
+// shared inference engine. It is the piece that turns the repository from a
+// library into a service, and it defends itself the way a production
+// service must:
+//
+//   - bounded per-feed ingest queues — a full queue returns 429 with the
+//     number of frames that were accepted, never blocking the accept loop
+//     and never dropping a frame silently;
+//   - per-feed token-bucket rate limiting (RatePerSec/Burst);
+//   - idle-feed eviction — a feed that stops sending is torn down by the
+//     stream runtime's dead-feed watchdog after IdleTimeout;
+//   - request timeouts on every non-streaming route;
+//   - graceful drain — BeginDrain flips /readyz to 503 and rejects new
+//     work while in-flight frames keep flowing; Drain then closes every
+//     feed queue and waits for the runtimes to finish, so no accepted
+//     frame loses its decision.
+//
+// Determinism carries over the wire: a feed's decision sequence is a
+// function of its accepted frame sequence alone (stream.Process is
+// deterministic and the shared engine is bit-identical to the direct
+// path), so a client replaying the same frames in order sees exactly the
+// decisions an in-process runtime would produce — the property
+// cmd/loadgen's HTTP mode verifies end to end. See DESIGN.md §11.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stream"
+)
+
+// Config parametrises the serving layer. Primary is required; every other
+// zero field takes the stated default.
+type Config struct {
+	// Primary is the shared detector serving every feed's healthy path —
+	// typically a core.DetectorEngine so concurrent feeds coalesce into
+	// micro-batches. Required.
+	Primary stream.Predictor
+	// Fallback, when non-nil, serves feeds whose env feed died (see
+	// stream.Config.Fallback).
+	Fallback stream.Predictor
+	// PrimaryUsesEnv declares whether Primary consumes Temp/Humidity.
+	PrimaryUsesEnv bool
+	// MaxHoldGap / WatchdogFrames / RecoverFrames / SmootherNeed tune each
+	// feed's stream.Runtime (zero: stream defaults).
+	MaxHoldGap     int
+	WatchdogFrames int
+	RecoverFrames  int
+	SmootherNeed   int
+
+	// QueueDepth bounds each feed's ingest queue (default 256). Ingest
+	// past a full queue returns 429 with the accepted count.
+	QueueDepth int
+	// MaxFeeds caps concurrently registered feeds (default 1024).
+	MaxFeeds int
+	// RatePerSec is the per-feed token-bucket refill rate in frames/sec.
+	// <= 0 disables rate limiting.
+	RatePerSec float64
+	// Burst is the token-bucket capacity (default: 2×RatePerSec, min 1).
+	Burst int
+	// IdleTimeout evicts a feed that has delivered no frame for roughly
+	// this long (default 2 min). Negative disables eviction.
+	IdleTimeout time.Duration
+	// RequestTimeout bounds every non-streaming request (default 10 s).
+	RequestTimeout time.Duration
+	// StreamBuffer is the per-subscriber event buffer on the NDJSON
+	// stream (default 256). A slow subscriber past its buffer loses
+	// events — detectably: seq numbers gap and the drop is counted.
+	StreamBuffer int
+	// Seed drives per-feed backoff jitter.
+	Seed int64
+	// Observer receives the server_* metrics. Nil disables observability.
+	Observer obs.Observer
+}
+
+// Validate reports whether the configuration is serveable.
+func (c Config) Validate() error {
+	if c.Primary == nil {
+		return errors.New("server: Config.Primary is required")
+	}
+	if c.QueueDepth < 0 || c.MaxFeeds < 0 || c.Burst < 0 || c.StreamBuffer < 0 {
+		return fmt.Errorf("server: negative sizes (queue %d, feeds %d, burst %d, buffer %d)",
+			c.QueueDepth, c.MaxFeeds, c.Burst, c.StreamBuffer)
+	}
+	if c.RequestTimeout < 0 {
+		return fmt.Errorf("server: negative RequestTimeout %v", c.RequestTimeout)
+	}
+	return nil
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxFeeds == 0 {
+		c.MaxFeeds = 1024
+	}
+	if c.Burst == 0 {
+		c.Burst = int(2 * c.RatePerSec)
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.StreamBuffer == 0 {
+		c.StreamBuffer = 256
+	}
+	return c
+}
+
+// metrics are the server's obs instruments; all nil (no-op) without an
+// Observer.
+type metrics struct {
+	activeFeeds    *obs.Gauge
+	feedsCreated   *obs.Counter
+	feedsEvicted   *obs.Counter
+	feedsClosed    *obs.Counter
+	framesIngested *obs.Counter
+	rejQueueFull   *obs.Counter
+	rejRateLimited *obs.Counter
+	rejDraining    *obs.Counter
+	decisions      *obs.Counter
+	eventsDropped  *obs.Counter
+	reqLatency     *obs.Histogram
+}
+
+func newMetrics(o obs.Observer) metrics {
+	if o == nil {
+		return metrics{}
+	}
+	return metrics{
+		activeFeeds:    o.Gauge("server_active_feeds", "feeds currently registered"),
+		feedsCreated:   o.Counter("server_feeds_created_total", "feeds registered"),
+		feedsEvicted:   o.Counter("server_feeds_evicted_total", "feeds torn down by the idle watchdog"),
+		feedsClosed:    o.Counter("server_feeds_closed_total", "feeds closed by the client or drain"),
+		framesIngested: o.Counter("server_frames_ingested_total", "frames accepted into feed queues"),
+		rejQueueFull:   o.Counter("server_rejected_queue_full_total", "frames rejected because the feed queue was full"),
+		rejRateLimited: o.Counter("server_rejected_rate_limited_total", "frames rejected by the per-feed token bucket"),
+		rejDraining:    o.Counter("server_rejected_draining_total", "requests rejected while draining"),
+		decisions:      o.Counter("server_decisions_total", "decisions produced across all feeds"),
+		eventsDropped:  o.Counter("server_stream_events_dropped_total", "stream events dropped on slow subscribers"),
+		reqLatency:     o.Histogram("server_request_seconds", "non-streaming request latency", obs.ExpBuckets(1e-4, 4, 10)),
+	}
+}
+
+// Server routes per-feed frame streams into stream Runtimes over a shared
+// predictor. Safe for concurrent use.
+type Server struct {
+	cfg Config
+	m   metrics
+
+	mu    sync.Mutex
+	feeds map[string]*feed
+	seq   int64 // feeds ever created; salts per-feed jitter seeds
+
+	draining atomic.Bool
+	wg       sync.WaitGroup // one entry per live feed runtime
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+}
+
+// New builds a Server. The configuration must Validate.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	return &Server{
+		cfg:     cfg,
+		m:       newMetrics(cfg.Observer),
+		feeds:   make(map[string]*feed),
+		baseCtx: ctx,
+		stop:    stop,
+	}, nil
+}
+
+// FeedCount returns the number of registered feeds.
+func (s *Server) FeedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.feeds)
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// BeginDrain flips the server into drain mode: /readyz answers 503 and new
+// registrations and ingest are rejected, while already-queued frames keep
+// flowing to their runtimes. Call it as soon as SIGTERM arrives — before
+// the listener closes — so load balancers stop routing new work here while
+// in-flight work completes.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Drain closes every feed's queue and waits until all runtimes have
+// consumed their remaining frames (no accepted frame loses its decision),
+// or ctx expires. BeginDrain is implied.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	s.mu.Lock()
+	for _, f := range s.feeds {
+		f.closeQueue()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// Close tears the server down immediately: feed contexts are cancelled and
+// queued frames may go unprocessed. Use Drain for graceful shutdown.
+func (s *Server) Close() {
+	s.BeginDrain()
+	s.stop()
+	s.mu.Lock()
+	for _, f := range s.feeds {
+		f.closeQueue()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// register creates (or finds) a feed. The bool reports whether it already
+// existed.
+func (s *Server) register(id string) (*feed, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.feeds[id]; ok {
+		return f, true, nil
+	}
+	if len(s.feeds) >= s.cfg.MaxFeeds {
+		return nil, false, errFeedLimit
+	}
+	s.seq++
+	f, err := s.newFeed(id, s.cfg.Seed^s.seq)
+	if err != nil {
+		return nil, false, err
+	}
+	s.feeds[id] = f
+	s.m.feedsCreated.Inc()
+	s.m.activeFeeds.Set(float64(len(s.feeds)))
+	s.wg.Add(1)
+	go f.run(s.baseCtx)
+	return f, false, nil
+}
+
+// lookup returns the named feed, or nil.
+func (s *Server) lookup(id string) *feed {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.feeds[id]
+}
+
+// remove detaches a finished feed from the routing table (idempotent).
+func (s *Server) remove(f *feed) {
+	s.mu.Lock()
+	if s.feeds[f.id] == f {
+		delete(s.feeds, f.id)
+	}
+	s.m.activeFeeds.Set(float64(len(s.feeds)))
+	s.mu.Unlock()
+}
+
+var errFeedLimit = errors.New("server: feed limit reached")

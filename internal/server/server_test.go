@@ -1,0 +1,459 @@
+package server_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/csi"
+	"repro/internal/dataset"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// ampPred is a deterministic stand-in detector: P(occupied) is the first
+// subcarrier amplitude, thresholded at 0.5. It lets tests choose decisions
+// frame by frame without training anything.
+type ampPred struct{}
+
+func (ampPred) PredictRecord(r *dataset.Record) (float64, int) {
+	if r.CSI[0] >= 0.5 {
+		return r.CSI[0], 1
+	}
+	return r.CSI[0], 0
+}
+
+// gatePred blocks every prediction until the gate closes, so tests can wedge
+// a feed's runtime and fill its queue deterministically.
+type gatePred struct{ gate chan struct{} }
+
+func (g gatePred) PredictRecord(r *dataset.Record) (float64, int) {
+	<-g.gate
+	return 1, 1
+}
+
+// newTestServer boots a server (mutated by mod) behind httptest.
+func newTestServer(t *testing.T, mod func(*server.Config)) (*server.Server, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cfg := server.Config{Primary: ampPred{}, Observer: reg}
+	if mod != nil {
+		mod(&cfg)
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts, reg
+}
+
+// mkFrames builds n clean frames whose first subcarrier is amp.
+func mkFrames(n int, amp float64) []server.FrameJSON {
+	frames := make([]server.FrameJSON, n)
+	base := time.Date(2026, 1, 5, 9, 0, 0, 0, time.UTC)
+	for i := range frames {
+		c := make([]float64, csi.NumSubcarriers)
+		c[0] = amp
+		for k := 1; k < len(c); k++ {
+			c[k] = 1
+		}
+		frames[i] = server.FrameJSON{Time: base.Add(time.Duration(i) * 50 * time.Millisecond), CSI: c, Temp: 21, Humidity: 40}
+	}
+	return frames
+}
+
+// doReq runs one request against the test server.
+func doReq(t *testing.T, method, url string, body any) (int, []byte, http.Header) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b, resp.Header
+}
+
+// ingest POSTs frames and decodes the ingest response.
+func ingest(t *testing.T, base, id string, frames []server.FrameJSON) (int, server.IngestResponse, http.Header) {
+	t.Helper()
+	code, body, hdr := doReq(t, http.MethodPost, base+"/v1/feeds/"+id+"/frames", server.IngestRequest{Frames: frames})
+	var ir server.IngestResponse
+	if len(body) > 0 {
+		_ = json.Unmarshal(body, &ir)
+	}
+	return code, ir, hdr
+}
+
+// waitFor polls cond until it returns true or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestLifecycleAndLatestDecision(t *testing.T) {
+	srv, ts, _ := newTestServer(t, nil)
+
+	code, _, _ := doReq(t, http.MethodGet, ts.URL+"/healthz", nil)
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	code, _, _ = doReq(t, http.MethodGet, ts.URL+"/readyz", nil)
+	if code != http.StatusOK {
+		t.Fatalf("readyz before drain: %d", code)
+	}
+
+	code, _, _ = doReq(t, http.MethodPut, ts.URL+"/v1/feeds/room-a", nil)
+	if code != http.StatusCreated {
+		t.Fatalf("register: %d, want 201", code)
+	}
+	code, _, _ = doReq(t, http.MethodPut, ts.URL+"/v1/feeds/room-a", nil)
+	if code != http.StatusOK {
+		t.Fatalf("re-register: %d, want 200 (idempotent)", code)
+	}
+	code, _, _ = doReq(t, http.MethodGet, ts.URL+"/v1/feeds/room-a/occupancy", nil)
+	if code != http.StatusNoContent {
+		t.Fatalf("occupancy before any frame: %d, want 204", code)
+	}
+
+	code, ir, _ := ingest(t, ts.URL, "room-a", mkFrames(3, 0.9))
+	if code != http.StatusAccepted || ir.Accepted != 3 || ir.Rejected != 0 {
+		t.Fatalf("ingest: %d %+v", code, ir)
+	}
+
+	var ev server.Event
+	waitFor(t, 2*time.Second, "decision seq 2", func() bool {
+		code, body, _ := doReq(t, http.MethodGet, ts.URL+"/v1/feeds/room-a/occupancy", nil)
+		if code != http.StatusOK {
+			return false
+		}
+		if err := json.Unmarshal(body, &ev); err != nil {
+			t.Fatal(err)
+		}
+		return ev.Seq == 2
+	})
+	if ev.P != 0.9 || ev.Pred != 1 || ev.State != 1 || ev.Mode != "primary" {
+		t.Fatalf("decision: %+v", ev)
+	}
+
+	code, body, _ := doReq(t, http.MethodGet, ts.URL+"/v1/feeds", nil)
+	if code != http.StatusOK || !strings.Contains(string(body), "room-a") {
+		t.Fatalf("list: %d %s", code, body)
+	}
+
+	code, _, _ = doReq(t, http.MethodDelete, ts.URL+"/v1/feeds/room-a", nil)
+	if code != http.StatusOK {
+		t.Fatalf("delete: %d", code)
+	}
+	waitFor(t, 2*time.Second, "feed teardown", func() bool { return srv.FeedCount() == 0 })
+	code, _, _ = doReq(t, http.MethodGet, ts.URL+"/v1/feeds/room-a/occupancy", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("occupancy after delete: %d, want 404", code)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+
+	if code, _, _ := doReq(t, http.MethodPut, ts.URL+"/v1/feeds/bad%20id", nil); code != http.StatusBadRequest {
+		t.Fatalf("invalid feed id: %d, want 400", code)
+	}
+	for _, u := range []string{"/v1/feeds/ghost/occupancy", "/v1/feeds/ghost/stream"} {
+		if code, _, _ := doReq(t, http.MethodGet, ts.URL+u, nil); code != http.StatusNotFound {
+			t.Fatalf("GET %s on unknown feed: %d, want 404", u, code)
+		}
+	}
+	if code, _, _ := doReq(t, http.MethodDelete, ts.URL+"/v1/feeds/ghost", nil); code != http.StatusNotFound {
+		t.Fatalf("delete unknown feed: %d, want 404", code)
+	}
+	if code, _, _ := ingest(t, ts.URL, "ghost", mkFrames(1, 0.5)); code != http.StatusNotFound {
+		t.Fatalf("ingest to unknown feed: %d, want 404", code)
+	}
+
+	if code, _, _ := doReq(t, http.MethodPut, ts.URL+"/v1/feeds/room-b", nil); code != http.StatusCreated {
+		t.Fatal("register room-b")
+	}
+	// Malformed JSON body.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/feeds/room-b/frames", strings.NewReader(`{"frames": [{`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: %d, want 400", resp.StatusCode)
+	}
+	// Wrong CSI width.
+	bad := mkFrames(1, 0.5)
+	bad[0].CSI = bad[0].CSI[:7]
+	if code, _, _ := ingest(t, ts.URL, "room-b", bad); code != http.StatusBadRequest {
+		t.Fatalf("short CSI: %d, want 400", code)
+	}
+	// Empty batch.
+	if code, _, _ := ingest(t, ts.URL, "room-b", nil); code != http.StatusBadRequest {
+		t.Fatalf("empty batch: %d, want 400", code)
+	}
+}
+
+func TestQueueFullReturns429(t *testing.T) {
+	gate := make(chan struct{})
+	_, ts, reg := newTestServer(t, func(c *server.Config) {
+		c.Primary = gatePred{gate: gate}
+		c.QueueDepth = 2
+	})
+	if code, _, _ := doReq(t, http.MethodPut, ts.URL+"/v1/feeds/room-q", nil); code != http.StatusCreated {
+		t.Fatal("register")
+	}
+
+	code, ir, hdr := ingest(t, ts.URL, "room-q", mkFrames(10, 0.9))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overfull ingest: %d, want 429", code)
+	}
+	if ir.Reason != "queue_full" {
+		t.Fatalf("reason %q, want queue_full", ir.Reason)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Queue depth 2 plus at most two frames already pulled by the (gated)
+	// runtime: the accept watermark is tight, never silent.
+	if ir.Accepted < 1 || ir.Accepted > 4 || ir.Accepted+ir.Rejected != 10 {
+		t.Fatalf("partial accept accounting: %+v", ir)
+	}
+	if got := reg.Counter("server_rejected_queue_full_total", "").Value(); got != int64(ir.Rejected) {
+		t.Fatalf("rejected counter %d != response %d", got, ir.Rejected)
+	}
+
+	// Unblock and close: every accepted frame must still get its decision.
+	close(gate)
+	if code, _, _ := doReq(t, http.MethodDelete, ts.URL+"/v1/feeds/room-q", nil); code != http.StatusOK {
+		t.Fatal("delete")
+	}
+	waitFor(t, 2*time.Second, "queued frames to drain", func() bool {
+		return reg.Counter("server_decisions_total", "").Value() == int64(ir.Accepted)
+	})
+}
+
+func TestRateLimitReturns429(t *testing.T) {
+	_, ts, reg := newTestServer(t, func(c *server.Config) {
+		c.RatePerSec = 1
+		c.Burst = 2
+	})
+	if code, _, _ := doReq(t, http.MethodPut, ts.URL+"/v1/feeds/room-r", nil); code != http.StatusCreated {
+		t.Fatal("register")
+	}
+	code, ir, hdr := ingest(t, ts.URL, "room-r", mkFrames(5, 0.9))
+	if code != http.StatusTooManyRequests || ir.Reason != "rate_limited" {
+		t.Fatalf("rate-limited ingest: %d %+v", code, ir)
+	}
+	if ir.Accepted != 2 || ir.Rejected != 3 {
+		t.Fatalf("burst accounting: %+v", ir)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if got := reg.Counter("server_rejected_rate_limited_total", "").Value(); got != 3 {
+		t.Fatalf("rate-limited counter %d, want 3", got)
+	}
+}
+
+func TestStreamAndClientDisconnect(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	if code, _, _ := doReq(t, http.MethodPut, ts.URL+"/v1/feeds/room-s", nil); code != http.StatusCreated {
+		t.Fatal("register")
+	}
+
+	// Subscriber 1 will be killed mid-stream; subscriber 2 survives.
+	ctx, cancel := context.WithCancel(context.Background())
+	req1, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/feeds/room-s/stream?all=1", nil)
+	resp1, err := http.DefaultClient.Do(req1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp1.Body.Close()
+	req2, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/feeds/room-s/stream?all=1", nil)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+
+	var events []server.Event
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sc := bufio.NewScanner(resp2.Body)
+		for sc.Scan() {
+			var ev server.Event
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Error(err)
+				return
+			}
+			events = append(events, ev)
+		}
+	}()
+
+	if code, ir, _ := ingest(t, ts.URL, "room-s", mkFrames(4, 0.9)); code != http.StatusAccepted || ir.Accepted != 4 {
+		t.Fatalf("first ingest: %d %+v", code, ir)
+	}
+	// Kill subscriber 1 mid-stream, then keep ingesting: the server must
+	// shrug the disconnect off and keep serving the survivor.
+	cancel()
+	if code, ir, _ := ingest(t, ts.URL, "room-s", mkFrames(4, 0.1)); code != http.StatusAccepted || ir.Accepted != 4 {
+		t.Fatalf("post-disconnect ingest: %d %+v", code, ir)
+	}
+
+	if code, _, _ := doReq(t, http.MethodDelete, ts.URL+"/v1/feeds/room-s", nil); code != http.StatusOK {
+		t.Fatal("delete")
+	}
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("survivor stream did not end after feed close")
+	}
+	if len(events) != 8 {
+		t.Fatalf("survivor saw %d events, want 8", len(events))
+	}
+	for i, ev := range events {
+		if int(ev.Seq) != i {
+			t.Fatalf("event %d has seq %d (gap)", i, ev.Seq)
+		}
+	}
+	// The second half flipped the state: 0.9s then 0.1s (no smoother is
+	// configured, so the raw prediction is the state and Flipped stays
+	// false).
+	if events[3].State != 1 || events[7].State != 0 || events[7].P != 0.1 {
+		t.Fatalf("decision sequence wrong: %+v / %+v", events[3], events[7])
+	}
+}
+
+func TestDrainUnderLoadLosesNoDecisions(t *testing.T) {
+	srv, ts, reg := newTestServer(t, nil)
+	const feeds = 4
+	for f := 0; f < feeds; f++ {
+		if code, _, _ := doReq(t, http.MethodPut, fmt.Sprintf("%s/v1/feeds/load-%d", ts.URL, f), nil); code != http.StatusCreated {
+			t.Fatal("register")
+		}
+	}
+
+	// Hammer ingest from every feed until drain rejection appears.
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+	for f := 0; f < feeds; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			for {
+				code, ir, _ := ingest(t, ts.URL, fmt.Sprintf("load-%d", f), mkFrames(8, 0.7))
+				accepted.Add(int64(ir.Accepted))
+				switch code {
+				case http.StatusAccepted, http.StatusTooManyRequests:
+					continue
+				case http.StatusServiceUnavailable, http.StatusNotFound:
+					return // draining (503) or queue already closed (404)
+				default:
+					t.Errorf("ingest during load: unexpected status %d", code)
+					return
+				}
+			}
+		}(f)
+	}
+
+	waitFor(t, 2*time.Second, "load to flow", func() bool { return accepted.Load() > 64 })
+	srv.BeginDrain()
+	if code, _, _ := doReq(t, http.MethodGet, ts.URL+"/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %d, want 503", code)
+	}
+	if code, _, _ := doReq(t, http.MethodPut, ts.URL+"/v1/feeds/late", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("register while draining: %d, want 503", code)
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The backpressure contract's other half: accepted means decided. Every
+	// frame a 202/429 response counted as accepted has a decision.
+	ingested := reg.Counter("server_frames_ingested_total", "").Value()
+	decisions := reg.Counter("server_decisions_total", "").Value()
+	if ingested != accepted.Load() {
+		t.Fatalf("server counted %d ingested, clients saw %d accepted", ingested, accepted.Load())
+	}
+	if decisions != ingested {
+		t.Fatalf("drain lost decisions: %d ingested, %d decided", ingested, decisions)
+	}
+	if srv.FeedCount() != 0 {
+		t.Fatalf("%d feeds survived drain", srv.FeedCount())
+	}
+}
+
+func TestIdleFeedEviction(t *testing.T) {
+	srv, ts, reg := newTestServer(t, func(c *server.Config) {
+		c.IdleTimeout = 240 * time.Millisecond
+	})
+	if code, _, _ := doReq(t, http.MethodPut, ts.URL+"/v1/feeds/quiet", nil); code != http.StatusCreated {
+		t.Fatal("register")
+	}
+	waitFor(t, 5*time.Second, "idle eviction", func() bool { return srv.FeedCount() == 0 })
+	if got := reg.Counter("server_feeds_evicted_total", "").Value(); got != 1 {
+		t.Fatalf("evicted counter %d, want 1", got)
+	}
+	if code, _, _ := doReq(t, http.MethodGet, ts.URL+"/v1/feeds/quiet/occupancy", nil); code != http.StatusNotFound {
+		t.Fatal("evicted feed still routable")
+	}
+	// The id is free again.
+	if code, _, _ := doReq(t, http.MethodPut, ts.URL+"/v1/feeds/quiet", nil); code != http.StatusCreated {
+		t.Fatal("re-register after eviction")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := server.New(server.Config{}); err == nil {
+		t.Fatal("nil Primary accepted")
+	}
+	if err := (server.Config{Primary: ampPred{}, QueueDepth: -1}).Validate(); err == nil {
+		t.Fatal("negative QueueDepth accepted")
+	}
+	if err := (server.Config{Primary: ampPred{}, RequestTimeout: -time.Second}).Validate(); err == nil {
+		t.Fatal("negative RequestTimeout accepted")
+	}
+}

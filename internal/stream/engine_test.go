@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/stream"
 )
 
@@ -44,6 +45,7 @@ func TestRuntimeOnEngineBitIdentical(t *testing.T) {
 		frames = append(frames, inj.Apply(d.Records[i%d.Len()]))
 	}
 
+	directReg := obs.NewRegistry()
 	runCfg := stream.Config{
 		Primary:        primary,
 		Fallback:       fallback,
@@ -51,6 +53,7 @@ func TestRuntimeOnEngineBitIdentical(t *testing.T) {
 		WatchdogFrames: 10,
 		RecoverFrames:  20,
 		SmootherNeed:   3,
+		Observer:       directReg,
 	}
 	direct, err := stream.New(runCfg)
 	if err != nil {
@@ -71,9 +74,11 @@ func TestRuntimeOnEngineBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer fe.Close()
+	servedReg := obs.NewRegistry()
 	engCfg := runCfg
 	engCfg.Primary = pe
 	engCfg.Fallback = fe
+	engCfg.Observer = servedReg
 	served, err := stream.New(engCfg)
 	if err != nil {
 		t.Fatal(err)
@@ -84,7 +89,21 @@ func TestRuntimeOnEngineBitIdentical(t *testing.T) {
 			t.Fatalf("frame %d: engine-served decision %+v != direct %+v", i, got, wantDecs[i])
 		}
 	}
-	if direct.Stats() != served.Stats() {
-		t.Fatalf("runtime stats diverge: %+v != %+v", direct.Stats(), served.Stats())
+	for _, name := range []string{
+		"stream_frames_total", "stream_primary_frames_total",
+		"stream_fallback_frames_total", "stream_held_frames_total",
+		"stream_csi_imputed_total", "stream_env_imputed_total",
+		"stream_degradations_total", "stream_recoveries_total",
+		"stream_flips_total",
+	} {
+		dv := directReg.Counter(name, "").Value()
+		sv := servedReg.Counter(name, "").Value()
+		if dv != sv {
+			t.Errorf("%s diverges: direct %d != engine-served %d", name, dv, sv)
+		}
+	}
+	if direct.FirstFallbackFrame() != served.FirstFallbackFrame() {
+		t.Fatalf("first fallback frame diverges: direct %d != engine-served %d",
+			direct.FirstFallbackFrame(), served.FirstFallbackFrame())
 	}
 }

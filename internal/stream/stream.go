@@ -126,6 +126,29 @@ type Config struct {
 	Observer obs.Observer
 }
 
+// Validate reports whether the configuration can run. Zero fields select
+// defaults (withDefaults), so only contradictions fail: a missing primary
+// detector, negative counts or timeouts, or an unknown imputation policy.
+// New calls it; callers may too, as a pre-flight check.
+func (c Config) Validate() error {
+	if c.Primary == nil {
+		return errors.New("stream: Config.Primary is required")
+	}
+	if c.MaxHoldGap < 0 || c.WatchdogFrames < 0 || c.RecoverFrames < 0 ||
+		c.SmootherNeed < 0 || c.DeadFeedTimeouts < 0 {
+		return fmt.Errorf("stream: negative frame counts (hold %d, watchdog %d, recover %d, smoother %d, dead-feed %d)",
+			c.MaxHoldGap, c.WatchdogFrames, c.RecoverFrames, c.SmootherNeed, c.DeadFeedTimeouts)
+	}
+	if c.ReadTimeout < 0 || c.BackoffInitial < 0 || c.BackoffMax < 0 {
+		return fmt.Errorf("stream: negative timeouts (read %v, backoff %v..%v)",
+			c.ReadTimeout, c.BackoffInitial, c.BackoffMax)
+	}
+	if c.Imputation != ImputeHold && c.Imputation != ImputeLinear {
+		return fmt.Errorf("stream: unknown imputation policy %d", int(c.Imputation))
+	}
+	return nil
+}
+
 // withDefaults fills zero fields.
 func (c Config) withDefaults() Config {
 	if c.MaxHoldGap == 0 {
@@ -170,31 +193,6 @@ type Decision struct {
 	EnvImputed bool
 }
 
-// Stats aggregates runtime behaviour for reporting and tests.
-//
-// Deprecated: Stats is the legacy snapshot struct kept so existing callers
-// compile; it only sees one Runtime. New code should pass an obs.Observer in
-// Config and read the stream_* series, which aggregate across runtimes and
-// export over HTTP (DESIGN.md §10).
-type Stats struct {
-	Frames         int
-	PrimaryFrames  int
-	FallbackFrames int
-	HeldFrames     int
-	CSIImputed     int
-	EnvImputed     int
-	Degradations   int // primary → fallback transitions
-	Recoveries     int // fallback → primary transitions
-	Flips          int // smoothed state transitions
-	// FirstFallbackFrame is the index of the first fallback-served frame
-	// (-1 until one occurs).
-	FirstFallbackFrame int
-	// Run-loop health.
-	ReadTimeouts int
-	MaxBackoff   time.Duration
-	DeadFeed     bool
-}
-
 // metrics are the runtime's obs instruments. All fields stay nil when no
 // Observer is configured; every method on a nil instrument no-ops, so the
 // uninstrumented hot path pays one nil check per touch.
@@ -211,6 +209,7 @@ type metrics struct {
 	readTimeouts *obs.Counter
 	deadFeeds    *obs.Counter
 	mode         *obs.Gauge
+	maxBackoff   *obs.Gauge
 	latency      *obs.Histogram
 }
 
@@ -232,6 +231,7 @@ func newMetrics(o obs.Observer) metrics {
 		readTimeouts: o.Counter("stream_read_timeouts_total", "queue reads that timed out in Run"),
 		deadFeeds:    o.Counter("stream_dead_feeds_total", "dead-feed watchdog firings"),
 		mode:         o.Gauge("stream_mode", "current degradation mode (0=primary 1=fallback 2=held)"),
+		maxBackoff:   o.Gauge("stream_max_backoff_seconds", "largest backoff sleep taken by Run so far"),
 		latency:      o.Histogram("stream_decision_latency_seconds", "per-frame decision latency in Run", obs.ExpBuckets(1e-6, 4, 10)),
 	}
 }
@@ -256,7 +256,8 @@ type Runtime struct {
 	envHist  [2]envSample // [0] newest, [1] previous
 	envCount int
 
-	stats Stats
+	frames        int // frames processed so far; also the next frame index
+	firstFallback int // index of the first fallback-served frame, -1 until one
 }
 
 type envSample struct {
@@ -267,40 +268,39 @@ type envSample struct {
 // New builds a Runtime; zero config fields take defaults. Primary must be
 // set.
 func New(cfg Config) (*Runtime, error) {
-	if cfg.Primary == nil {
-		return nil, errors.New("stream: Config.Primary is required")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	rt := &Runtime{
-		cfg:  cfg,
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
-		mode: ModePrimary,
-		m:    newMetrics(cfg.Observer),
+		cfg:           cfg,
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		mode:          ModePrimary,
+		m:             newMetrics(cfg.Observer),
+		firstFallback: -1,
 	}
-	rt.stats.FirstFallbackFrame = -1
 	if cfg.SmootherNeed > 0 {
 		rt.sm = NewSmoother(0, cfg.SmootherNeed)
 	}
 	return rt, nil
 }
 
-// Stats returns the counters so far.
-//
-// Deprecated: per-Runtime snapshot kept for existing callers. Prefer an
-// obs.Observer in Config; the stream_* series carry the same counts plus
-// decision latency, and export over /metrics.
-func (rt *Runtime) Stats() Stats { return rt.stats }
-
 // Mode returns the current degradation state.
 func (rt *Runtime) Mode() Mode { return rt.mode }
+
+// FirstFallbackFrame returns the index of the first frame served by the
+// fallback detector, or -1 if the runtime has never fallen back. Aggregate
+// counts (frames, imputations, transitions) live in the stream_* series of
+// the configured Observer.
+func (rt *Runtime) FirstFallbackFrame() int { return rt.firstFallback }
 
 // Process runs one frame through imputation, the degradation state machine
 // and the detector, returning the decision. Purely deterministic in the
 // frame sequence.
 func (rt *Runtime) Process(f fault.Frame) Decision {
 	cfg := &rt.cfg
-	idx := rt.stats.Frames
-	rt.stats.Frames++
+	idx := rt.frames
+	rt.frames++
 	rt.m.frames.Inc()
 
 	// --- env feed tracking ------------------------------------------------
@@ -323,14 +323,12 @@ func (rt *Runtime) Process(f fault.Frame) Decision {
 		case ModePrimary:
 			if rt.envMissRun >= cfg.WatchdogFrames {
 				rt.mode = ModeFallback
-				rt.stats.Degradations++
 				rt.m.degradations.Inc()
 				rt.m.mode.Set(float64(ModeFallback))
 			}
 		case ModeFallback:
 			if rt.envOKRun >= cfg.RecoverFrames {
 				rt.mode = ModePrimary
-				rt.stats.Recoveries++
 				rt.m.recoveries.Inc()
 				rt.m.mode.Set(float64(ModePrimary))
 			}
@@ -347,7 +345,6 @@ func (rt *Runtime) Process(f fault.Frame) Decision {
 		}
 		rec.CSI = rt.lastCSI
 		d.CSIImputed = true
-		rt.stats.CSIImputed++
 		rt.m.csiImputed.Inc()
 	} else {
 		rt.dropRun = 0
@@ -371,7 +368,6 @@ func (rt *Runtime) Process(f fault.Frame) Decision {
 		} else {
 			rec.Temp, rec.Humidity = rt.imputeEnv(idx)
 			d.EnvImputed = true
-			rt.stats.EnvImputed++
 			rt.m.envImputed.Inc()
 		}
 	}
@@ -382,19 +378,16 @@ func (rt *Runtime) Process(f fault.Frame) Decision {
 	if rt.sm != nil {
 		d.State, d.Flipped = rt.sm.Push(d.Pred)
 		if d.Flipped {
-			rt.stats.Flips++
 			rt.m.flips.Inc()
 		}
 	}
 	switch d.Mode {
 	case ModeFallback:
-		rt.stats.FallbackFrames++
 		rt.m.fallback.Inc()
-		if rt.stats.FirstFallbackFrame < 0 {
-			rt.stats.FirstFallbackFrame = idx
+		if rt.firstFallback < 0 {
+			rt.firstFallback = idx
 		}
 	default:
-		rt.stats.PrimaryFrames++
 		rt.m.primary.Inc()
 	}
 	rt.lastDec = d
@@ -405,7 +398,6 @@ func (rt *Runtime) Process(f fault.Frame) Decision {
 // hold repeats the previous decision when no inference can run.
 func (rt *Runtime) hold(d Decision) Decision {
 	d.Mode = ModeHeld
-	rt.stats.HeldFrames++
 	rt.m.held.Inc()
 	if rt.haveDec {
 		d.P, d.Pred, d.State = rt.lastDec.P, rt.lastDec.Pred, rt.lastDec.State
@@ -436,8 +428,10 @@ var ErrDeadFeed = errors.New("stream: feed dead (no frames within the watchdog w
 // Run consumes frames from a bounded channel until it closes, the context
 // is cancelled, or the dead-feed watchdog fires. Each read is bounded by
 // ReadTimeout; timed-out reads back off exponentially with seeded jitter.
-// fn receives every frame with its decision; a non-nil error from fn stops
-// the loop and is returned.
+// A frame arriving mid-backoff is delivered immediately — the backoff only
+// paces the watchdog, it never delays a live producer. fn receives every
+// frame with its decision; a non-nil error from fn stops the loop and is
+// returned.
 //
 // The producer writing to frames gets backpressure for free: sends block
 // once the channel's buffer — the bounded queue — is full.
@@ -447,6 +441,23 @@ func (rt *Runtime) Run(ctx context.Context, frames <-chan fault.Frame, fn func(f
 	timeouts := 0
 	timer := time.NewTimer(cfg.ReadTimeout)
 	defer timer.Stop()
+	// deliver runs one received frame through Process and the caller's fn.
+	deliver := func(f fault.Frame) error {
+		timeouts = 0
+		backoff = cfg.BackoffInitial
+		// The clock is only read when a latency histogram is attached,
+		// so the uninstrumented loop stays free of time syscalls. Timing
+		// wraps Process alone: fn is the caller's code.
+		var t0 time.Time
+		if rt.m.latency != nil {
+			t0 = time.Now()
+		}
+		d := rt.Process(f)
+		if rt.m.latency != nil {
+			rt.m.latency.Observe(time.Since(t0).Seconds())
+		}
+		return fn(f, d)
+	}
 	for {
 		if !timer.Stop() {
 			select {
@@ -462,40 +473,33 @@ func (rt *Runtime) Run(ctx context.Context, frames <-chan fault.Frame, fn func(f
 			if !ok {
 				return nil
 			}
-			timeouts = 0
-			backoff = cfg.BackoffInitial
-			// The clock is only read when a latency histogram is attached,
-			// so the uninstrumented loop stays free of time syscalls. Timing
-			// wraps Process alone: fn is the caller's code.
-			var t0 time.Time
-			if rt.m.latency != nil {
-				t0 = time.Now()
-			}
-			d := rt.Process(f)
-			if rt.m.latency != nil {
-				rt.m.latency.Observe(time.Since(t0).Seconds())
-			}
-			if err := fn(f, d); err != nil {
+			if err := deliver(f); err != nil {
 				return err
 			}
 		case <-timer.C:
-			rt.stats.ReadTimeouts++
 			rt.m.readTimeouts.Inc()
 			timeouts++
 			if timeouts >= cfg.DeadFeedTimeouts {
-				rt.stats.DeadFeed = true
 				rt.m.deadFeeds.Inc()
 				return ErrDeadFeed
 			}
-			// Exponential backoff with ±25% seeded jitter.
+			// Exponential backoff with ±25% seeded jitter. The sleep still
+			// listens on the frame channel so a producer that comes back
+			// mid-backoff is served at once.
 			jitter := 1 + (rt.rng.Float64()-0.5)/2
 			sleep := time.Duration(float64(backoff) * jitter)
-			if sleep > rt.stats.MaxBackoff {
-				rt.stats.MaxBackoff = sleep
-			}
+			rt.m.maxBackoff.SetMax(sleep.Seconds())
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
+			case f, ok := <-frames:
+				if !ok {
+					return nil
+				}
+				if err := deliver(f); err != nil {
+					return err
+				}
+				continue // deliver reset the backoff; don't double it
 			case <-time.After(sleep):
 			}
 			backoff *= 2

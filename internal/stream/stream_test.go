@@ -24,6 +24,11 @@ func (f *fakePred) PredictRecord(r *dataset.Record) (float64, int) {
 	return f.p, f.pred
 }
 
+// count reads one counter back from a test registry.
+func count(reg *obs.Registry, name string) int {
+	return int(reg.Counter(name, "").Value())
+}
+
 // frame builds a clean frame with recognisable CSI and env values.
 func frame(i int, temp float64) fault.Frame {
 	var f fault.Frame
@@ -54,7 +59,8 @@ func TestSmootherHysteresis(t *testing.T) {
 
 func TestCleanFramesPassThroughUnchanged(t *testing.T) {
 	prim := &fakePred{p: 0.9, pred: 1}
-	rt, err := New(Config{Primary: prim, PrimaryUsesEnv: true, Fallback: &fakePred{}})
+	reg := obs.NewRegistry()
+	rt, err := New(Config{Primary: prim, PrimaryUsesEnv: true, Fallback: &fakePred{}, Observer: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,15 +77,15 @@ func TestCleanFramesPassThroughUnchanged(t *testing.T) {
 			t.Fatalf("frame %d: record mutated before inference", i)
 		}
 	}
-	st := rt.Stats()
-	if st.PrimaryFrames != 10 || st.FallbackFrames != 0 || st.HeldFrames != 0 {
-		t.Fatalf("stats: %+v", st)
+	if p, fb, h := count(reg, "stream_primary_frames_total"), count(reg, "stream_fallback_frames_total"), count(reg, "stream_held_frames_total"); p != 10 || fb != 0 || h != 0 {
+		t.Fatalf("counters: primary=%d fallback=%d held=%d", p, fb, h)
 	}
 }
 
 func TestCSIHoldImputationAndHeldDecisions(t *testing.T) {
 	prim := &fakePred{p: 0.8, pred: 1}
-	rt, err := New(Config{Primary: prim, MaxHoldGap: 2})
+	reg := obs.NewRegistry()
+	rt, err := New(Config{Primary: prim, MaxHoldGap: 2, Observer: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,9 +115,8 @@ func TestCSIHoldImputationAndHeldDecisions(t *testing.T) {
 	if d.Pred != 1 || d.P != 0.8 {
 		t.Fatalf("held decision lost the previous prediction: %+v", d)
 	}
-	st := rt.Stats()
-	if st.CSIImputed != 2 || st.HeldFrames != 1 {
-		t.Fatalf("stats: %+v", st)
+	if imp, h := count(reg, "stream_csi_imputed_total"), count(reg, "stream_held_frames_total"); imp != 2 || h != 1 {
+		t.Fatalf("counters: imputed=%d held=%d", imp, h)
 	}
 }
 
@@ -168,9 +173,10 @@ func TestEnvImputationHoldAndLinear(t *testing.T) {
 func TestDegradationAndRecovery(t *testing.T) {
 	prim := &fakePred{p: 0.9, pred: 1}
 	fb := &fakePred{p: 0.2, pred: 0}
+	reg := obs.NewRegistry()
 	rt, err := New(Config{
 		Primary: prim, Fallback: fb, PrimaryUsesEnv: true,
-		WatchdogFrames: 5, RecoverFrames: 4,
+		WatchdogFrames: 5, RecoverFrames: 4, Observer: reg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -196,13 +202,15 @@ func TestDegradationAndRecovery(t *testing.T) {
 	if firstFallback < 0 || firstFallback-3 > 5 {
 		t.Fatalf("fallback started at frame %d, want within one watchdog interval (5) of the outage at 3", firstFallback)
 	}
-	st := rt.Stats()
-	if st.Degradations != 1 || st.FirstFallbackFrame != firstFallback {
-		t.Fatalf("stats: %+v", st)
+	if d := count(reg, "stream_degradations_total"); d != 1 {
+		t.Fatalf("degradations = %d, want 1", d)
+	}
+	if got := rt.FirstFallbackFrame(); got != firstFallback {
+		t.Fatalf("FirstFallbackFrame() = %d, want %d", got, firstFallback)
 	}
 	// Before the watchdog fired, env was imputed for the primary.
-	if st.EnvImputed == 0 {
-		t.Fatalf("no env imputation before degradation: %+v", st)
+	if count(reg, "stream_env_imputed_total") == 0 {
+		t.Fatal("no env imputation before degradation")
 	}
 
 	// Feed returns: after RecoverFrames healthy frames, primary resumes.
@@ -213,8 +221,8 @@ func TestDegradationAndRecovery(t *testing.T) {
 	if rt.Mode() != ModePrimary {
 		t.Fatalf("runtime did not recover; mode %v", rt.Mode())
 	}
-	if rt.Stats().Recoveries != 1 {
-		t.Fatalf("stats after recovery: %+v", rt.Stats())
+	if r := count(reg, "stream_recoveries_total"); r != 1 {
+		t.Fatalf("recoveries = %d, want 1", r)
 	}
 }
 
@@ -292,12 +300,14 @@ func TestRunConsumesBoundedQueue(t *testing.T) {
 }
 
 func TestRunDetectsDeadFeed(t *testing.T) {
+	reg := obs.NewRegistry()
 	rt, err := New(Config{
 		Primary:          &fakePred{},
 		ReadTimeout:      5 * time.Millisecond,
 		BackoffInitial:   time.Millisecond,
 		BackoffMax:       4 * time.Millisecond,
 		DeadFeedTimeouts: 3,
+		Observer:         reg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -308,9 +318,8 @@ func TestRunDetectsDeadFeed(t *testing.T) {
 	if !errors.Is(err, ErrDeadFeed) {
 		t.Fatalf("err = %v, want ErrDeadFeed", err)
 	}
-	st := rt.Stats()
-	if !st.DeadFeed || st.ReadTimeouts != 3 {
-		t.Fatalf("stats: %+v", st)
+	if dead, to := count(reg, "stream_dead_feeds_total"), count(reg, "stream_read_timeouts_total"); dead != 1 || to != 3 {
+		t.Fatalf("counters: deadFeeds=%d readTimeouts=%d", dead, to)
 	}
 	if time.Since(start) > 2*time.Second {
 		t.Fatalf("dead-feed detection took too long")
@@ -350,14 +359,15 @@ func TestSmoothedRuntimeCountsFlips(t *testing.T) {
 	// Predictor alternates every 4 frames; with need=3 the smoother flips
 	// once per plateau.
 	alt := &altPred{}
-	rt, err := New(Config{Primary: alt, SmootherNeed: 3})
+	reg := obs.NewRegistry()
+	rt, err := New(Config{Primary: alt, SmootherNeed: 3, Observer: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 16; i++ {
 		rt.Process(frame(i, 20))
 	}
-	if got := rt.Stats().Flips; got != 3 {
+	if got := count(reg, "stream_flips_total"); got != 3 {
 		t.Fatalf("flips = %d, want 3", got)
 	}
 }
@@ -376,8 +386,8 @@ func (a *altPred) PredictRecord(*dataset.Record) (float64, int) {
 // identically-configured runtimes — one with a live metrics registry, one
 // with the nil default — and requires every decision to match bit for bit.
 // Instruments only count; they must never feed back into the pipeline
-// (DESIGN.md §10). It also cross-checks the stream_* series against the
-// deprecated Stats() snapshot they mirror.
+// (DESIGN.md §10). It also cross-checks the stream_* series against counts
+// reconstructed from the decision sequence itself.
 func TestObserverDoesNotChangeDecisions(t *testing.T) {
 	trace := make([]fault.Frame, 60)
 	for i := range trace {
@@ -391,7 +401,7 @@ func TestObserverDoesNotChangeDecisions(t *testing.T) {
 		trace[i] = f
 	}
 
-	run := func(o obs.Observer) ([]Decision, Stats) {
+	run := func(o obs.Observer) []Decision {
 		rt, err := New(Config{
 			Primary:        &fakePred{p: 0.9, pred: 1},
 			Fallback:       &fakePred{p: 0.2, pred: 0},
@@ -408,12 +418,12 @@ func TestObserverDoesNotChangeDecisions(t *testing.T) {
 		for i, f := range trace {
 			out[i] = rt.Process(f)
 		}
-		return out, rt.Stats()
+		return out
 	}
 
-	plain, wantStats := run(nil)
+	plain := run(nil)
 	reg := obs.NewRegistry()
-	observed, gotStats := run(reg)
+	observed := run(reg)
 
 	for i := range plain {
 		if plain[i] != observed[i] {
@@ -421,8 +431,42 @@ func TestObserverDoesNotChangeDecisions(t *testing.T) {
 				i, observed[i], plain[i])
 		}
 	}
-	if gotStats != wantStats {
-		t.Fatalf("stats diverged with observer: %+v != %+v", gotStats, wantStats)
+
+	// Reconstruct the expected counters from the decisions: every series the
+	// runtime exports per frame is derivable from the Decision stream.
+	var want struct {
+		primary, fallback, held         int
+		csiImputed, envImputed          int
+		degradations, recoveries, flips int
+	}
+	mode := ModePrimary
+	for _, d := range plain {
+		switch d.Mode {
+		case ModePrimary:
+			want.primary++
+		case ModeFallback:
+			want.fallback++
+		case ModeHeld:
+			want.held++
+		}
+		if d.Mode != ModeHeld { // held frames don't change the underlying mode
+			if mode == ModePrimary && d.Mode == ModeFallback {
+				want.degradations++
+			}
+			if mode == ModeFallback && d.Mode == ModePrimary {
+				want.recoveries++
+			}
+			mode = d.Mode
+		}
+		if d.CSIImputed {
+			want.csiImputed++
+		}
+		if d.EnvImputed {
+			want.envImputed++
+		}
+		if d.Flipped {
+			want.flips++
+		}
 	}
 
 	snap := reg.Snapshot()
@@ -430,15 +474,15 @@ func TestObserverDoesNotChangeDecisions(t *testing.T) {
 		name string
 		want int
 	}{
-		{"stream_frames_total", wantStats.Frames},
-		{"stream_primary_frames_total", wantStats.PrimaryFrames},
-		{"stream_fallback_frames_total", wantStats.FallbackFrames},
-		{"stream_held_frames_total", wantStats.HeldFrames},
-		{"stream_csi_imputed_total", wantStats.CSIImputed},
-		{"stream_env_imputed_total", wantStats.EnvImputed},
-		{"stream_degradations_total", wantStats.Degradations},
-		{"stream_recoveries_total", wantStats.Recoveries},
-		{"stream_flips_total", wantStats.Flips},
+		{"stream_frames_total", len(trace)},
+		{"stream_primary_frames_total", want.primary},
+		{"stream_fallback_frames_total", want.fallback},
+		{"stream_held_frames_total", want.held},
+		{"stream_csi_imputed_total", want.csiImputed},
+		{"stream_env_imputed_total", want.envImputed},
+		{"stream_degradations_total", want.degradations},
+		{"stream_recoveries_total", want.recoveries},
+		{"stream_flips_total", want.flips},
 	}
 	for _, c := range checks {
 		m, ok := snap.Get(c.name)
@@ -446,8 +490,13 @@ func TestObserverDoesNotChangeDecisions(t *testing.T) {
 			t.Fatalf("series %s missing from registry", c.name)
 		}
 		if int(m.Value) != c.want {
-			t.Errorf("%s = %v, want %d (mirror of Stats())", c.name, m.Value, c.want)
+			t.Errorf("%s = %v, want %d (reconstructed from decisions)", c.name, m.Value, c.want)
 		}
+	}
+	// The trace must actually exercise both transitions for the counter
+	// checks above to mean anything.
+	if want.degradations == 0 || want.recoveries == 0 {
+		t.Fatalf("trace did not degrade and recover: %+v", want)
 	}
 	// Decision latency is observed per frame by Run (the channel-driven
 	// loop), not by direct Process calls; here it must exist but stay empty.

@@ -1,0 +1,214 @@
+package occupancy
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/stream"
+)
+
+// ServeConfig controls Serve / NewServer. Only Addr is required; every zero
+// field takes the internal/server default.
+type ServeConfig struct {
+	// Addr is the listen address, e.g. ":8080" or "127.0.0.1:0".
+	Addr string
+	// Fallback, when non-nil, serves feeds whose environmental sensor feed
+	// has died; train it with FeaturesCSI.
+	Fallback *Detector
+
+	// Workers / MaxBatch size the shared inference engine (see EngineConfig).
+	Workers  int
+	MaxBatch int
+
+	// QueueDepth bounds each feed's ingest queue; a full queue answers 429.
+	QueueDepth int
+	// MaxFeeds caps concurrently registered feeds.
+	MaxFeeds int
+	// RatePerSec/Burst configure the per-feed token bucket (0: unlimited).
+	RatePerSec float64
+	Burst      int
+	// IdleTimeout evicts silent feeds (negative disables).
+	IdleTimeout time.Duration
+	// RequestTimeout bounds every non-streaming request.
+	RequestTimeout time.Duration
+	// StreamBuffer is the per-subscriber NDJSON event buffer.
+	StreamBuffer int
+	// DrainTimeout bounds graceful shutdown once the context is cancelled
+	// (default 30 s).
+	DrainTimeout time.Duration
+	// Seed drives per-feed backoff jitter.
+	Seed int64
+}
+
+// Validate reports whether the configuration is serveable.
+func (c ServeConfig) Validate() error {
+	if c.Addr == "" {
+		return fmt.Errorf("occupancy: ServeConfig.Addr is required")
+	}
+	if c.DrainTimeout < 0 {
+		return fmt.Errorf("occupancy: negative DrainTimeout %v", c.DrainTimeout)
+	}
+	return nil
+}
+
+// Server is a bound, ready-to-run occupancy service: the multi-tenant
+// internal/server behind one HTTP listener, with /metrics and /debug/pprof
+// mounted alongside the feed API.
+type Server struct {
+	cfg      ServeConfig
+	inner    *server.Server
+	reg      *obs.Registry
+	lis      net.Listener
+	httpSrv  *http.Server
+	engines  []*core.DetectorEngine
+	shutdown chan struct{}
+}
+
+// NewServer builds the serving stack and binds the listener (so Addr is
+// known before Run), but serves nothing until Run.
+func NewServer(d *Detector, cfg ServeConfig) (*Server, error) {
+	if d == nil {
+		return nil, errNilDetector
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 256
+	}
+
+	reg := obs.NewRegistry()
+	ecfg := core.ServeConfig{Workers: cfg.Workers, MaxBatch: cfg.MaxBatch, Observer: reg}
+	primary, err := core.NewDetectorEngine(d.det, ecfg)
+	if err != nil {
+		return nil, err
+	}
+	engines := []*core.DetectorEngine{primary}
+	var fallback stream.Predictor
+	if cfg.Fallback != nil {
+		fe, err := core.NewDetectorEngine(cfg.Fallback.det, ecfg)
+		if err != nil {
+			primary.Close()
+			return nil, err
+		}
+		engines = append(engines, fe)
+		fallback = fe
+	}
+
+	inner, err := server.New(server.Config{
+		Primary:        primary,
+		Fallback:       fallback,
+		PrimaryUsesEnv: d.Features() != FeaturesCSI,
+		QueueDepth:     cfg.QueueDepth,
+		MaxFeeds:       cfg.MaxFeeds,
+		RatePerSec:     cfg.RatePerSec,
+		Burst:          cfg.Burst,
+		IdleTimeout:    cfg.IdleTimeout,
+		RequestTimeout: cfg.RequestTimeout,
+		StreamBuffer:   cfg.StreamBuffer,
+		Seed:           cfg.Seed,
+		Observer:       reg,
+	})
+	if err != nil {
+		for _, e := range engines {
+			e.Close()
+		}
+		return nil, err
+	}
+
+	lis, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		inner.Close()
+		for _, e := range engines {
+			e.Close()
+		}
+		return nil, err
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", inner.Handler())
+	mux.Handle("/metrics", obs.Handler(reg))
+	mux.Handle("/debug/pprof/", obs.Handler(reg))
+	return &Server{
+		cfg:      cfg,
+		inner:    inner,
+		reg:      reg,
+		lis:      lis,
+		httpSrv:  &http.Server{Handler: mux},
+		engines:  engines,
+		shutdown: make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// URL returns the base URL of the bound listener.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Run serves until ctx is cancelled, then drains gracefully: /readyz flips
+// to 503 and new work is rejected first, in-flight frames finish their
+// decisions (bounded by DrainTimeout), and only then does the listener
+// close. Run returns nil after a clean drain.
+func (s *Server) Run(ctx context.Context) error {
+	errc := make(chan error, 1)
+	go func() { errc <- s.httpSrv.Serve(s.lis) }()
+
+	select {
+	case err := <-errc:
+		s.closeEngines()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Stop routing before stopping listening: readiness flips and new
+	// registrations/ingest reject while the listener still answers, then
+	// accepted frames drain, then connections close.
+	s.inner.BeginDrain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	drainErr := s.inner.Drain(drainCtx)
+	shutErr := s.httpSrv.Shutdown(drainCtx)
+	s.closeEngines()
+	close(s.shutdown)
+	if drainErr != nil {
+		return drainErr
+	}
+	if shutErr != nil {
+		return shutErr
+	}
+	return nil
+}
+
+// Metrics renders the Prometheus exposition of every server and engine
+// series.
+func (s *Server) Metrics() string {
+	var b strings.Builder
+	_ = s.reg.WriteProm(&b)
+	return b.String()
+}
+
+func (s *Server) closeEngines() {
+	for _, e := range s.engines {
+		e.Close()
+	}
+}
+
+// Serve runs the occupancy service until ctx is cancelled: NewServer + Run.
+func Serve(ctx context.Context, d *Detector, cfg ServeConfig) error {
+	srv, err := NewServer(d, cfg)
+	if err != nil {
+		return err
+	}
+	return srv.Run(ctx)
+}
