@@ -332,6 +332,72 @@ func BenchmarkInferenceMLPBatch256(b *testing.B) {
 	b.ReportMetric(256, "samples/op")
 }
 
+// BenchmarkInferenceMLPBatch256F32 is the reduced-precision counterpart of
+// BenchmarkInferenceMLPBatch256: the same paper architecture and batch served
+// through the float32 sparse-compaction arena (DESIGN.md §12). Identical
+// inputs and sampling, so the two benchmarks are directly comparable; the
+// acceptance bar is >=1.5x the f64 arena at zero allocations per pass.
+func BenchmarkInferenceMLPBatch256F32(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	net := nn.NewMLP(66, core.PaperHidden, 1, rng)
+	nf, err := nn.NewNetworkF32(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arena := nn.NewArenaF32(nf)
+	x := tensor.NewMatrix(256, 66).RandomizeNormal(rng, 1)
+	probs := make([]float64, 256)
+	arena.PredictProbsInto(probs, x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.PredictProbsInto(probs, x)
+	}
+	b.ReportMetric(256, "samples/op")
+}
+
+// BenchmarkInferenceMLPBatch256I8 is the int8-weight variant. On scalar x86
+// the per-element int8→float32 widening makes it SLOWER than the f32 arena —
+// its value is the ~4x smaller weight footprint, and the benchmark is tracked
+// so that regression stays an explicit, measured trade (DESIGN.md §12).
+func BenchmarkInferenceMLPBatch256I8(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	net := nn.NewMLP(66, core.PaperHidden, 1, rng)
+	nq, err := nn.NewNetworkI8(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arena := nn.NewArenaI8(nq)
+	x := tensor.NewMatrix(256, 66).RandomizeNormal(rng, 1)
+	probs := make([]float64, 256)
+	arena.PredictProbsInto(probs, x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.PredictProbsInto(probs, x)
+	}
+	b.ReportMetric(256, "samples/op")
+}
+
+// BenchmarkInferenceMLPSingleFusedF32 is the float32 mirror of the fused
+// single-row path — what a reduced-precision engine runs for batches of one.
+func BenchmarkInferenceMLPSingleFusedF32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := nn.NewMLP(66, core.PaperHidden, 1, rng)
+	nf, err := nn.NewNetworkF32(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arena := nn.NewArenaF32(nf)
+	row := tensor.NewMatrix(1, 66).RandomizeNormal(rng, 1).Row(0)
+	arena.PredictProb1(row)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.PredictProb1(row)
+	}
+}
+
 // BenchmarkInferenceMLPBatch256Observed is the same batched forward plus the
 // per-batch instrument updates the inference engine performs when an
 // Observer is attached (request counter, batch counter, batch-size

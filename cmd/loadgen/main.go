@@ -14,7 +14,13 @@
 //
 //	loadgen [-feeds n] [-per-feed n] [-workers n] [-batch n] [-delay d]
 //	        [-model detector.bin] [-epochs n] [-seed n] [-verify]
-//	        [-metrics-addr :9090]
+//	        [-precision f64|f32|int8] [-metrics-addr :9090]
+//
+// -precision selects the engine's scorer arithmetic. At f32/int8, -verify
+// switches from the bit-identity check to the bounded-divergence harness
+// (core.RunDivergence): the sweep fails if any probability drifts past the
+// precision's bound or any 0.5-threshold decision flips, and the engine
+// path must still match the direct reduced-precision path bit for bit.
 //
 // With -metrics-addr the engine's infer_* series (batch-size histogram,
 // queue depth, worker utilisation) are live on /metrics while the load runs,
@@ -35,6 +41,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/infer"
 	"repro/internal/obs"
 )
 
@@ -48,7 +55,8 @@ func main() {
 		model   = flag.String("model", "", "detector bundle (empty: train on the fly)")
 		epochs  = flag.Int("epochs", 2, "training epochs when no -model is given")
 		seed    = flag.Int64("seed", 11, "dataset seed")
-		verify  = flag.Bool("verify", false, "check engine output bit-identical to the direct path first")
+		verify  = flag.Bool("verify", false, "first check engine output against the direct path: bit-identical at f64, bounded divergence at f32/int8")
+		prec    = flag.String("precision", "f64", "inference arithmetic: f64 (bit-exact reference), f32 (fast) or int8 (small)")
 		metrics = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (empty disables)")
 		httpRun = flag.Bool("http", false, "drive the network serving layer over HTTP instead of in-process calls")
 		target  = flag.String("target", "", "with -http: URL of a running occuserve (empty: boot an in-process server and verify decisions)")
@@ -80,7 +88,8 @@ func main() {
 		return
 	}
 
-	scfg := core.ServeConfig{Workers: *workers, MaxBatch: *batch, Observer: observer}
+	scfg := core.ServeConfig{Workers: *workers, MaxBatch: *batch, Precision: *prec, Observer: observer}
+	fail(scfg.Validate())
 	if *delay >= 0 {
 		scfg.MaxDelay = *delay
 		if *delay == 0 {
@@ -89,7 +98,11 @@ func main() {
 	}
 
 	if *verify {
-		verifyBitIdentical(det, recs, scfg)
+		if p, _ := infer.ParsePrecision(*prec); p == infer.PrecisionF64 {
+			verifyBitIdentical(det, recs, scfg)
+		} else {
+			verifyBoundedDivergence(det, recs, scfg, string(p))
+		}
 	}
 
 	// Direct path: every feed calls Detector.PredictRecord, which extracts,
@@ -188,6 +201,41 @@ func verifyBitIdentical(det *core.Detector, recs []dataset.Record, scfg core.Ser
 		fail(fmt.Errorf("verify: %w", err))
 	}
 	fmt.Printf("loadgen: verify: %d records × 8 feeds bit-identical to the direct path\n", len(recs))
+}
+
+// verifyBoundedDivergence is the reduced-precision counterpart of
+// verifyBitIdentical: it sweeps the record bank through the divergence
+// harness (reduced scorer vs the f64 reference) and additionally replays
+// the bank through a live reduced-precision engine to confirm the engine
+// path scores each record identically to the harness's direct reduced path
+// — i.e. batching still changes nothing, only the declared precision does.
+func verifyBoundedDivergence(det *core.Detector, recs []dataset.Record, scfg core.ServeConfig, precision string) {
+	res, err := core.RunDivergence(det, recs, core.DivergenceConfig{Precision: precision})
+	fail(err)
+	fmt.Printf("loadgen: verify: divergence %s\n", res)
+	if !res.Pass {
+		fail(fmt.Errorf("verify: %s divergence out of bounds", precision))
+	}
+
+	// Engine vs direct reduced path: must be bit-identical (the determinism
+	// contract is per-precision, not f64-only).
+	newScorer, err := infer.NetworkScorerAt(det.Net, infer.Precision(precision))
+	fail(err)
+	direct := newScorer()
+	de, err := core.NewDetectorEngine(det, scfg)
+	fail(err)
+	defer de.Close()
+	row := make([]float64, det.Features.Dim())
+	for i := range recs {
+		dataset.FeatureRowInto(row, &recs[i], det.Features)
+		det.Scaler.TransformRow(row)
+		want := direct.ScoreRow(row)
+		p, _ := de.PredictRecord(&recs[i])
+		if p != want {
+			fail(fmt.Errorf("verify: record %d: %s engine %v != direct %s path %v", i, precision, p, precision, want))
+		}
+	}
+	fmt.Printf("loadgen: verify: %d records: %s engine bit-identical to the direct %s path\n", len(recs), precision, precision)
 }
 
 func fail(err error) {

@@ -13,7 +13,8 @@
 // Usage:
 //
 //	occupredict [-model detector.bin] [-minutes m] [-rate hz] [-seed n]
-//	            [-fault intensity] [-smooth k] [-epochs n] [-metrics-addr :9090]
+//	            [-fault intensity] [-smooth k] [-epochs n]
+//	            [-precision f64|f32|int8] [-metrics-addr :9090]
 //
 // Without -model, a detector is trained on the fly first (plus a CSI-only
 // fallback so the degradation path is live); -epochs shortens that training.
@@ -48,6 +49,7 @@ func main() {
 		smooth    = flag.Int("smooth", 0, "state flips only after k consecutive contrary samples (0 = raw)")
 		workers   = flag.Int("workers", 0, "inference engine workers (0 = one per core)")
 		maxBatch  = flag.Int("batch", 256, "inference engine micro-batch cap")
+		precision = flag.String("precision", "f64", "inference arithmetic: f64 (bit-exact reference), f32 (fast) or int8 (small)")
 		epochs    = flag.Int("epochs", 5, "training epochs for the on-the-fly detector (ignored with -model)")
 		metrics   = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090; empty disables)")
 	)
@@ -100,7 +102,11 @@ func main() {
 	// bit-identical to calling the detectors directly (DESIGN.md §9). One
 	// stream barely exercises the batching, but this is the deployment
 	// shape — cmd/loadgen drives the same path with many feeds.
-	ecfg := occupancy.EngineConfig{Workers: *workers, MaxBatch: *maxBatch, Observer: observer}
+	ecfg := occupancy.EngineConfig{Workers: *workers, MaxBatch: *maxBatch, Precision: *precision, Observer: observer}
+	fail(ecfg.Validate())
+	if *precision != occupancy.PrecisionF64 {
+		fmt.Printf("occupredict: serving at %s precision (f64 is the bit-exact reference; divergence is bounded, see loadgen -verify)\n", *precision)
+	}
 	primaryEng, err := occupancy.NewEngine(primary, ecfg)
 	fail(err)
 	defer primaryEng.Close()

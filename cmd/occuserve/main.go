@@ -22,7 +22,14 @@
 //
 //	occuserve [-addr :8080] [-model detector.bin] [-epochs n]
 //	          [-queue n] [-max-feeds n] [-rate-limit hz] [-idle-timeout d]
-//	          [-workers n] [-batch n] [-drain-timeout d] [-seed n]
+//	          [-workers n] [-batch n] [-precision f64|f32|int8]
+//	          [-drain-timeout d] [-seed n]
+//
+// -precision selects the inference arithmetic: f64 (default) is
+// bit-identical to the offline reference path; f32 halves the hot-path
+// precision for throughput; int8 serves quantised weights. Reduced
+// precisions stay deterministic per sample but diverge boundedly from f64
+// (bound it first with `loadgen -verify -precision ...`; DESIGN.md §12).
 //
 // Without -model, a C+E detector (plus a CSI-only fallback for feeds whose
 // env sensors die) is trained on a synthetic day at startup.
@@ -45,8 +52,9 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		model    = flag.String("model", "", "detector bundle (empty: train one on the fly)")
 		epochs   = flag.Int("epochs", 5, "training epochs for the on-the-fly detector (ignored with -model)")
-		workers  = flag.Int("workers", 0, "inference engine workers (0 = one per core)")
-		maxBatch = flag.Int("batch", 256, "inference engine micro-batch cap")
+		workers   = flag.Int("workers", 0, "inference engine workers (0 = one per core)")
+		maxBatch  = flag.Int("batch", 256, "inference engine micro-batch cap")
+		precision = flag.String("precision", "f64", "inference arithmetic: f64 (bit-exact reference), f32 (fast) or int8 (small)")
 		queue    = flag.Int("queue", 0, "per-feed ingest queue depth (0 = default 256)")
 		maxFeeds = flag.Int("max-feeds", 0, "concurrent feed cap (0 = default 1024)")
 		rate     = flag.Float64("rate-limit", 0, "per-feed ingest rate limit in frames/sec (0 = unlimited)")
@@ -83,6 +91,7 @@ func main() {
 		Fallback:     fallback,
 		Workers:      *workers,
 		MaxBatch:     *maxBatch,
+		Precision:    *precision,
 		QueueDepth:   *queue,
 		MaxFeeds:     *maxFeeds,
 		RatePerSec:   *rate,
@@ -91,6 +100,9 @@ func main() {
 		Seed:         *seed,
 	})
 	fail(err)
+	if *precision != occupancy.PrecisionF64 {
+		fmt.Printf("occuserve: serving at %s precision (bounded divergence vs the f64 reference, DESIGN.md §12)\n", *precision)
+	}
 	fmt.Printf("occuserve: serving on %s (metrics at %s/metrics)\n", srv.URL(), srv.URL())
 	if err := srv.Run(ctx); err != nil {
 		fail(err)

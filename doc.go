@@ -26,14 +26,16 @@
 //
 //   - High-level APIs carry an "Into" suffix and take the destination as the
 //     first parameter: nn.Network.PredictProbsInto, nn.Network.
-//     PredictBinaryInto, nn.Arena.PredictProbsInto, dataset.FeatureRowInto,
-//     tensor.RowMatMulInto. Each is the allocation-free variant of a same-
-//     named convenience API and must produce bit-identical results.
+//     PredictBinaryInto, nn.Arena.PredictProbsInto (and the ArenaF32/ArenaI8
+//     mirrors), dataset.FeatureRowInto, tensor.RowMatMulInto,
+//     tensor.SparseRowMatMulF32Into. Each is the allocation-free variant of
+//     a same-named convenience API and must produce bit-identical results.
 //
 //   - BLAS-style kernels keep their classical names but still take dst
-//     first: tensor.MatMul and variants, tensor.Axpy, the nn.Loss.Grad
-//     method, and the infer.Scorer.ScoreBatch contract. Writing in place is
-//     their entire point, so the suffix would be noise.
+//     first: tensor.MatMul and variants (including the float32 MatMulF32),
+//     tensor.Axpy, the nn.Loss.Grad method, and the infer.Scorer.ScoreBatch
+//     contract. Writing in place is their entire point, so the suffix would
+//     be noise.
 //
 // Everything else that takes a dst must follow one of the two. The
 // convention is enforced by TestIntoNamingConvention (naming_test.go), which

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/infer"
 	"repro/internal/linmodel"
 	"repro/internal/nn"
 	"repro/internal/parallel"
@@ -524,22 +525,55 @@ func RunTimeOnly(split *dataset.Split, cfg ExperimentConfig) (*TimeOnlyResult, e
 }
 
 // FootprintResult reproduces the §IV-B deployment numbers: parameter count,
-// serialised model size, and single-sample inference latency.
+// serialised model size, and single-sample inference latency. SizeBytes is
+// the float32 deployment format by default; with int8 quantisation on
+// (RunFootprintAt) it is the quantised artefact size — one byte per weight
+// plus float32 biases and one scale per layer.
 type FootprintResult struct {
 	Params             int
-	SizeBytes          int // float32 deployment format
+	SizeBytes          int
 	SizeKiB            float64
+	Precision          string // "f64"/"f32" (float32 deployment format) or "int8"
 	InferencePerSample time.Duration
 }
 
-// RunFootprint measures the detector's deployment footprint.
+// RunFootprint measures the detector's deployment footprint in the default
+// float32 deployment format (Table-compatible: SizeBytes == Params×4).
 func RunFootprint(det *Detector, iters int) *FootprintResult {
+	res, err := RunFootprintAt(det, iters, "")
+	if err != nil {
+		// "" always parses; only a non-Dense stack can fail, and every
+		// detector this repo trains is a Dense stack.
+		panic(err)
+	}
+	return res
+}
+
+// RunFootprintAt measures the deployment footprint at a given serving
+// precision. f64 and f32 both ship the float32 deployment format, so they
+// report the same size; int8 reports the quantised size. The latency number
+// stays the reference (float64 allocating forward) path in every case —
+// Table IV/V and the §IV-B latency claim are reproduced unchanged.
+func RunFootprintAt(det *Detector, iters int, precision string) (*FootprintResult, error) {
 	if iters <= 0 {
 		iters = 1000
 	}
+	prec, err := infer.ParsePrecision(precision)
+	if err != nil {
+		return nil, err
+	}
 	res := &FootprintResult{
 		Params:    det.Net.NumParams(),
-		SizeBytes: det.Net.SizeBytes(4),
+		Precision: string(prec),
+	}
+	if prec == infer.PrecisionI8 {
+		nq, err := nn.NewNetworkI8(det.Net)
+		if err != nil {
+			return nil, err
+		}
+		res.SizeBytes = nq.SizeBytes()
+	} else {
+		res.SizeBytes = det.Net.SizeBytes(4)
 	}
 	res.SizeKiB = float64(res.SizeBytes) / 1024
 	x := tensor.NewMatrix(1, det.Features.Dim())
@@ -551,5 +585,5 @@ func RunFootprint(det *Detector, iters int) *FootprintResult {
 		det.Net.PredictProbs(x)
 	}
 	res.InferencePerSample = time.Since(start) / time.Duration(iters)
-	return res
+	return res, nil
 }

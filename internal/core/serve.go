@@ -24,6 +24,12 @@ type ServeConfig struct {
 	MaxDelay time.Duration
 	// QueueDepth bounds the submission queue (default 4×MaxBatch).
 	QueueDepth int
+	// Precision selects the scorer arithmetic: "f64" (default; bit-identical
+	// to Detector.PredictRecord), "f32" (float32 sparse-compaction arenas,
+	// the fast serving path) or "int8" (quantised weights, smallest
+	// footprint). Reduced precisions diverge boundedly from the reference —
+	// bound them with RunDivergence before deploying (DESIGN.md §12).
+	Precision string
 	// Observer receives the engine's infer_* metrics (see infer.Config).
 	// Nil disables observability.
 	Observer obs.Observer
@@ -39,6 +45,9 @@ func (c ServeConfig) Validate() error {
 	if c.QueueDepth < 0 {
 		return fmt.Errorf("core: negative QueueDepth %d", c.QueueDepth)
 	}
+	if _, err := infer.ParsePrecision(c.Precision); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -49,10 +58,14 @@ func (c ServeConfig) Validate() error {
 // sensor feed — can share a single model at full hardware throughput
 // instead of each paying the allocating per-record path.
 //
-// Predictions are bit-identical to Detector.PredictRecord for any worker
-// count and any coalescing pattern (see TestDetectorEngineBitIdentical and
-// DESIGN.md §9). Safe for concurrent use. Close releases the workers; the
-// engine must not be used afterwards.
+// At the default "f64" precision, predictions are bit-identical to
+// Detector.PredictRecord for any worker count and any coalescing pattern
+// (see TestDetectorEngineBitIdentical and DESIGN.md §9). At "f32"/"int8"
+// the engine keeps the same internal determinism — a record's score is a
+// pure function of the record and the model, regardless of batching — but
+// diverges boundedly from the f64 reference; RunDivergence measures and
+// bounds that divergence. Safe for concurrent use. Close releases the
+// workers; the engine must not be used afterwards.
 type DetectorEngine struct {
 	det  *Detector
 	eng  *infer.Engine
@@ -72,8 +85,17 @@ func NewDetectorEngine(d *Detector, cfg ServeConfig) (*DetectorEngine, error) {
 	} else if cfg.MaxDelay < 0 {
 		cfg.MaxDelay = 0
 	}
+	prec, err := infer.ParsePrecision(cfg.Precision)
+	if err != nil {
+		return nil, err
+	}
+	newScorer, err := infer.NetworkScorerAt(d.Net, prec)
+	if err != nil {
+		return nil, err
+	}
 	eng, err := infer.New(infer.Config{
-		NewScorer:  infer.NetworkScorer(d.Net),
+		NewScorer:  newScorer,
+		Precision:  prec,
 		Workers:    cfg.Workers,
 		MaxBatch:   cfg.MaxBatch,
 		MaxDelay:   cfg.MaxDelay,
@@ -94,6 +116,9 @@ func NewDetectorEngine(d *Detector, cfg ServeConfig) (*DetectorEngine, error) {
 
 // Detector returns the model being served.
 func (de *DetectorEngine) Detector() *Detector { return de.det }
+
+// Precision returns the scorer precision the engine was built with.
+func (de *DetectorEngine) Precision() infer.Precision { return de.eng.Precision() }
 
 // PredictRecord classifies one record through the engine, returning
 // P(occupied) and the label — the same contract as Detector.PredictRecord,

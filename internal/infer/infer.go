@@ -31,6 +31,7 @@ package infer
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -70,6 +71,82 @@ func NetworkScorer(net *nn.Network) func() Scorer {
 	return func() Scorer { return &netScorer{arena: nn.NewArena(net)} }
 }
 
+// Precision selects the numeric representation the engine's scorers compute
+// in. PrecisionF64 is the bit-exact reproduction reference and the default
+// everywhere determinism is asserted; PrecisionF32 and PrecisionI8 trade
+// bounded probability divergence (verified by core's divergence harness)
+// for throughput and model footprint.
+type Precision string
+
+const (
+	// PrecisionF64 scores through the float64 arena — bit-identical to the
+	// reference prediction path. The default.
+	PrecisionF64 Precision = "f64"
+	// PrecisionF32 scores through the float32 sparse-compaction arena.
+	PrecisionF32 Precision = "f32"
+	// PrecisionI8 scores through int8-quantised weights with float32
+	// activations. Smaller, not faster, on scalar CPUs — see DESIGN.md §12.
+	PrecisionI8 Precision = "int8"
+)
+
+// ParsePrecision maps a flag/config string onto a Precision; the empty
+// string selects the float64 default.
+func ParsePrecision(s string) (Precision, error) {
+	switch Precision(s) {
+	case "", PrecisionF64:
+		return PrecisionF64, nil
+	case PrecisionF32:
+		return PrecisionF32, nil
+	case PrecisionI8:
+		return PrecisionI8, nil
+	}
+	return "", fmt.Errorf("infer: unknown precision %q (want f64, f32 or int8)", s)
+}
+
+// f32Scorer adapts an nn.ArenaF32 to Scorer.
+type f32Scorer struct{ arena *nn.ArenaF32 }
+
+func (s *f32Scorer) InputDim() int { return s.arena.Network().InputDim() }
+func (s *f32Scorer) ScoreBatch(dst []float64, x *tensor.Matrix) {
+	s.arena.PredictProbsInto(dst, x)
+}
+func (s *f32Scorer) ScoreRow(row []float64) float64 { return s.arena.PredictProb1(row) }
+
+// i8Scorer adapts an nn.ArenaI8 to Scorer.
+type i8Scorer struct{ arena *nn.ArenaI8 }
+
+func (s *i8Scorer) InputDim() int { return s.arena.Network().InputDim() }
+func (s *i8Scorer) ScoreBatch(dst []float64, x *tensor.Matrix) {
+	s.arena.PredictProbsInto(dst, x)
+}
+func (s *i8Scorer) ScoreRow(row []float64) float64 { return s.arena.PredictProb1(row) }
+
+// NetworkScorerAt returns a Scorer factory for net at the given precision.
+// The reduced-precision weight representation is built once here and shared
+// read-only across the per-worker arenas, so worker count does not multiply
+// the conversion cost. Fails when the precision string is unknown or the
+// network is not a Dense/activation stack (reduced precision does not cover
+// convolutional layers).
+func NetworkScorerAt(net *nn.Network, p Precision) (func() Scorer, error) {
+	switch p {
+	case "", PrecisionF64:
+		return NetworkScorer(net), nil
+	case PrecisionF32:
+		nf, err := nn.NewNetworkF32(net)
+		if err != nil {
+			return nil, err
+		}
+		return func() Scorer { return &f32Scorer{arena: nn.NewArenaF32(nf)} }, nil
+	case PrecisionI8:
+		nq, err := nn.NewNetworkI8(net)
+		if err != nil {
+			return nil, err
+		}
+		return func() Scorer { return &i8Scorer{arena: nn.NewArenaI8(nq)} }, nil
+	}
+	return nil, fmt.Errorf("infer: unknown precision %q (want f64, f32 or int8)", p)
+}
+
 // rowScorer adapts a per-row scoring function (e.g. rf.Forest.PredictProb,
 // linmodel.Logistic.PredictProb) to Scorer. The function itself must be safe
 // to call from one goroutine at a time per Scorer instance; the same fn is
@@ -98,6 +175,13 @@ func RowScorer(dim int, fn func(row []float64) float64) func() Scorer {
 type Config struct {
 	// NewScorer builds one Scorer per worker. Required.
 	NewScorer func() Scorer
+	// Precision declares the numeric representation the scorers compute in
+	// (empty: PrecisionF64). It must match what NewScorer builds — use
+	// NetworkScorerAt to derive both from one value. The engine itself is
+	// representation-agnostic; the field is validated, surfaced via
+	// Engine.Precision, and exists so serving configs have one audited
+	// precision knob instead of an opaque factory.
+	Precision Precision
 	// Workers is the number of scoring goroutines. <= 0 selects
 	// parallel.Workers semantics (GOMAXPROCS).
 	Workers int
@@ -129,6 +213,9 @@ type Config struct {
 func (c Config) Validate() error {
 	if c.NewScorer == nil {
 		return errors.New("infer: Config.NewScorer is required")
+	}
+	if _, err := ParsePrecision(string(c.Precision)); err != nil {
+		return err
 	}
 	return nil
 }
@@ -198,6 +285,7 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = defaultWorkers()
 	}
+	cfg.Precision, _ = ParsePrecision(string(cfg.Precision))
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 256
 	}
@@ -227,6 +315,10 @@ func New(cfg Config) (*Engine, error) {
 
 // InputDim returns the feature width the engine scores.
 func (e *Engine) InputDim() int { return e.dim }
+
+// Precision returns the declared scorer precision (PrecisionF64 unless the
+// config said otherwise).
+func (e *Engine) Precision() Precision { return e.cfg.Precision }
 
 // Predict scores one feature row, blocking until a worker has served it.
 // The row is read until Predict returns and is not retained. Zero heap

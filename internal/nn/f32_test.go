@@ -1,0 +1,321 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// f32TestNets are the fusable stacks from arenaTestNets — the paper MLP and
+// the every-activation mix. The CNN is covered separately as the lowering
+// error case.
+func f32TestNets() map[string]*Network {
+	nets := arenaTestNets()
+	delete(nets, "cnn")
+	return nets
+}
+
+// TestNetworkF32RejectsConv: convolutional stacks stay on the float64 arena.
+func TestNetworkF32RejectsConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	cnn := NewCNN(12, 1, rng)
+	if _, err := NewNetworkF32(cnn); err == nil {
+		t.Fatal("NewNetworkF32 accepted a CNN")
+	}
+	if _, err := NewNetworkI8(cnn); err == nil {
+		t.Fatal("NewNetworkI8 accepted a CNN")
+	}
+	if _, err := NewNetworkF32(NewNetwork(NewReLU())); err == nil {
+		t.Fatal("NewNetworkF32 accepted a leading activation")
+	}
+}
+
+// TestArenaF32BitIdenticalBatchRow: the reduced-precision determinism
+// contract — batch and single-row paths agree bit for bit for any batch
+// shape, for both the f32 and int8 arenas, on every fusable stack.
+func TestArenaF32BitIdenticalBatchRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for name, net := range f32TestNets() {
+		nf, err := NewNetworkF32(net)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ni, err := NewNetworkI8(net)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		af, ai := NewArenaF32(nf), NewArenaI8(ni)
+		in := net.InputDim()
+		for _, rows := range []int{1, 3, 17, 64, 2, 64, 1} {
+			x := tensor.NewMatrix(rows, in).RandomizeNormal(rng, 1)
+			gotF := af.PredictProbsInto(make([]float64, rows), x)
+			gotI := ai.PredictProbsInto(make([]float64, rows), x)
+			for i := 0; i < rows; i++ {
+				if p := af.PredictProb1(x.Row(i)); p != gotF[i] {
+					t.Fatalf("%s rows=%d: ArenaF32 row %d: PredictProb1 %v != batch %v",
+						name, rows, i, p, gotF[i])
+				}
+				if p := ai.PredictProb1(x.Row(i)); p != gotI[i] {
+					t.Fatalf("%s rows=%d: ArenaI8 row %d: PredictProb1 %v != batch %v",
+						name, rows, i, p, gotI[i])
+				}
+			}
+			// A second arena over the same shared network must agree exactly.
+			af2 := NewArenaF32(nf)
+			for i := 0; i < rows; i++ {
+				if p := af2.PredictProb1(x.Row(i)); p != gotF[i] {
+					t.Fatalf("%s: second ArenaF32 diverged at row %d", name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestArenaF32TracksF64 bounds the f32 and int8 divergence from the float64
+// reference arena on the paper-sized MLP. The bounds here are deliberately
+// loose versions of the serving defaults (core.DefaultDivergenceBounds);
+// the tight golden bounds on the real dataset live in internal/core.
+func TestArenaF32TracksF64(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	net := NewMLP(66, []int{128, 256, 128}, 1, rng)
+	ref := NewArena(net)
+	nf, err := NewNetworkF32(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni, err := NewNetworkI8(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af, ai := NewArenaF32(nf), NewArenaI8(ni)
+	x := tensor.NewMatrix(256, 66).RandomizeNormal(rng, 1)
+	var maxF, maxI float64
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		want := ref.PredictProb1(row)
+		if d := math.Abs(af.PredictProb1(row) - want); d > maxF {
+			maxF = d
+		}
+		if d := math.Abs(ai.PredictProb1(row) - want); d > maxI {
+			maxI = d
+		}
+	}
+	if maxF > 1e-3 {
+		t.Fatalf("f32 max |Δprob| = %g, want <= 1e-3", maxF)
+	}
+	if maxI > 0.15 {
+		t.Fatalf("int8 max |Δprob| = %g, want <= 0.15", maxI)
+	}
+	t.Logf("max |Δprob| vs f64: f32 %.3g, int8 %.3g", maxF, maxI)
+}
+
+// TestNetworkF32RoundTrip: lowering an in-memory network and lowering the
+// same network after a Save/Load round trip through the float32 deployment
+// format must score bit-identically — the narrowing IS the format's.
+func TestNetworkF32RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for name, net := range f32TestNets() {
+		var buf bytes.Buffer
+		if err := net.Save(&buf); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		nfDirect, err := NewNetworkF32(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nfLoaded, err := NewNetworkF32(loaded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		niDirect, err := NewNetworkI8(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		niLoaded, err := NewNetworkI8(loaded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aD, aL := NewArenaF32(nfDirect), NewArenaF32(nfLoaded)
+		qD, qL := NewArenaI8(niDirect), NewArenaI8(niLoaded)
+		in := net.InputDim()
+		x := tensor.NewMatrix(32, in).RandomizeNormal(rng, 1)
+		for i := 0; i < x.Rows; i++ {
+			row := x.Row(i)
+			if d, l := aD.PredictProb1(row), aL.PredictProb1(row); d != l {
+				t.Fatalf("%s: f32 round trip diverges at row %d: %v != %v", name, i, d, l)
+			}
+			if d, l := qD.PredictProb1(row), qL.PredictProb1(row); d != l {
+				t.Fatalf("%s: int8 round trip diverges at row %d: %v != %v", name, i, d, l)
+			}
+		}
+	}
+}
+
+// TestArenaF32ZeroAlloc mirrors TestArenaZeroAlloc for the reduced arenas.
+func TestArenaF32ZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	net := NewMLP(66, []int{128, 256, 128}, 1, rng)
+	nf, err := NewNetworkF32(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni, err := NewNetworkI8(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af, ai := NewArenaF32(nf), NewArenaI8(ni)
+	x := tensor.NewMatrix(64, 66).RandomizeNormal(rng, 1)
+	dst := make([]float64, 64)
+	row := x.Row(0)
+	af.PredictProbsInto(dst, x)
+	ai.PredictProbsInto(dst, x)
+	if n := testing.AllocsPerRun(10, func() { af.PredictProbsInto(dst, x) }); n != 0 {
+		t.Fatalf("ArenaF32 batch pass allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(10, func() { af.PredictProb1(row) }); n != 0 {
+		t.Fatalf("ArenaF32 single-row pass allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(10, func() { ai.PredictProbsInto(dst, x) }); n != 0 {
+		t.Fatalf("ArenaI8 batch pass allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(10, func() { ai.PredictProb1(row) }); n != 0 {
+		t.Fatalf("ArenaI8 single-row pass allocates %v per run, want 0", n)
+	}
+}
+
+// TestArenaF32SharedNetworkConcurrent: many ArenaF32/ArenaI8 over one shared
+// lowered network, used from many goroutines, must agree with the serial
+// result (run with -race; the networks are read-only after construction).
+func TestArenaF32SharedNetworkConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	net := NewMLP(10, []int{16, 8}, 1, rng)
+	nf, err := NewNetworkF32(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni, err := NewNetworkI8(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewMatrix(32, 10).RandomizeNormal(rng, 1)
+	wantF := NewArenaF32(nf).PredictProbsInto(make([]float64, x.Rows), x)
+	wantI := NewArenaI8(ni).PredictProbsInto(make([]float64, x.Rows), x)
+	const workers = 8
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			dst := make([]float64, x.Rows)
+			for iter := 0; iter < 50; iter++ {
+				if w%2 == 0 {
+					NewArenaF32(nf).PredictProbsInto(dst, x)
+					for i := range wantF {
+						if dst[i] != wantF[i] {
+							errs <- "ArenaF32 diverged under concurrency"
+							return
+						}
+					}
+				} else {
+					NewArenaI8(ni).PredictProbsInto(dst, x)
+					for i := range wantI {
+						if dst[i] != wantI[i] {
+							errs <- "ArenaI8 diverged under concurrency"
+							return
+						}
+					}
+				}
+			}
+			errs <- ""
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if e := <-errs; e != "" {
+			t.Fatal(e)
+		}
+	}
+}
+
+// TestNetworkI8Quantisation pins the quantiser's contract: symmetric
+// per-layer scale, |q| <= 127, dequantised weights within scale/2 of the
+// float32 originals, and the documented artefact sizes.
+func TestNetworkI8Quantisation(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	net := NewMLP(12, []int{32, 16}, 1, rng)
+	nf, err := NewNetworkF32(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni, err := NewNetworkI8(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := nf.SizeBytes(), net.SizeBytes(4); got != want {
+		t.Fatalf("NetworkF32.SizeBytes = %d, want deployment size %d", got, want)
+	}
+	params := 12*32 + 32*16 + 16*1
+	biases := 32 + 16 + 1
+	if got, want := ni.SizeBytes(), params+4*biases+4*3; got != want {
+		t.Fatalf("NetworkI8.SizeBytes = %d, want %d", got, want)
+	}
+	if f, q := float64(nf.SizeBytes()), float64(ni.SizeBytes()); f/q < 3 {
+		t.Fatalf("int8 artefact only %.2fx smaller than f32", f/q)
+	}
+	for li, op := range ni.ops {
+		fop := nf.ops[li]
+		for j, qw := range op.w {
+			if qw > 127 || qw < -127 {
+				t.Fatalf("layer %d: q[%d] = %d out of symmetric range", li, j, qw)
+			}
+			if d := math.Abs(float64(float32(qw)*op.scale - fop.w.Data[j])); d > float64(op.scale)/2+1e-12 {
+				t.Fatalf("layer %d: dequant error %g exceeds scale/2 = %g", li, d, op.scale/2)
+			}
+		}
+	}
+	// All-zero layer: scale must stay finite and scoring must not NaN.
+	zero := NewNetwork(NewDense(4, 2, rng), NewReLU(), NewDense(2, 1, rng))
+	for _, l := range zero.Layers {
+		if d, ok := l.(*Dense); ok {
+			for i := range d.W.Data {
+				d.W.Data[i] = 0
+			}
+		}
+	}
+	nz, err := NewNetworkI8(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := NewArenaI8(nz).PredictProb1([]float64{1, 2, 3, 4}); math.IsNaN(p) {
+		t.Fatal("all-zero quantised network produced NaN")
+	}
+}
+
+// TestArenaF32PanicContracts mirrors the dst-length and input-width panics
+// of the float64 arena.
+func TestArenaF32PanicContracts(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	net := NewMLP(8, []int{8}, 1, rng)
+	nf, _ := NewNetworkF32(net)
+	ni, _ := NewNetworkI8(net)
+	x := tensor.NewMatrix(5, 8).RandomizeNormal(rng, 1)
+	for _, fn := range []func(){
+		func() { NewArenaF32(nf).PredictProbsInto(make([]float64, 4), x) },
+		func() { NewArenaI8(ni).PredictProbsInto(make([]float64, 4), x) },
+		func() { NewArenaF32(nf).PredictProb1(make([]float64, 7)) },
+		func() { NewArenaI8(ni).PredictProb1(make([]float64, 7)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

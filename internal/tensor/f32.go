@@ -1,0 +1,209 @@
+package tensor
+
+import "fmt"
+
+// MatrixF32 is a dense, row-major matrix of float32 values — the
+// reduced-precision mirror of Matrix for the inference hot path. The
+// repository's deployment format (internal/nn serialize) already stores
+// weights as float32; MatrixF32 lets the forward pass compute in that
+// precision instead of widening every weight back to float64.
+//
+// Only the kernels the reduced-precision serving path needs live here;
+// training stays float64 end to end.
+type MatrixF32 struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols, row-major
+}
+
+// NewMatrixF32 allocates a zeroed r×c float32 matrix.
+func NewMatrixF32(r, c int) *MatrixF32 {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", r, c))
+	}
+	return &MatrixF32{Rows: r, Cols: c, Data: make([]float32, r*c)}
+}
+
+// FromMatrixF32 converts a float64 matrix to float32 by rounding every
+// element — exactly the narrowing the float32 deployment format applies on
+// save, so converting an in-memory model and loading a serialised one yield
+// bit-identical MatrixF32 contents.
+func FromMatrixF32(m *Matrix) *MatrixF32 {
+	out := NewMatrixF32(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = float32(v)
+	}
+	return out
+}
+
+// EnsureShapeF32 returns a float32 matrix of shape r×c for use as scratch,
+// reusing m where possible — the float32 counterpart of EnsureShape, with
+// the same contract: contents are unspecified, and m may be resliced in
+// place when its backing array has capacity.
+func EnsureShapeF32(m *MatrixF32, r, c int) *MatrixF32 {
+	if m == nil {
+		return NewMatrixF32(r, c)
+	}
+	if m.Rows == r && m.Cols == c {
+		return m
+	}
+	if cap(m.Data) >= r*c {
+		m.Rows, m.Cols = r, c
+		m.Data = m.Data[:r*c]
+		return m
+	}
+	return NewMatrixF32(r, c)
+}
+
+// At returns element (i, j).
+func (m *MatrixF32) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *MatrixF32) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// MatMulF32 computes dst = a × b in float32 with the same 4-wide unrolled
+// ikj loop as the float64 kernel (see matmulRange): each output row is
+// accumulated independently in a fixed order, so batching never changes a
+// row's bits — the determinism contract the serving engine relies on.
+// Shapes must agree (a: m×k, b: k×n, dst: m×n); dst must not alias a or b.
+func MatMulF32(dst, a, b *MatrixF32) *MatrixF32 {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulF32 shape mismatch %dx%d * %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	n := b.Cols
+	kMax := a.Cols
+	for i := 0; i < a.Rows; i++ {
+		ai := a.Data[i*kMax : i*kMax+kMax]
+		di := dst.Data[i*n : i*n+n]
+		for j := range di {
+			di[j] = 0
+		}
+		k := 0
+		for ; k+4 <= kMax; k += 4 {
+			a0, a1, a2, a3 := ai[k], ai[k+1], ai[k+2], ai[k+3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			b0 := b.Data[k*n : k*n+n]
+			b1 := b.Data[(k+1)*n : (k+1)*n+n]
+			b2 := b.Data[(k+2)*n : (k+2)*n+n]
+			b3 := b.Data[(k+3)*n : (k+3)*n+n]
+			for j := range di {
+				di[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+			}
+		}
+		for ; k < kMax; k++ {
+			av := ai[k]
+			if av == 0 {
+				continue
+			}
+			bk := b.Data[k*n : k*n+n]
+			for j := range di {
+				di[j] += av * bk[j]
+			}
+		}
+	}
+	return dst
+}
+
+// CompactNonzeroF32 gathers the nonzero entries of src into (idx, val) and
+// returns how many there are. idx and val must each hold len(src) entries.
+// This is the activation-compaction step of the sparse forward kernels: a
+// ReLU layer zeroes roughly half its outputs, and skipping those rows of the
+// next weight matrix is where the reduced-precision path's speedup comes
+// from (the scalar f32 and f64 kernels are equally compute-bound on this
+// workload — see DESIGN.md §12). The scan order depends only on src itself,
+// preserving the per-row determinism contract.
+func CompactNonzeroF32(idx []int32, val []float32, src []float32) int {
+	nz := 0
+	for k, v := range src {
+		if v != 0 {
+			idx[nz] = int32(k)
+			val[nz] = v
+			nz++
+		}
+	}
+	return nz
+}
+
+// ReLUCompactF32 applies ReLU to src and gathers the surviving (positive)
+// entries into (idx, val), returning the count — CompactNonzeroF32 fused
+// with the activation so a Dense→ReLU→Dense chain touches the activation
+// vector exactly once.
+func ReLUCompactF32(idx []int32, val []float32, src []float32) int {
+	nz := 0
+	for k, v := range src {
+		if v > 0 {
+			idx[nz] = int32(k)
+			val[nz] = v
+			nz++
+		}
+	}
+	return nz
+}
+
+// SparseRowMatMulF32Into computes dst = bias + Σ_k val[k]·b.Row(idx[k]) —
+// one activation row (in compacted nonzero form) times a dense In×Out
+// weight matrix, with the accumulator initialised from the bias so no
+// separate zeroing or bias pass is needed. The k-groups are unrolled 8-,
+// then 4-, then 1-wide; each output element accumulates in a fixed order
+// determined only by (idx, val), so the result is a pure function of the
+// row and the weights. len(dst) and len(bias) must equal b.Cols; every
+// idx[k] must be a valid row of b.
+func SparseRowMatMulF32Into(dst, bias []float32, b *MatrixF32, idx []int32, val []float32) {
+	if len(dst) != b.Cols || len(bias) != b.Cols {
+		panic(fmt.Sprintf("tensor: SparseRowMatMulF32Into dst/bias length %d/%d != cols %d",
+			len(dst), len(bias), b.Cols))
+	}
+	n := b.Cols
+	copy(dst, bias)
+	nz := len(idx)
+	k := 0
+	for ; k+8 <= nz; k += 8 {
+		a0, a1, a2, a3 := val[k], val[k+1], val[k+2], val[k+3]
+		a4, a5, a6, a7 := val[k+4], val[k+5], val[k+6], val[k+7]
+		b0 := b.Data[int(idx[k])*n : int(idx[k])*n+n]
+		b1 := b.Data[int(idx[k+1])*n : int(idx[k+1])*n+n]
+		b2 := b.Data[int(idx[k+2])*n : int(idx[k+2])*n+n]
+		b3 := b.Data[int(idx[k+3])*n : int(idx[k+3])*n+n]
+		b4 := b.Data[int(idx[k+4])*n : int(idx[k+4])*n+n]
+		b5 := b.Data[int(idx[k+5])*n : int(idx[k+5])*n+n]
+		b6 := b.Data[int(idx[k+6])*n : int(idx[k+6])*n+n]
+		b7 := b.Data[int(idx[k+7])*n : int(idx[k+7])*n+n]
+		for j := range dst {
+			dst[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j] +
+				a4*b4[j] + a5*b5[j] + a6*b6[j] + a7*b7[j]
+		}
+	}
+	for ; k+4 <= nz; k += 4 {
+		a0, a1, a2, a3 := val[k], val[k+1], val[k+2], val[k+3]
+		b0 := b.Data[int(idx[k])*n : int(idx[k])*n+n]
+		b1 := b.Data[int(idx[k+1])*n : int(idx[k+1])*n+n]
+		b2 := b.Data[int(idx[k+2])*n : int(idx[k+2])*n+n]
+		b3 := b.Data[int(idx[k+3])*n : int(idx[k+3])*n+n]
+		for j := range dst {
+			dst[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+		}
+	}
+	for ; k < nz; k++ {
+		av := val[k]
+		bk := b.Data[int(idx[k])*n : int(idx[k])*n+n]
+		for j := range dst {
+			dst[j] += av * bk[j]
+		}
+	}
+}
+
+// SparseRowDotColumnF64 computes bias + Σ_k val[k]·b.At(idx[k], col),
+// accumulating in float64. It serves the final 1-wide logit layer of the
+// reduced-precision pipeline: the one place widening the accumulator
+// matters for stability (a long dot product feeding a sigmoid) and costs
+// almost nothing (one column, ~hidden-width multiply-adds per sample).
+func SparseRowDotColumnF64(b *MatrixF32, bias float64, col int, idx []int32, val []float32) float64 {
+	n := b.Cols
+	acc := bias
+	for k, id := range idx {
+		acc += float64(val[k]) * float64(b.Data[int(id)*n+col])
+	}
+	return acc
+}

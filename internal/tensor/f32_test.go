@@ -1,0 +1,216 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randF32 builds an r×c float32 matrix (via the float64 generator so the
+// values match what FromMatrixF32 of a float64 matrix would produce).
+func randF32(r, c int, rng *rand.Rand) (*Matrix, *MatrixF32) {
+	m := NewMatrix(r, c).RandomizeNormal(rng, 1)
+	return m, FromMatrixF32(m)
+}
+
+func TestFromMatrixF32Rounds(t *testing.T) {
+	m := FromSlice(1, 3, []float64{0.1, -2.5, 1e-40})
+	f := FromMatrixF32(m)
+	for i, v := range m.Data {
+		if f.Data[i] != float32(v) {
+			t.Fatalf("element %d: %v != float32(%v)", i, f.Data[i], v)
+		}
+	}
+}
+
+func TestEnsureShapeF32(t *testing.T) {
+	m := NewMatrixF32(4, 8)
+	p := &m.Data[0]
+	// Shrink: must reslice in place.
+	s := EnsureShapeF32(m, 2, 8)
+	if s != m || &s.Data[0] != p || s.Rows != 2 || s.Cols != 8 {
+		t.Fatal("shrink did not reuse backing array")
+	}
+	// Same shape: identity.
+	if EnsureShapeF32(s, 2, 8) != s {
+		t.Fatal("same-shape call did not return receiver")
+	}
+	// Grow past capacity: fresh allocation.
+	g := EnsureShapeF32(s, 16, 16)
+	if g == s || g.Rows != 16 || g.Cols != 16 {
+		t.Fatal("grow did not allocate the right shape")
+	}
+	if EnsureShapeF32(nil, 3, 3) == nil {
+		t.Fatal("nil receiver")
+	}
+}
+
+// TestMatMulF32MatchesF64 checks the float32 kernel against the float64
+// reference within float32 rounding.
+func TestMatMulF32MatchesF64(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {17, 66, 128}, {8, 13, 1}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a64, a32 := randF32(m, k, rng)
+		b64, b32 := randF32(k, n, rng)
+		want := MatMul(NewMatrix(m, n), a64, b64)
+		got := MatMulF32(NewMatrixF32(m, n), a32, b32)
+		for i := range want.Data {
+			w, g := want.Data[i], float64(got.Data[i])
+			// |error| scales with the dot-product length.
+			tol := 1e-5 * (1 + math.Abs(w)) * float64(k)
+			if math.Abs(w-g) > tol {
+				t.Fatalf("%dx%dx%d: element %d: f32 %v vs f64 %v", m, k, n, i, g, w)
+			}
+		}
+	}
+}
+
+// TestSparseKernelsMatchDense: compaction + sparse accumulate must equal
+// the dense f32 kernel bit for bit — same values, same accumulation order
+// over the surviving terms (zero terms contribute exactly zero in the dense
+// kernel... they do not: dense adds a*b[j] with a=0, which is a no-op for
+// finite b, so the orders agree on the nonzero subsequence only when the
+// sparse kernel groups identically. We therefore compare against a scalar
+// reference with the same term order instead of the 4-wide dense kernel.)
+func TestSparseKernelsMatchDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for _, kc := range [][2]int{{66, 128}, {128, 256}, {7, 3}, {1, 1}} {
+		k, n := kc[0], kc[1]
+		_, w := randF32(k, n, rng)
+		row := make([]float32, k)
+		for i := range row {
+			if rng.Float64() < 0.5 { // realistic ReLU sparsity
+				row[i] = float32(rng.NormFloat64())
+			}
+		}
+		bias := make([]float32, n)
+		for i := range bias {
+			bias[i] = float32(rng.NormFloat64())
+		}
+		idx := make([]int32, k)
+		val := make([]float32, k)
+		nz := CompactNonzeroF32(idx, val, row)
+		for c := 0; c < nz; c++ {
+			if row[idx[c]] != val[c] || val[c] == 0 {
+				t.Fatal("compaction gathered a wrong or zero entry")
+			}
+		}
+		dst := make([]float32, n)
+		SparseRowMatMulF32Into(dst, bias, w, idx[:nz], val[:nz])
+
+		// Scalar reference with the same grouping as the kernel's j-loops:
+		// float32 accumulation in 8/4/1-wide k-groups.
+		ref := make([]float32, n)
+		copy(ref, bias)
+		c := 0
+		for ; c+8 <= nz; c += 8 {
+			for j := 0; j < n; j++ {
+				var s float32
+				for q := 0; q < 8; q++ {
+					s += val[c+q] * w.At(int(idx[c+q]), j)
+				}
+				ref[j] += s
+			}
+		}
+		for ; c+4 <= nz; c += 4 {
+			for j := 0; j < n; j++ {
+				var s float32
+				for q := 0; q < 4; q++ {
+					s += val[c+q] * w.At(int(idx[c+q]), j)
+				}
+				ref[j] += s
+			}
+		}
+		for ; c < nz; c++ {
+			for j := 0; j < n; j++ {
+				ref[j] += val[c] * w.At(int(idx[c]), j)
+			}
+		}
+		for j := range dst {
+			// Same terms, same group structure — but the in-group summation
+			// order differs (kernel: a0*b0+a1*b1+...; reference: running
+			// sum), so allow one-ulp-scale slack rather than exact bits.
+			if math.Abs(float64(dst[j]-ref[j])) > 1e-4*(1+math.Abs(float64(ref[j]))) {
+				t.Fatalf("k=%d n=%d: sparse kernel j=%d: %v vs reference %v", k, n, j, dst[j], ref[j])
+			}
+		}
+	}
+}
+
+// TestSparseRowMatMulDeterministic: the sparse kernel must be a pure
+// function of (idx, val, weights) — two runs agree bit for bit.
+func TestSparseRowMatMulDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	_, w := randF32(128, 256, rng)
+	row := make([]float32, 128)
+	for i := range row {
+		if rng.Float64() < 0.5 {
+			row[i] = float32(rng.NormFloat64())
+		}
+	}
+	bias := make([]float32, 256)
+	idx := make([]int32, 128)
+	val := make([]float32, 128)
+	nz := CompactNonzeroF32(idx, val, row)
+	a := make([]float32, 256)
+	b := make([]float32, 256)
+	SparseRowMatMulF32Into(a, bias, w, idx[:nz], val[:nz])
+	SparseRowMatMulF32Into(b, bias, w, idx[:nz], val[:nz])
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("non-deterministic at %d", j)
+		}
+	}
+}
+
+func TestReLUCompactF32(t *testing.T) {
+	src := []float32{1, -2, 0, 3.5, -0.25, 0.001}
+	idx := make([]int32, len(src))
+	val := make([]float32, len(src))
+	nz := ReLUCompactF32(idx, val, src)
+	if nz != 3 {
+		t.Fatalf("nz = %d, want 3", nz)
+	}
+	wantIdx := []int32{0, 3, 5}
+	wantVal := []float32{1, 3.5, 0.001}
+	for i := 0; i < nz; i++ {
+		if idx[i] != wantIdx[i] || val[i] != wantVal[i] {
+			t.Fatalf("entry %d: (%d,%v) want (%d,%v)", i, idx[i], val[i], wantIdx[i], wantVal[i])
+		}
+	}
+}
+
+func TestSparseRowDotColumnF64(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	_, w := randF32(128, 1, rng)
+	idx := []int32{3, 17, 99}
+	val := []float32{0.5, -1.25, 2}
+	got := SparseRowDotColumnF64(w, 0.75, 0, idx, val)
+	want := 0.75
+	for k, id := range idx {
+		want += float64(val[k]) * float64(w.At(int(id), 0))
+	}
+	if got != want {
+		t.Fatalf("f64 dot: %v != %v", got, want)
+	}
+}
+
+func TestSparseKernelZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	_, w := randF32(128, 256, rng)
+	row := make([]float32, 128)
+	for i := range row {
+		row[i] = float32(rng.NormFloat64())
+	}
+	bias := make([]float32, 256)
+	idx := make([]int32, 128)
+	val := make([]float32, 128)
+	dst := make([]float32, 256)
+	if n := testing.AllocsPerRun(10, func() {
+		nz := CompactNonzeroF32(idx, val, row)
+		SparseRowMatMulF32Into(dst, bias, w, idx[:nz], val[:nz])
+	}); n != 0 {
+		t.Fatalf("sparse kernel allocates %v per run, want 0", n)
+	}
+}

@@ -18,6 +18,7 @@ var intoKernels = map[string]bool{
 	"MatMulSerial": true,
 	"MatMulATB":    true,
 	"MatMulABT":    true,
+	"MatMulF32":    true, // float32 mirror of MatMul
 	"Axpy":         true,
 	"Grad":         true, // nn.Loss contract
 	"ScoreBatch":   true, // infer.Scorer contract

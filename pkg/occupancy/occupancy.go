@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/csi"
 	"repro/internal/dataset"
+	"repro/internal/infer"
 	"repro/internal/obs"
 )
 
@@ -216,13 +217,28 @@ func (d *Detector) PredictRecord(r *dataset.Record) (float64, int) {
 	return d.det.PredictRecord(r)
 }
 
+// Precision values EngineConfig and ServeConfig accept. PrecisionF64 is
+// bit-identical to Detector.Score and the default; PrecisionF32 serves
+// through float32 arenas (the fast path); PrecisionI8 serves int8-quantised
+// weights (the small path). Reduced precisions keep scoring deterministic —
+// a sample's probability never depends on batching — but diverge boundedly
+// from the f64 reference (see DESIGN.md §12).
+const (
+	PrecisionF64 = "f64"
+	PrecisionF32 = "f32"
+	PrecisionI8  = "int8"
+)
+
 // EngineConfig controls NewEngine. The zero value is sensible: one worker
-// per core and micro-batches of up to 256 rows.
+// per core, micro-batches of up to 256 rows, float64 scoring.
 type EngineConfig struct {
 	// Workers is the number of inference goroutines (0: one per core).
 	Workers int
 	// MaxBatch caps one micro-batch (0: 256).
 	MaxBatch int
+	// Precision selects the scorer arithmetic: PrecisionF64 (default),
+	// PrecisionF32 or PrecisionI8.
+	Precision string
 	// Observer receives the infer_* metrics. In-module hook; external
 	// consumers leave it nil (the engine then keeps a private registry so
 	// Requests still works).
@@ -233,6 +249,9 @@ type EngineConfig struct {
 func (c EngineConfig) Validate() error {
 	if c.Workers < 0 || c.MaxBatch < 0 {
 		return fmt.Errorf("occupancy: negative engine sizes (workers %d, batch %d)", c.Workers, c.MaxBatch)
+	}
+	if _, err := infer.ParsePrecision(c.Precision); err != nil {
+		return err
 	}
 	return nil
 }
@@ -263,9 +282,10 @@ func NewEngine(d *Detector, cfg EngineConfig) (*Engine, error) {
 	}
 	reg, _ := observer.(*obs.Registry)
 	eng, err := core.NewDetectorEngine(d.det, core.ServeConfig{
-		Workers:  cfg.Workers,
-		MaxBatch: cfg.MaxBatch,
-		Observer: observer,
+		Workers:   cfg.Workers,
+		MaxBatch:  cfg.MaxBatch,
+		Precision: cfg.Precision,
+		Observer:  observer,
 	})
 	if err != nil {
 		return nil, err

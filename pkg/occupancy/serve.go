@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/infer"
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/stream"
@@ -26,6 +27,10 @@ type ServeConfig struct {
 	// Workers / MaxBatch size the shared inference engine (see EngineConfig).
 	Workers  int
 	MaxBatch int
+	// Precision selects the scorer arithmetic for both the primary and the
+	// fallback engine: PrecisionF64 (default), PrecisionF32 or PrecisionI8
+	// (see EngineConfig.Precision).
+	Precision string
 
 	// QueueDepth bounds each feed's ingest queue; a full queue answers 429.
 	QueueDepth int
@@ -54,6 +59,9 @@ func (c ServeConfig) Validate() error {
 	}
 	if c.DrainTimeout < 0 {
 		return fmt.Errorf("occupancy: negative DrainTimeout %v", c.DrainTimeout)
+	}
+	if _, err := infer.ParsePrecision(c.Precision); err != nil {
+		return err
 	}
 	return nil
 }
@@ -88,7 +96,7 @@ func NewServer(d *Detector, cfg ServeConfig) (*Server, error) {
 	}
 
 	reg := obs.NewRegistry()
-	ecfg := core.ServeConfig{Workers: cfg.Workers, MaxBatch: cfg.MaxBatch, Observer: reg}
+	ecfg := core.ServeConfig{Workers: cfg.Workers, MaxBatch: cfg.MaxBatch, Precision: cfg.Precision, Observer: reg}
 	primary, err := core.NewDetectorEngine(d.det, ecfg)
 	if err != nil {
 		return nil, err

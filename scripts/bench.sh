@@ -9,7 +9,11 @@
 # The benchmarks cover the experiment grid end-to-end (Table4Full), the
 # training hot path (TrainEpochMLP), the matmul kernel underneath everything
 # (MatMul), and the serving stack (InferenceMLPBatch256 through the forward
-# arena, the fused single-row path, and the multi-feed engine).
+# arena, the fused single-row path, and the multi-feed engine). The
+# InferenceMLPBatch256 / InferenceMLPSingleFused patterns deliberately
+# prefix-match the reduced-precision variants (…F32, …I8, DESIGN.md §12), so
+# the f64-vs-f32-vs-int8 spread is recorded in every BENCH_*.json and the
+# regression check below tracks all of them.
 #
 # After writing, the inference benchmarks (Inference*/Engine*) are compared
 # against the latest earlier BENCH_*.json: a >15% ns/op regression prints a
