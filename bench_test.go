@@ -23,6 +23,8 @@ import (
 	"repro/internal/csi"
 	"repro/internal/dataset"
 	"repro/internal/envsim"
+	"repro/internal/fault"
+	"repro/internal/framelog"
 	"repro/internal/infer"
 	"repro/internal/linmodel"
 	"repro/internal/nn"
@@ -636,4 +638,63 @@ func BenchmarkGradientStep(b *testing.B) {
 		net.FitOnline(x, y, loss, opt, 5)
 	}
 	b.ReportMetric(256, "samples/op")
+}
+
+// BenchmarkFrameLogAppend measures the durable-ingest hot path: one frame
+// encoded, CRC-guarded and handed to the kernel on the per-feed log
+// (DESIGN.md §13). "interval" is the serving default and the number the
+// <5% ingest-overhead acceptance bound refers to; "always" pays a full
+// fsync per frame and shows the ceiling of the durability trade-off.
+func BenchmarkFrameLogAppend(b *testing.B) {
+	frame := fault.Frame{Index: 0, EnvOK: true}
+	frame.Rec.Time = time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	frame.Rec.Temp, frame.Rec.Humidity = 21.5, 43.25
+	frame.Rec.Count, frame.Rec.Walking = 2, 1
+	for k := range frame.Rec.CSI {
+		frame.Rec.CSI[k] = float64(k%7) / 7
+	}
+	frame.Truth = frame.Rec
+	for _, policy := range []string{framelog.FsyncInterval, framelog.FsyncAlways} {
+		b.Run(policy, func(b *testing.B) {
+			w, _, err := framelog.Open(framelog.Config{Dir: b.TempDir(), Fsync: policy}, "bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			b.SetBytes(559) // length u32 + CRC32 + 551-byte frame payload
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				frame.Index = i
+				if err := w.Append(&frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// The serving layer's actual hot path: one AppendBatch per accepted
+	// ingest batch, one write syscall for all 64 frames. The op is still one
+	// frame, so this line divides directly against the per-frame cases.
+	b.Run("interval-batch64", func(b *testing.B) {
+		w, _, err := framelog.Open(framelog.Config{Dir: b.TempDir(), Fsync: framelog.FsyncInterval}, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		batch := make([]fault.Frame, 64)
+		for i := range batch {
+			batch[i] = frame
+		}
+		b.SetBytes(559)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += len(batch) {
+			for k := range batch {
+				batch[k].Index = i + k
+			}
+			if err := w.AppendBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

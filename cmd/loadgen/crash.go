@@ -1,0 +1,362 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/framelog"
+	"repro/internal/server"
+	"repro/internal/stream"
+	"repro/pkg/occupancy"
+)
+
+// The crash harness proves the durability contract end to end, against a
+// real process death — not a polite shutdown:
+//
+//  1. a child occuserve-equivalent process serves with a durable frame log;
+//  2. the parent streams frames at it and SIGKILLs it mid-stream;
+//  3. the parent reads the child's log offline: every acknowledged frame
+//     must be there (logged >= acked, in send order, bit for bit);
+//  4. a fresh child recovers from the same log; its first visible decision
+//     must be bit-identical to a local replay of the logged frames;
+//  5. the stream continues through the restart, and every post-recovery
+//     decision must match the uninterrupted local reference exactly.
+//
+// The child is this same binary re-exec'd with -crash-child, so the test
+// needs no second build product.
+
+// crashReadyPrefix is the line the child prints once its listener is bound;
+// the parent scans for it to learn the URL.
+const crashReadyPrefix = "loadgen-child: serving "
+
+// runCrashChild is the -crash-child entry point: a durable occupancy server
+// on an ephemeral port, running until killed.
+func runCrashChild(model, logDir string) {
+	det, err := occupancy.Load(model)
+	fail(err)
+	srv, err := occupancy.NewServer(det, occupancy.ServeConfig{
+		Addr: "127.0.0.1:0",
+		// A subscriber buffer large enough for the whole run makes "no
+		// events dropped" a hard guarantee, so the parent's bit-identity
+		// sweep sees every decision (same trick as -http verification).
+		StreamBuffer: 1 << 16,
+		Durability: occupancy.DurabilityConfig{
+			Dir:           logDir,
+			Fsync:         framelog.FsyncInterval,
+			FsyncInterval: 5 * time.Millisecond,
+		},
+	})
+	fail(err)
+	fmt.Println(crashReadyPrefix + srv.URL())
+	fail(srv.Run(context.Background()))
+}
+
+// startCrashChild launches the child server process and returns it with its
+// base URL (confirmed live via /healthz).
+func startCrashChild(model, logDir string) (*exec.Cmd, string) {
+	self, err := os.Executable()
+	fail(err)
+	cmd := exec.Command(self, "-crash-child", "-model", model, "-crash-log-dir", logDir)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	fail(err)
+	fail(cmd.Start())
+	atExit = append(atExit, func() { _ = cmd.Process.Kill() })
+
+	urlc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, crashReadyPrefix) {
+				select {
+				case urlc <- strings.TrimSpace(strings.TrimPrefix(line, crashReadyPrefix)):
+				default:
+				}
+			}
+		}
+	}()
+	var url string
+	select {
+	case url = <-urlc:
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		fail(fmt.Errorf("crash: child did not announce its address"))
+	}
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := client.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd, url
+			}
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			fail(fmt.Errorf("crash: child never became healthy at %s", url))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// crashFrame is the deterministic k-th frame of the crash run, exactly as
+// the server's ingest path will see it.
+func crashFrame(recs []dataset.Record, k int) server.FrameJSON {
+	r := &recs[k%len(recs)]
+	return server.FrameJSON{Time: r.Time, CSI: r.CSI[:], Temp: r.Temp, Humidity: r.Humidity}
+}
+
+// crashRefFrame mirrors server-side frame construction (http.FrameJSON.
+// toFrame) for the local reference runtime.
+func crashRefFrame(recs []dataset.Record, k int) fault.Frame {
+	r := &recs[k%len(recs)]
+	var f fault.Frame
+	f.Index = k
+	f.EnvOK = true
+	f.Rec.Time = r.Time
+	f.Rec.CSI = r.CSI
+	f.Rec.Temp, f.Rec.Humidity = r.Temp, r.Humidity
+	f.Truth = f.Rec
+	return f
+}
+
+// runCrashMode drives the kill-and-recover scenario. total is the planned
+// frame count; the kill lands once half of it is acknowledged.
+func runCrashMode(det *core.Detector, recs []dataset.Record, total int, model string) {
+	tmp, err := os.MkdirTemp("", "loadgen-crash-*")
+	fail(err)
+	defer os.RemoveAll(tmp)
+	if model == "" {
+		model = filepath.Join(tmp, "detector.bin")
+		fail(det.SaveFile(model))
+	}
+	// The reference must run the child's exact weights. The bundle stores
+	// weights as float32 (the deployment format), so a freshly-trained f64
+	// detector is NOT bit-identical to its own saved form — load it back
+	// and reference against that, just as the child will.
+	det, err = core.LoadDetectorFile(model)
+	fail(err)
+	logDir := filepath.Join(tmp, "framelog")
+	const id = "crash-room"
+	client := &http.Client{}
+
+	// Phase 1: serve and stream until the kill threshold.
+	child, url := startCrashChild(model, logDir)
+	fmt.Printf("loadgen: crash: child A at %s, logging to %s\n", url, logDir)
+	code, _ := do(client, http.MethodPut, url+"/v1/feeds/"+id, nil)
+	if code != http.StatusCreated {
+		fail(fmt.Errorf("crash: register: status %d", code))
+	}
+
+	var acked, killed atomic.Int64
+	senderDone := make(chan struct{})
+	go func() {
+		defer close(senderDone)
+		pending := make([]server.FrameJSON, 0, httpBatch)
+		k := 0
+		flush := func() bool {
+			for len(pending) > 0 {
+				body, err := json.Marshal(server.IngestRequest{Frames: pending})
+				fail(err)
+				req, err := http.NewRequest(http.MethodPost, url+"/v1/feeds/"+id+"/frames", strings.NewReader(string(body)))
+				fail(err)
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					if killed.Load() != 0 {
+						return false // the kill landed mid-request: expected
+					}
+					fail(fmt.Errorf("crash: ingest: %w", err))
+				}
+				var ir server.IngestResponse
+				rb := json.NewDecoder(resp.Body)
+				_ = rb.Decode(&ir)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusAccepted:
+					pending = pending[:0]
+				case http.StatusTooManyRequests:
+					pending = pending[ir.Accepted:]
+					time.Sleep(2 * time.Millisecond)
+				default:
+					if killed.Load() != 0 {
+						return false
+					}
+					fail(fmt.Errorf("crash: ingest: status %d", resp.StatusCode))
+				}
+				acked.Add(int64(ir.Accepted))
+			}
+			return true
+		}
+		for k < total {
+			pending = append(pending, crashFrame(recs, k))
+			k++
+			if len(pending) == httpBatch && !flush() {
+				return
+			}
+		}
+		flush()
+	}()
+
+	killAt := int64(total / 2)
+	for acked.Load() < killAt {
+		time.Sleep(time.Millisecond)
+	}
+	killed.Store(1)
+	fail(child.Process.Kill()) // SIGKILL: no handler runs, no flush, no drain
+	_ = child.Wait()
+	<-senderDone
+	ackedAtKill := acked.Load()
+	fmt.Printf("loadgen: crash: SIGKILL after %d acknowledged frames\n", ackedAtKill)
+
+	// Phase 2: the log, read offline, is the ground truth of what the dead
+	// server accepted. Every acknowledged frame must be in it, in send
+	// order, bit for bit.
+	var logged []fault.Frame
+	_, err = framelog.Replay(logDir, id, -1, func(f fault.Frame) error {
+		logged = append(logged, f)
+		return nil
+	})
+	fail(err)
+	if int64(len(logged)) < ackedAtKill {
+		fail(fmt.Errorf("crash: LOST FRAMES: %d acknowledged, only %d logged", ackedAtKill, len(logged)))
+	}
+	for i, f := range logged {
+		want := crashRefFrame(recs, i)
+		if f.Index != i || !f.Rec.Time.Equal(want.Rec.Time) ||
+			math.Float64bits(f.Rec.Temp) != math.Float64bits(want.Rec.Temp) ||
+			math.Float64bits(f.Rec.Humidity) != math.Float64bits(want.Rec.Humidity) ||
+			f.Rec.CSI != want.Rec.CSI {
+			fail(fmt.Errorf("crash: logged frame %d does not match what was sent", i))
+		}
+	}
+	fmt.Printf("loadgen: crash: log holds %d frames (>= %d acked), all bit-faithful\n", len(logged), ackedAtKill)
+
+	// Local reference: the uninterrupted decision sequence over the logged
+	// prefix plus the planned continuation. stream.Process is deterministic
+	// and the child's engine is bit-identical to the direct path, so this is
+	// what the crashed-and-recovered server must reproduce exactly.
+	rt, err := stream.New(stream.Config{Primary: det, PrimaryUsesEnv: det.Features != dataset.FeatCSI})
+	fail(err)
+	want := make([]stream.Decision, total)
+	for i, f := range logged {
+		want[i] = rt.Process(f)
+	}
+	for k := len(logged); k < total; k++ {
+		want[k] = rt.Process(crashRefFrame(recs, k))
+	}
+
+	// Phase 3: a fresh child recovers from the log alone.
+	child2, url2 := startCrashChild(model, logDir)
+	defer func() {
+		_ = child2.Process.Kill()
+		_ = child2.Wait()
+	}()
+	fmt.Printf("loadgen: crash: child B at %s, recovering\n", url2)
+	var rec server.Event
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body := do(client, http.MethodGet, url2+"/v1/feeds/"+id+"/occupancy", nil)
+		if code == http.StatusOK && json.Unmarshal(body, &rec) == nil && rec.Seq == int64(len(logged)-1) {
+			break
+		}
+		if time.Now().After(deadline) {
+			fail(fmt.Errorf("crash: recovery never reached frame %d (last: %+v)", len(logged)-1, rec))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	wrec := want[len(logged)-1]
+	if math.Float64bits(rec.P) != math.Float64bits(wrec.P) || rec.Pred != wrec.Pred ||
+		rec.State != wrec.State || rec.Mode != wrec.Mode.String() {
+		fail(fmt.Errorf("crash: recovered decision diverged: got %+v want P=%x pred=%d state=%d mode=%s",
+			rec, math.Float64bits(wrec.P), wrec.Pred, wrec.State, wrec.Mode))
+	}
+	fmt.Printf("loadgen: crash: recovered to frame %d bit-identical\n", len(logged)-1)
+
+	// Phase 4: the stream continues across the crash as if it never
+	// happened — every remaining decision bit-identical to the reference.
+	streamResp, err := client.Get(url2 + "/v1/feeds/" + id + "/stream?all=1")
+	fail(err)
+	if streamResp.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("crash: stream subscribe: status %d", streamResp.StatusCode))
+	}
+	events := make(chan server.Event, total)
+	go func() {
+		defer close(events)
+		defer streamResp.Body.Close()
+		sc := bufio.NewScanner(streamResp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			var ev server.Event
+			if json.Unmarshal(sc.Bytes(), &ev) == nil {
+				events <- ev
+			}
+		}
+	}()
+
+	pending := make([]server.FrameJSON, 0, httpBatch)
+	flush := func() {
+		for len(pending) > 0 {
+			body, err := json.Marshal(server.IngestRequest{Frames: pending})
+			fail(err)
+			code, resp := do(client, http.MethodPost, url2+"/v1/feeds/"+id+"/frames", body)
+			var ir server.IngestResponse
+			_ = json.Unmarshal(resp, &ir)
+			switch code {
+			case http.StatusAccepted:
+				pending = pending[:0]
+			case http.StatusTooManyRequests:
+				pending = pending[ir.Accepted:]
+				time.Sleep(2 * time.Millisecond)
+			default:
+				fail(fmt.Errorf("crash: continuation ingest: status %d: %s", code, resp))
+			}
+		}
+	}
+	for k := len(logged); k < total; k++ {
+		pending = append(pending, crashFrame(recs, k))
+		if len(pending) == httpBatch {
+			flush()
+		}
+	}
+	flush()
+
+	diverged := 0
+	for k := len(logged); k < total; k++ {
+		var ev server.Event
+		select {
+		case ev = <-events:
+		case <-time.After(30 * time.Second):
+			fail(fmt.Errorf("crash: stream stalled at frame %d", k))
+		}
+		w := want[k]
+		if ev.Seq != int64(k) || math.Float64bits(ev.P) != math.Float64bits(w.P) ||
+			ev.Pred != w.Pred || ev.State != w.State || ev.Mode != w.Mode.String() {
+			if diverged < 3 {
+				fmt.Printf("loadgen: crash: DIVERGED k=%d got seq=%d P=%x pred=%d state=%d mode=%s want P=%x pred=%d state=%d mode=%s\n",
+					k, ev.Seq, math.Float64bits(ev.P), ev.Pred, ev.State, ev.Mode,
+					math.Float64bits(w.P), w.Pred, w.State, w.Mode)
+			}
+			diverged++
+		}
+	}
+	if diverged != 0 {
+		fail(fmt.Errorf("crash: %d post-recovery decisions diverged from the uninterrupted reference", diverged))
+	}
+	fmt.Printf("loadgen: crash: %d post-recovery decisions bit-identical; zero acknowledged frames lost\n", total-len(logged))
+}

@@ -14,7 +14,15 @@
 //
 //	loadgen [-feeds n] [-per-feed n] [-workers n] [-batch n] [-delay d]
 //	        [-model detector.bin] [-epochs n] [-seed n] [-verify]
-//	        [-precision f64|f32|int8] [-metrics-addr :9090]
+//	        [-precision f64|f32|int8] [-metrics-addr :9090] [-crash]
+//
+// -crash switches to the durability harness: a child server process (this
+// binary re-exec'd) serves with a durable frame log, gets SIGKILLed once
+// half the planned frames are acknowledged, and is restarted from the log
+// alone. The run fails if any acknowledged frame is missing from the log,
+// if the recovered decision state differs by one bit from a local replay,
+// or if any post-recovery decision diverges from the uninterrupted
+// reference (DESIGN.md §13).
 //
 // -precision selects the engine's scorer arithmetic. At f32/int8, -verify
 // switches from the bit-identity check to the bounded-divergence harness
@@ -60,8 +68,16 @@ func main() {
 		metrics = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (empty disables)")
 		httpRun = flag.Bool("http", false, "drive the network serving layer over HTTP instead of in-process calls")
 		target  = flag.String("target", "", "with -http: URL of a running occuserve (empty: boot an in-process server and verify decisions)")
+
+		crash       = flag.Bool("crash", false, "SIGKILL a durable child server mid-stream, restart it, and require bit-identical recovered decisions (DESIGN.md §13)")
+		crashChild  = flag.Bool("crash-child", false, "internal: run as the durable server child for -crash")
+		crashLogDir = flag.String("crash-log-dir", "", "internal: frame log root for -crash-child")
 	)
 	flag.Parse()
+	if *crashChild {
+		runCrashChild(*model, *crashLogDir)
+		return
+	}
 	if *feeds < 1 || *perFeed < 1 || *workers < 0 || *batch < 1 || *epochs < 1 {
 		fail(fmt.Errorf("flags out of range: -feeds %d -per-feed %d -workers %d -batch %d -epochs %d",
 			*feeds, *perFeed, *workers, *batch, *epochs))
@@ -70,6 +86,11 @@ func main() {
 	det, recs := buildFixture(*model, *seed, *epochs)
 	fmt.Printf("loadgen: %d feeds × %d records, %d cores, net %v, bank %d records\n",
 		*feeds, *perFeed, runtime.NumCPU(), det.Net, len(recs))
+
+	if *crash {
+		runCrashMode(det, recs, *perFeed, *model)
+		return
+	}
 
 	// The registry doubles as the end-of-run stats source (the engine's
 	// infer_* series are read back from it) and, with -metrics-addr, a live
@@ -238,8 +259,16 @@ func verifyBoundedDivergence(det *core.Detector, recs []dataset.Record, scfg cor
 	fmt.Printf("loadgen: verify: %d records: %s engine bit-identical to the direct %s path\n", len(recs), precision, precision)
 }
 
+// atExit holds cleanups fail must run before exiting — notably killing the
+// -crash child processes, which would otherwise outlive a failed run and
+// hold the pipeline's stderr open forever.
+var atExit []func()
+
 func fail(err error) {
 	if err != nil {
+		for _, f := range atExit {
+			f()
+		}
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}

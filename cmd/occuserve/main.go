@@ -23,6 +23,7 @@
 //	occuserve [-addr :8080] [-model detector.bin] [-epochs n]
 //	          [-queue n] [-max-feeds n] [-rate-limit hz] [-idle-timeout d]
 //	          [-workers n] [-batch n] [-precision f64|f32|int8]
+//	          [-log-dir dir] [-fsync always|interval|off] [-fsync-interval d]
 //	          [-drain-timeout d] [-seed n]
 //
 // -precision selects the inference arithmetic: f64 (default) is
@@ -30,6 +31,12 @@
 // precision for throughput; int8 serves quantised weights. Reduced
 // precisions stay deterministic per sample but diverge boundedly from f64
 // (bound it first with `loadgen -verify -precision ...`; DESIGN.md §12).
+//
+// -log-dir enables durable ingest: every accepted frame is logged before it
+// is acknowledged, and a restart replays each feed's log to the exact
+// pre-crash decision state (prove it with `loadgen -crash`; DESIGN.md §13).
+// -fsync bounds the power-loss window; a plain process kill loses nothing
+// under any policy.
 //
 // Without -model, a C+E detector (plus a CSI-only fallback for feeds whose
 // env sensors die) is trained on a synthetic day at startup.
@@ -49,18 +56,22 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		model    = flag.String("model", "", "detector bundle (empty: train one on the fly)")
-		epochs   = flag.Int("epochs", 5, "training epochs for the on-the-fly detector (ignored with -model)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		model     = flag.String("model", "", "detector bundle (empty: train one on the fly)")
+		epochs    = flag.Int("epochs", 5, "training epochs for the on-the-fly detector (ignored with -model)")
 		workers   = flag.Int("workers", 0, "inference engine workers (0 = one per core)")
 		maxBatch  = flag.Int("batch", 256, "inference engine micro-batch cap")
 		precision = flag.String("precision", "f64", "inference arithmetic: f64 (bit-exact reference), f32 (fast) or int8 (small)")
-		queue    = flag.Int("queue", 0, "per-feed ingest queue depth (0 = default 256)")
-		maxFeeds = flag.Int("max-feeds", 0, "concurrent feed cap (0 = default 1024)")
-		rate     = flag.Float64("rate-limit", 0, "per-feed ingest rate limit in frames/sec (0 = unlimited)")
-		idle     = flag.Duration("idle-timeout", 0, "evict feeds idle this long (0 = default 2m, negative = never)")
-		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
-		seed     = flag.Int64("seed", 42, "per-feed jitter seed")
+		queue     = flag.Int("queue", 0, "per-feed ingest queue depth (0 = default 256)")
+		maxFeeds  = flag.Int("max-feeds", 0, "concurrent feed cap (0 = default 1024)")
+		rate      = flag.Float64("rate-limit", 0, "per-feed ingest rate limit in frames/sec (0 = unlimited)")
+		idle      = flag.Duration("idle-timeout", 0, "evict feeds idle this long (0 = default 2m, negative = never)")
+		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		seed      = flag.Int64("seed", 42, "per-feed jitter seed")
+
+		logDir        = flag.String("log-dir", "", "durable frame log root (empty: durability off)")
+		fsync         = flag.String("fsync", "interval", "frame log sync policy: always, interval or off")
+		fsyncInterval = flag.Duration("fsync-interval", 0, "max time between syncs under -fsync interval (0 = default 100ms)")
 	)
 	flag.Parse()
 	if *epochs < 1 {
@@ -98,8 +109,16 @@ func main() {
 		IdleTimeout:  *idle,
 		DrainTimeout: *drain,
 		Seed:         *seed,
+		Durability: occupancy.DurabilityConfig{
+			Dir:           *logDir,
+			Fsync:         *fsync,
+			FsyncInterval: *fsyncInterval,
+		},
 	})
 	fail(err)
+	if *logDir != "" {
+		fmt.Printf("occuserve: durable frame log at %s (fsync=%s)\n", *logDir, *fsync)
+	}
 	if *precision != occupancy.PrecisionF64 {
 		fmt.Printf("occuserve: serving at %s precision (bounded divergence vs the f64 reference, DESIGN.md §12)\n", *precision)
 	}

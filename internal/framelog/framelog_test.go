@@ -1,0 +1,503 @@
+package framelog
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/csi"
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// mkFrame builds a deterministic frame for index i with a mix of fault
+// flags, so round-trips exercise every encoded field.
+func mkFrame(i int) fault.Frame {
+	var f fault.Frame
+	f.Index = i
+	f.Rec.Time = time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC).Add(time.Duration(i) * 50 * time.Millisecond)
+	f.Rec.Temp = 20 + float64(i)*0.01
+	f.Rec.Humidity = 40 + math.Sin(float64(i))
+	f.Rec.Count = i % 5
+	f.Rec.Walking = i % 3
+	for k := range f.Rec.CSI {
+		f.Rec.CSI[k] = math.Sin(float64(i*csi.NumSubcarriers+k)) * 3
+	}
+	f.Dropped = i%23 == 7
+	f.EnvOK = i%9 != 4
+	f.EnvStale = i%17 == 3
+	f.AGCGlitch = i%13 == 5
+	f.Nulled = i % 4
+	if f.Dropped {
+		f.Rec.CSI = [csi.NumSubcarriers]float64{}
+	}
+	f.Truth = f.Rec
+	return f
+}
+
+// appendN appends frames [from, from+n) to w.
+func appendN(t testing.TB, w *Writer, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		f := mkFrame(i)
+		if err := w.Append(&f); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+// framesEqual compares every field that is stored in the log, bit for bit
+// on the floats.
+func framesEqual(a, b fault.Frame) bool {
+	if a.Index != b.Index || a.Dropped != b.Dropped || a.EnvOK != b.EnvOK ||
+		a.EnvStale != b.EnvStale || a.AGCGlitch != b.AGCGlitch || a.Nulled != b.Nulled ||
+		a.Rec.Count != b.Rec.Count || a.Rec.Walking != b.Rec.Walking ||
+		!a.Rec.Time.Equal(b.Rec.Time) ||
+		math.Float64bits(a.Rec.Temp) != math.Float64bits(b.Rec.Temp) ||
+		math.Float64bits(a.Rec.Humidity) != math.Float64bits(b.Rec.Humidity) {
+		return false
+	}
+	for k := range a.Rec.CSI {
+		if math.Float64bits(a.Rec.CSI[k]) != math.Float64bits(b.Rec.CSI[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+func replayAll(t testing.TB, root, feed string) []fault.Frame {
+	t.Helper()
+	var got []fault.Frame
+	if _, err := Replay(root, feed, -1, func(f fault.Frame) error {
+		got = append(got, f)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripBitExact(t *testing.T) {
+	dir := t.TempDir()
+	w, rec, err := Open(Config{Dir: dir, Fsync: FsyncOff}, "room-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Frames != 0 || rec.NextIndex != 0 {
+		t.Fatalf("fresh log recovered %+v", rec)
+	}
+	const n = 200
+	appendN(t, w, 0, n)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := replayAll(t, dir, "room-a")
+	if len(got) != n {
+		t.Fatalf("replayed %d frames, want %d", len(got), n)
+	}
+	for i, g := range got {
+		if !framesEqual(g, mkFrame(i)) {
+			t.Fatalf("frame %d does not round-trip bit-exactly: %+v", i, g)
+		}
+	}
+
+	// Reopening reports the same state and appends continue the sequence.
+	w2, rec2, err := Open(Config{Dir: dir, Fsync: FsyncOff}, "room-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rec2.Frames != n || rec2.NextIndex != n || rec2.FirstIndex != 0 || rec2.LastIndex != n-1 || rec2.TornTail {
+		t.Fatalf("reopen recovered %+v", rec2)
+	}
+	appendN(t, w2, n, 10)
+	if got := replayAll(t, dir, "room-a"); len(got) != n+10 {
+		t.Fatalf("after continued appends: %d frames, want %d", len(got), n+10)
+	}
+}
+
+func TestRotationAndRetention(t *testing.T) {
+	dir := t.TempDir()
+	// ~8 records per segment.
+	cfg := Config{Dir: dir, Fsync: FsyncOff, SegmentMaxBytes: int64(segHeaderLen + 8*recordLen)}
+	w, _, err := Open(cfg, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 50)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(feedDir(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 5 {
+		t.Fatalf("expected rotation into >= 5 segments, got %d", len(segs))
+	}
+	if got := replayAll(t, dir, "f"); len(got) != 50 {
+		t.Fatalf("replayed %d, want 50 across %d segments", len(got), len(segs))
+	}
+
+	// Retention: cap at 2 segments; old frames disappear, indices survive.
+	cfg.MaxSegments = 2
+	w2, rec, err := Open(cfg, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.NextIndex != 50 {
+		t.Fatalf("NextIndex %d, want 50", rec.NextIndex)
+	}
+	appendN(t, w2, 50, 40)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err = listSegments(feedDir(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) > 2 {
+		t.Fatalf("retention kept %d segments, cap 2", len(segs))
+	}
+	got := replayAll(t, dir, "f")
+	if len(got) == 0 || len(got) > 16 {
+		t.Fatalf("retained replay has %d frames, want a bounded suffix", len(got))
+	}
+	if last := got[len(got)-1]; last.Index != 89 {
+		t.Fatalf("last retained index %d, want 89", last.Index)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Index != got[i-1].Index+1 {
+			t.Fatalf("retained indices not contiguous at %d", i)
+		}
+	}
+}
+
+func TestTornTailRepair(t *testing.T) {
+	for _, cut := range []int{1, recHeaderLen - 1, recHeaderLen + 3, recordLen - 1} {
+		dir := t.TempDir()
+		w, _, err := Open(Config{Dir: dir, Fsync: FsyncOff}, "f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendN(t, w, 0, 20)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		seg := filepath.Join(feedDir(dir, "f"), segmentName(0))
+		fi, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tear the last record: keep `cut` bytes of it.
+		if err := os.Truncate(seg, fi.Size()-int64(recordLen)+int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+
+		// The read-only path stops cleanly at the torn record.
+		if got := replayAll(t, dir, "f"); len(got) != 19 {
+			t.Fatalf("cut=%d: replayed %d, want 19", cut, len(got))
+		}
+
+		// Open repairs: the torn bytes are truncated away and appends resume
+		// at the right index.
+		reg := obs.NewRegistry()
+		w2, rec, err := Open(Config{Dir: dir, Fsync: FsyncOff, Observer: reg}, "f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rec.TornTail || rec.Frames != 19 || rec.NextIndex != 19 || rec.TruncatedBytes != int64(cut) {
+			t.Fatalf("cut=%d: recovery %+v", cut, rec)
+		}
+		if v := reg.Counter("framelog_torn_tails_total", "").Value(); v != 1 {
+			t.Fatalf("cut=%d: torn-tail counter %d, want 1", cut, v)
+		}
+		appendN(t, w2, 19, 5)
+		if err := w2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got := replayAll(t, dir, "f")
+		if len(got) != 24 {
+			t.Fatalf("cut=%d: after repair+append replayed %d, want 24", cut, len(got))
+		}
+		for i, g := range got {
+			if !framesEqual(g, mkFrame(i)) {
+				t.Fatalf("cut=%d: frame %d corrupted by repair", cut, i)
+			}
+		}
+	}
+}
+
+func TestMidLogCorruptionIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Fsync: FsyncOff, SegmentMaxBytes: int64(segHeaderLen + 4*recordLen)}
+	w, _, err := Open(cfg, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 20)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a CRC byte inside the FIRST segment — acknowledged data.
+	seg := filepath.Join(feedDir(dir, "f"), segmentName(0))
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[segHeaderLen+4] ^= 0xFF
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(cfg, "f"); err == nil {
+		t.Fatal("Open accepted mid-log corruption")
+	}
+	if _, err := Replay(dir, "f", -1, func(fault.Frame) error { return nil }); err == nil {
+		t.Fatal("Replay accepted mid-log corruption")
+	}
+}
+
+func TestFsyncPoliciesAndValidate(t *testing.T) {
+	for _, p := range []string{FsyncAlways, FsyncInterval, FsyncOff, ""} {
+		dir := t.TempDir()
+		w, _, err := Open(Config{Dir: dir, Fsync: p, Interval: time.Millisecond}, "f")
+		if err != nil {
+			t.Fatalf("policy %q: %v", p, err)
+		}
+		appendN(t, w, 0, 10)
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := replayAll(t, dir, "f"); len(got) != 10 {
+			t.Fatalf("policy %q: replayed %d, want 10", p, len(got))
+		}
+	}
+	bad := []Config{
+		{Dir: "x", Fsync: "sometimes"},
+		{Dir: "x", Interval: -time.Second},
+		{Dir: "x", SegmentMaxBytes: -1},
+		{Dir: "x", MaxSegments: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d validated", i)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config must validate (durability off): %v", err)
+	}
+	for _, feed := range []string{"", ".", "..", "a/b", `a\b`} {
+		if _, _, err := Open(Config{Dir: t.TempDir()}, feed); err == nil {
+			t.Fatalf("feed name %q accepted", feed)
+		}
+	}
+}
+
+func TestListFeeds(t *testing.T) {
+	dir := t.TempDir()
+	if feeds, err := ListFeeds(filepath.Join(dir, "missing")); err != nil || len(feeds) != 0 {
+		t.Fatalf("missing root: %v %v", feeds, err)
+	}
+	for _, id := range []string{"b", "a", "c"} {
+		w, _, err := Open(Config{Dir: dir, Fsync: FsyncOff}, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+	}
+	feeds, err := ListFeeds(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feeds) != 3 || feeds[0] != "a" || feeds[1] != "b" || feeds[2] != "c" {
+		t.Fatalf("feeds %v", feeds)
+	}
+}
+
+func TestReplayLimitWithConcurrentAppends(t *testing.T) {
+	// The serving layer replays the recovered prefix while new appends land
+	// on the same last segment; the limit must fence the replay exactly.
+	dir := t.TempDir()
+	w, _, err := Open(Config{Dir: dir, Fsync: FsyncOff}, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	appendN(t, w, 0, 30)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		appendN(t, w, 30, 200)
+	}()
+	var got []fault.Frame
+	n, err := Replay(dir, "f", 30, func(f fault.Frame) error {
+		got = append(got, f)
+		return nil
+	})
+	<-done
+	if err != nil || n != 30 || len(got) != 30 {
+		t.Fatalf("limited replay: n=%d err=%v", n, err)
+	}
+	for i, g := range got {
+		if g.Index != i {
+			t.Fatalf("limited replay delivered index %d at position %d", g.Index, i)
+		}
+	}
+}
+
+func TestAppendLatencyMetricsRecorded(t *testing.T) {
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	w, _, err := Open(Config{Dir: dir, Fsync: FsyncAlways, Observer: reg}, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 5)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Counter("framelog_appends_total", "").Value(); v != 5 {
+		t.Fatalf("appends counter %d, want 5", v)
+	}
+	if v := reg.Counter("framelog_fsyncs_total", "").Value(); v < 5 {
+		t.Fatalf("fsync counter %d, want >= 5 under always", v)
+	}
+	snap := reg.Snapshot()
+	if m, ok := snap.Get("framelog_append_seconds"); !ok || m.Count != 5 {
+		t.Fatalf("append latency histogram missing or short: %+v", m)
+	}
+	if m, ok := snap.Get("framelog_fsync_seconds"); !ok || m.Count < 5 {
+		t.Fatalf("fsync latency histogram missing or short: %+v", m)
+	}
+}
+
+// TestWriterRandomKillPoints simulates a crash at a random byte position by
+// copying a clean log prefix and confirming Open always recovers to a valid
+// state — never a panic, never an error on a pure prefix.
+func TestWriterRandomKillPoints(t *testing.T) {
+	src := t.TempDir()
+	w, _, err := Open(Config{Dir: src, Fsync: FsyncOff}, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 40)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(feedDir(src, "f"), segmentName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		cut := rng.Intn(len(raw) + 1)
+		dir := t.TempDir()
+		if err := os.MkdirAll(feedDir(dir, "f"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(feedDir(dir, "f"), segmentName(0)), raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w2, rec, err := Open(Config{Dir: dir, Fsync: FsyncOff}, "f")
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		wantFrames := 0
+		if cut >= segHeaderLen {
+			wantFrames = (cut - segHeaderLen) / recordLen
+		}
+		if rec.Frames != wantFrames {
+			t.Fatalf("cut=%d: recovered %d frames, want %d", cut, rec.Frames, wantFrames)
+		}
+		appendN(t, w2, rec.NextIndex, 3)
+		w2.Close()
+		if got := replayAll(t, dir, "f"); len(got) != wantFrames+3 {
+			t.Fatalf("cut=%d: %d frames after recovery appends", cut, len(got))
+		}
+	}
+}
+
+// TestAppendBatchMatchesAppend proves the batched write path is a pure
+// syscall amortisation: for any batching of the same frame sequence —
+// including batches that straddle rotation boundaries — the on-disk bytes
+// are identical to per-frame Append, segment for segment.
+func TestAppendBatchMatchesAppend(t *testing.T) {
+	const n = 60
+	cfg := func(dir string) Config {
+		// ~7 records per segment, so every batching below crosses rotations.
+		return Config{Dir: dir, Fsync: FsyncOff, SegmentMaxBytes: segHeaderLen + 7*recordLen}
+	}
+	ref := t.TempDir()
+	w, _, err := Open(cfg(ref), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, n)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	refSegs, err := listSegments(feedDir(ref, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, batch := range []int{1, 5, 7, 13, n} {
+		dir := t.TempDir()
+		bw, _, err := Open(cfg(dir), "f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for from := 0; from < n; from += batch {
+			frames := make([]fault.Frame, 0, batch)
+			for i := from; i < from+batch && i < n; i++ {
+				frames = append(frames, mkFrame(i))
+			}
+			if err := bw.AppendBatch(frames); err != nil {
+				t.Fatalf("batch=%d from=%d: %v", batch, from, err)
+			}
+		}
+		if err := bw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		segs, err := listSegments(feedDir(dir, "f"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(segs) != len(refSegs) {
+			t.Fatalf("batch=%d: %d segments, want %d", batch, len(segs), len(refSegs))
+		}
+		for _, seg := range segs {
+			got, err := os.ReadFile(filepath.Join(feedDir(dir, "f"), segmentName(seg)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(filepath.Join(feedDir(ref, "f"), segmentName(seg)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("batch=%d: segment %d bytes differ from per-frame Append", batch, seg)
+			}
+		}
+		got := replayAll(t, dir, "f")
+		if len(got) != n {
+			t.Fatalf("batch=%d: replayed %d of %d frames", batch, len(got), n)
+		}
+		for i := range got {
+			if !framesEqual(got[i], mkFrame(i)) {
+				t.Fatalf("batch=%d: frame %d not bit-faithful", batch, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package framelog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fault"
+)
+
+// Replay streams a feed's logged frames, in append order, through fn. A
+// torn tail — a short or CRC-failing record at the very end of the last
+// segment — ends the replay cleanly (those bytes were never acknowledged);
+// corruption anywhere earlier fails with ErrCorrupt. limit >= 0 stops after
+// that many frames, which is how the serving layer replays exactly the
+// recovered prefix while new appends land on the same segment behind it; a
+// negative limit replays everything. A non-nil error from fn aborts the
+// replay and is returned. Returns the number of frames delivered.
+func Replay(root, feed string, limit int, fn func(fault.Frame) error) (int, error) {
+	if err := validFeedName(feed); err != nil {
+		return 0, err
+	}
+	dir := feedDir(root, feed)
+	segs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	delivered := 0
+	for i, seg := range segs {
+		if limit >= 0 && delivered >= limit {
+			break
+		}
+		lastSeg := i == len(segs)-1
+		raw, err := os.ReadFile(filepath.Join(dir, segmentName(seg)))
+		if err != nil {
+			return delivered, err
+		}
+		if len(raw) < segHeaderLen {
+			if !lastSeg {
+				return delivered, fmt.Errorf("framelog: %s/%s: %w", feed, segmentName(seg), ErrCorrupt)
+			}
+			break // torn at creation; nothing was ever appended
+		}
+		off, err := checkSegmentHeader(raw)
+		if err != nil {
+			return delivered, fmt.Errorf("framelog: %s/%s: %w", feed, segmentName(seg), err)
+		}
+		for off < len(raw) {
+			if limit >= 0 && delivered >= limit {
+				break
+			}
+			f, n, ok := decodeRecord(raw[off:])
+			if !ok {
+				if !lastSeg {
+					return delivered, fmt.Errorf("framelog: %s/%s offset %d: %w", feed, segmentName(seg), off, ErrCorrupt)
+				}
+				return delivered, nil // torn tail: stop cleanly
+			}
+			if err := fn(f); err != nil {
+				return delivered, err
+			}
+			delivered++
+			off += n
+		}
+	}
+	return delivered, nil
+}

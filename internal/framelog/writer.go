@@ -1,0 +1,374 @@
+package framelog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// Recovery describes what Open found in an existing feed log.
+type Recovery struct {
+	// Frames is how many valid records the log holds — the number of frames
+	// a recovery replay will deliver.
+	Frames int
+	// FirstIndex / LastIndex are the frame indices bounding the retained
+	// records (0/-1 on an empty log). FirstIndex is 0 unless the retention
+	// cap retired early segments.
+	FirstIndex int
+	LastIndex  int
+	// NextIndex is the index the next appended frame must carry.
+	NextIndex int
+	// TornTail reports that the last segment ended in a torn or corrupt
+	// record; TruncatedBytes is how much was cut repairing it.
+	TornTail       bool
+	TruncatedBytes int64
+}
+
+// Writer appends frames to one feed's log. It is not safe for concurrent
+// use — the serving layer serialises appends under the feed's ingest lock,
+// which also fixes the record order to the accepted frame order.
+type Writer struct {
+	cfg  Config
+	feed string
+	dir  string
+	m    metrics
+
+	f        *os.File
+	seg      int   // active segment number
+	segs     []int // live segment numbers, ascending
+	segBytes int64
+	lastSync time.Time
+	buf      []byte
+	closed   bool
+}
+
+// Open opens (or creates) the log for one feed, scanning every retained
+// segment to validate it and repairing a torn tail by truncating the last
+// segment to its final valid record. Corruption before the tail fails with
+// ErrCorrupt — acknowledged data is never silently dropped. The scan is
+// O(log size); the serving layer replays the same bytes right after, so the
+// log is read at most twice per recovery.
+func Open(cfg Config, feed string) (*Writer, Recovery, error) {
+	var rec Recovery
+	if err := cfg.Validate(); err != nil {
+		return nil, rec, err
+	}
+	if !cfg.Enabled() {
+		return nil, rec, fmt.Errorf("framelog: Config.Dir is required")
+	}
+	if err := validFeedName(feed); err != nil {
+		return nil, rec, err
+	}
+	cfg = cfg.withDefaults()
+	w := &Writer{
+		cfg:      cfg,
+		feed:     feed,
+		dir:      feedDir(cfg.Dir, feed),
+		m:        newMetrics(cfg.Observer),
+		lastSync: time.Now(),
+		buf:      make([]byte, 0, recordLen),
+	}
+	if err := os.MkdirAll(w.dir, 0o755); err != nil {
+		return nil, rec, err
+	}
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return nil, rec, err
+	}
+	if len(segs) == 0 {
+		if err := w.createSegment(0); err != nil {
+			return nil, rec, err
+		}
+		w.segs = []int{0}
+		rec.LastIndex = -1
+		return w, rec, nil
+	}
+
+	rec, lastEnd, err := w.scan(segs, &rec)
+	if err != nil {
+		return nil, rec, err
+	}
+	last := segs[len(segs)-1]
+	path := filepath.Join(w.dir, segmentName(last))
+	if rec.TornTail {
+		if err := os.Truncate(path, lastEnd); err != nil {
+			return nil, rec, fmt.Errorf("framelog: repairing %s/%s: %w", feed, segmentName(last), err)
+		}
+		w.m.tornTails.Inc()
+		w.m.truncated.Add(rec.TruncatedBytes)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, rec, err
+	}
+	w.f = f
+	w.seg = last
+	w.segs = segs
+	w.segBytes = lastEnd
+	if lastEnd < segHeaderLen {
+		// The segment was created but its header never fully landed: only a
+		// header-less empty file repairs to this. Rewrite the header.
+		if _, err := f.Write(segmentHeader()[lastEnd:]); err != nil {
+			f.Close()
+			return nil, rec, err
+		}
+		w.segBytes = segHeaderLen
+	}
+	if rec.TornTail {
+		// Make the repair itself durable before accepting new appends.
+		if err := w.sync(); err != nil {
+			f.Close()
+			return nil, rec, err
+		}
+	}
+	w.m.recovered.Add(int64(rec.Frames))
+	return w, rec, nil
+}
+
+// scan walks every segment, counting valid records and locating the valid
+// end of the last one. Corruption in a non-last segment — or after any
+// point in the last segment that further valid data follows — cannot be a
+// torn append, so it fails with ErrCorrupt.
+func (w *Writer) scan(segs []int, rec *Recovery) (Recovery, int64, error) {
+	rec.LastIndex = -1
+	first := true
+	var lastEnd int64
+	for i, seg := range segs {
+		lastSeg := i == len(segs)-1
+		raw, err := os.ReadFile(filepath.Join(w.dir, segmentName(seg)))
+		if err != nil {
+			return *rec, 0, err
+		}
+		if len(raw) < segHeaderLen {
+			if !lastSeg {
+				return *rec, 0, fmt.Errorf("framelog: %s/%s: %w", w.feed, segmentName(seg), ErrCorrupt)
+			}
+			rec.TornTail = len(raw) > 0
+			rec.TruncatedBytes += int64(len(raw))
+			return *rec, 0, nil
+		}
+		off, err := checkSegmentHeader(raw)
+		if err != nil {
+			return *rec, 0, fmt.Errorf("framelog: %s/%s: %w", w.feed, segmentName(seg), err)
+		}
+		for off < len(raw) {
+			f, n, ok := decodeRecord(raw[off:])
+			if !ok {
+				if !lastSeg {
+					return *rec, 0, fmt.Errorf("framelog: %s/%s offset %d: %w", w.feed, segmentName(seg), off, ErrCorrupt)
+				}
+				rec.TornTail = true
+				rec.TruncatedBytes += int64(len(raw) - off)
+				break
+			}
+			if first {
+				rec.FirstIndex = f.Index
+				first = false
+			}
+			rec.LastIndex = f.Index
+			rec.Frames++
+			off += n
+		}
+		if lastSeg {
+			lastEnd = int64(off)
+		}
+	}
+	rec.NextIndex = rec.LastIndex + 1
+	return *rec, lastEnd, nil
+}
+
+// createSegment starts segment n as the active one.
+func (w *Writer) createSegment(n int) error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(n)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(segmentHeader()); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.seg = n
+	w.segBytes = segHeaderLen
+	return nil
+}
+
+// Append encodes one frame and writes it to the active segment, rotating
+// first if the segment is full. The write goes straight to the kernel —
+// there is no user-space buffer to lose on SIGKILL — and the fsync policy
+// decides how often it is forced to the device.
+func (w *Writer) Append(f *fault.Frame) error {
+	if w.closed {
+		return fmt.Errorf("framelog: append to closed writer (%s)", w.feed)
+	}
+	var t0 time.Time
+	if w.m.appendLat != nil {
+		t0 = time.Now()
+	}
+	if w.segBytes+recordLen > w.cfg.SegmentMaxBytes && w.segBytes > segHeaderLen {
+		if err := w.rotate(); err != nil {
+			w.m.appendErrors.Inc()
+			return err
+		}
+	}
+	w.buf = appendRecord(w.buf[:0], f)
+	if _, err := w.f.Write(w.buf); err != nil {
+		w.m.appendErrors.Inc()
+		return err
+	}
+	w.segBytes += int64(len(w.buf))
+	w.m.appends.Inc()
+	w.m.bytes.Add(int64(len(w.buf)))
+	if err := w.maybeSync(); err != nil {
+		w.m.appendErrors.Inc()
+		return err
+	}
+	if w.m.appendLat != nil {
+		w.m.appendLat.Observe(time.Since(t0).Seconds())
+	}
+	return nil
+}
+
+// AppendBatch appends frames with one write per segment touched (for any
+// realistic segment size: one write, full stop) and one fsync-policy check
+// for the whole batch, amortising the per-frame syscall cost Append pays —
+// the serving layer logs each accepted ingest batch through this. The batch
+// is all-or-nothing at the API level: on error the caller must treat every
+// frame as unlogged (a torn tail on disk is repaired by the next Open,
+// exactly as for a torn single-frame append).
+func (w *Writer) AppendBatch(frames []fault.Frame) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	if w.closed {
+		return fmt.Errorf("framelog: append to closed writer (%s)", w.feed)
+	}
+	var t0 time.Time
+	if w.m.appendLat != nil {
+		t0 = time.Now()
+	}
+	for i := 0; i < len(frames); {
+		if w.segBytes+recordLen > w.cfg.SegmentMaxBytes && w.segBytes > segHeaderLen {
+			if err := w.rotate(); err != nil {
+				w.m.appendErrors.Inc()
+				return err
+			}
+		}
+		// Fill the active segment; a fresh segment always takes at least one
+		// record, mirroring Append's oversized-record behaviour.
+		fit := int((w.cfg.SegmentMaxBytes - w.segBytes) / recordLen)
+		if fit < 1 {
+			fit = 1
+		}
+		n := len(frames) - i
+		if n > fit {
+			n = fit
+		}
+		w.buf = w.buf[:0]
+		for k := 0; k < n; k++ {
+			w.buf = appendRecord(w.buf, &frames[i+k])
+		}
+		if _, err := w.f.Write(w.buf); err != nil {
+			w.m.appendErrors.Inc()
+			return err
+		}
+		w.segBytes += int64(len(w.buf))
+		w.m.appends.Add(int64(n))
+		w.m.bytes.Add(int64(len(w.buf)))
+		i += n
+	}
+	if err := w.maybeSync(); err != nil {
+		w.m.appendErrors.Inc()
+		return err
+	}
+	if w.m.appendLat != nil {
+		w.m.appendLat.Observe(time.Since(t0).Seconds())
+	}
+	return nil
+}
+
+// maybeSync applies the fsync policy after an append: unconditional under
+// FsyncAlways, deadline-driven under FsyncInterval, never under FsyncOff.
+func (w *Writer) maybeSync() error {
+	switch w.cfg.Fsync {
+	case FsyncAlways:
+		return w.sync()
+	case FsyncInterval:
+		if time.Since(w.lastSync) >= w.cfg.Interval {
+			return w.sync()
+		}
+	}
+	return nil
+}
+
+// sync forces the active segment to the device.
+func (w *Writer) sync() error {
+	var t0 time.Time
+	if w.m.fsyncLat != nil {
+		t0 = time.Now()
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if w.m.fsyncLat != nil {
+		w.m.fsyncLat.Observe(time.Since(t0).Seconds())
+	}
+	w.m.fsyncs.Inc()
+	w.lastSync = time.Now()
+	return nil
+}
+
+// rotate seals the active segment (synced regardless of policy, so every
+// non-last segment is fully durable and the reader may treat corruption
+// there as real) and starts the next, retiring the oldest segments past the
+// retention cap.
+func (w *Writer) rotate() error {
+	if err := w.sync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	if err := w.createSegment(w.seg + 1); err != nil {
+		return err
+	}
+	w.segs = append(w.segs, w.seg)
+	w.m.rotations.Inc()
+	if max := w.cfg.MaxSegments; max > 0 {
+		for len(w.segs) > max {
+			old := w.segs[0]
+			if err := os.Remove(filepath.Join(w.dir, segmentName(old))); err != nil {
+				return err
+			}
+			w.segs = w.segs[1:]
+			w.m.retired.Inc()
+		}
+	}
+	return nil
+}
+
+// Flush forces everything appended so far to the device, whatever the fsync
+// policy. The serving layer calls it before answering teardown.
+func (w *Writer) Flush() error {
+	if w.closed {
+		return nil
+	}
+	return w.sync()
+}
+
+// Close flushes and closes the active segment. Idempotent.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	syncErr := w.f.Sync()
+	closeErr := w.f.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

@@ -1,0 +1,281 @@
+package server_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/framelog"
+	"repro/internal/server"
+)
+
+// durableFrames builds n frames whose first subcarrier walks a deterministic
+// pattern crossing the 0.5 decision threshold, so recovery has real state
+// transitions to reproduce, not a flat line.
+func durableFrames(n, from int) []server.FrameJSON {
+	frames := mkFrames(n, 0)
+	for i := range frames {
+		k := from + i
+		frames[i].CSI[0] = float64(k%7) / 7 // 0, .14, .29, .43, .57, .71, .86
+		frames[i].Time = frames[i].Time.Add(time.Duration(from) * 50 * time.Millisecond)
+		frames[i].Temp = 20 + float64(k%5)
+		frames[i].Humidity = 40 + float64(k%3)
+	}
+	return frames
+}
+
+// streamEvents subscribes to a feed's full decision stream and returns a
+// channel yielding its events plus a cancel func.
+func streamEvents(t *testing.T, base, id string) (<-chan server.Event, func()) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/feeds/" + id + "/stream?all=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("stream subscribe: %d", resp.StatusCode)
+	}
+	ch := make(chan server.Event, 1024)
+	go func() {
+		defer close(ch)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var ev server.Event
+			if json.Unmarshal(sc.Bytes(), &ev) == nil {
+				ch <- ev
+			}
+		}
+	}()
+	return ch, func() { resp.Body.Close() }
+}
+
+// collect reads n events or fails after a deadline.
+func collect(t *testing.T, ch <-chan server.Event, n int) []server.Event {
+	t.Helper()
+	evs := make([]server.Event, 0, n)
+	deadline := time.After(10 * time.Second)
+	for len(evs) < n {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				t.Fatalf("stream ended after %d of %d events", len(evs), n)
+			}
+			evs = append(evs, ev)
+		case <-deadline:
+			t.Fatalf("timed out with %d of %d events", len(evs), n)
+		}
+	}
+	return evs
+}
+
+// sameEvent compares decisions at the bit level: replay is only a recovery
+// if P carries the identical float bits, not merely a close value.
+func sameEvent(a, b server.Event) bool {
+	return a.Seq == b.Seq && a.Time.Equal(b.Time) &&
+		math.Float64bits(a.P) == math.Float64bits(b.P) &&
+		a.Pred == b.Pred && a.State == b.State && a.Flipped == b.Flipped &&
+		a.Mode == b.Mode && a.CSIImputed == b.CSIImputed && a.EnvImputed == b.EnvImputed
+}
+
+// TestRecoveryBitIdenticalDecisions kills a durable server mid-stream (by
+// closing it with frames accepted) and checks the successor recovers to the
+// exact decision state — then keeps producing decisions bit-identical to an
+// uninterrupted reference server fed the same frames.
+func TestRecoveryBitIdenticalDecisions(t *testing.T) {
+	const half = 20
+	all := durableFrames(2*half, 0)
+
+	// Reference: one uninterrupted life over all frames.
+	_, rts, _ := newTestServer(t, nil)
+	if code, _, _ := doReq(t, http.MethodPut, rts.URL+"/v1/feeds/room", nil); code != http.StatusCreated {
+		t.Fatalf("reference register failed")
+	}
+	rch, rcancel := streamEvents(t, rts.URL, "room")
+	defer rcancel()
+	if code, ir, _ := ingest(t, rts.URL, "room", all); code != http.StatusAccepted || ir.Accepted != 2*half {
+		t.Fatalf("reference ingest: code=%d accepted=%d", code, ir.Accepted)
+	}
+	want := collect(t, rch, 2*half)
+
+	// Life A: durable server takes the first half, then dies abruptly.
+	dir := t.TempDir()
+	durable := func(c *server.Config) {
+		c.Durability = framelog.Config{Dir: dir, Fsync: framelog.FsyncOff}
+	}
+	srvA, tsA, _ := newTestServer(t, durable)
+	if code, _, _ := doReq(t, http.MethodPut, tsA.URL+"/v1/feeds/room", nil); code != http.StatusCreated {
+		t.Fatalf("register failed")
+	}
+	if code, ir, _ := ingest(t, tsA.URL, "room", all[:half]); code != http.StatusAccepted || ir.Accepted != half {
+		t.Fatalf("life A ingest: code=%d accepted=%d", code, ir.Accepted)
+	}
+	tsA.Close()
+	srvA.Close() // abrupt: queued frames may never reach the runtime
+
+	// Life B: recovery must replay all acknowledged frames and land on the
+	// reference's decision for frame half-1, bit for bit.
+	srvB, tsB, regB := newTestServer(t, durable)
+	if srvB.FeedCount() != 1 {
+		t.Fatalf("recovered %d feeds, want 1", srvB.FeedCount())
+	}
+	waitFor(t, 10*time.Second, "recovery replay", func() bool {
+		m, ok := regB.Snapshot().Get("server_frames_recovered_total")
+		return ok && m.Value == half
+	})
+	waitFor(t, 10*time.Second, "recovered decision", func() bool {
+		code, body, _ := doReq(t, http.MethodGet, tsB.URL+"/v1/feeds/room/occupancy", nil)
+		if code != http.StatusOK {
+			return false
+		}
+		var ev server.Event
+		if err := json.Unmarshal(body, &ev); err != nil {
+			return false
+		}
+		return ev.Seq == half-1
+	})
+	code, body, _ := doReq(t, http.MethodGet, tsB.URL+"/v1/feeds/room/occupancy", nil)
+	if code != http.StatusOK {
+		t.Fatalf("occupancy after recovery: %d", code)
+	}
+	var got server.Event
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !sameEvent(got, want[half-1]) {
+		t.Fatalf("recovered decision diverged:\n got %+v\nwant %+v", got, want[half-1])
+	}
+
+	// The second half must continue bit-identically: same indices, same
+	// float bits, as if the crash never happened.
+	bch, bcancel := streamEvents(t, tsB.URL, "room")
+	defer bcancel()
+	if code, ir, _ := ingest(t, tsB.URL, "room", all[half:]); code != http.StatusAccepted || ir.Accepted != half {
+		t.Fatalf("life B ingest: code=%d accepted=%d", code, ir.Accepted)
+	}
+	for i, ev := range collect(t, bch, half) {
+		if !sameEvent(ev, want[half+i]) {
+			t.Fatalf("post-recovery event %d diverged:\n got %+v\nwant %+v", i, ev, want[half+i])
+		}
+	}
+}
+
+// TestReRegisterAfterCloseRecovers drives the same-process variant of
+// recovery: a feed whose queue was drained and closed re-registers and must
+// resume from its logged history with continuing indices.
+func TestReRegisterAfterCloseRecovers(t *testing.T) {
+	dir := t.TempDir()
+	_, ts, reg := newTestServer(t, func(c *server.Config) {
+		c.Durability = framelog.Config{Dir: dir, Fsync: framelog.FsyncInterval, Interval: 5 * time.Millisecond}
+	})
+	doReq(t, http.MethodPut, ts.URL+"/v1/feeds/room", nil)
+	if code, _, _ := ingest(t, ts.URL, "room", durableFrames(8, 0)); code != http.StatusAccepted {
+		t.Fatalf("ingest: %d", code)
+	}
+	doReq(t, http.MethodDelete, ts.URL+"/v1/feeds/room", nil)
+	waitFor(t, 5*time.Second, "feed close", func() bool {
+		code, _, _ := doReq(t, http.MethodGet, ts.URL+"/v1/feeds/room/occupancy", nil)
+		return code == http.StatusNotFound
+	})
+
+	doReq(t, http.MethodPut, ts.URL+"/v1/feeds/room", nil)
+	waitFor(t, 5*time.Second, "re-register replay", func() bool {
+		m, ok := reg.Snapshot().Get("server_frames_recovered_total")
+		return ok && m.Value == 8
+	})
+	// New frames continue the logged index sequence.
+	if code, _, _ := ingest(t, ts.URL, "room", durableFrames(1, 8)); code != http.StatusAccepted {
+		t.Fatalf("post-recovery ingest: %d", code)
+	}
+	waitFor(t, 5*time.Second, "continued decision", func() bool {
+		code, body, _ := doReq(t, http.MethodGet, ts.URL+"/v1/feeds/room/occupancy", nil)
+		if code != http.StatusOK {
+			return false
+		}
+		var ev server.Event
+		return json.Unmarshal(body, &ev) == nil && ev.Seq == 8
+	})
+}
+
+// TestTeardownAccountingAndDurableDrops wedges a feed's runtime, force-closes
+// the server with frames still queued, and checks the books balance:
+//
+//	ingested == decisions + dropped_teardown
+//
+// and — because frames hit the log before the queue — a successor recovers
+// every acknowledged frame, including the ones dropped on teardown.
+func TestTeardownAccountingAndDurableDrops(t *testing.T) {
+	const queued = 32
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	srv, ts, reg := newTestServer(t, func(c *server.Config) {
+		c.Primary = gatePred{gate: gate}
+		c.QueueDepth = queued + 4
+		c.Durability = framelog.Config{Dir: dir, Fsync: framelog.FsyncOff}
+	})
+	doReq(t, http.MethodPut, ts.URL+"/v1/feeds/room", nil)
+	if code, ir, _ := ingest(t, ts.URL, "room", durableFrames(queued+1, 0)); code != http.StatusAccepted || ir.Accepted != queued+1 {
+		t.Fatalf("ingest: code=%d accepted=%d", code, ir.Accepted)
+	}
+
+	// Close cancels the feed contexts first, then waits; the runtime is
+	// wedged in the first prediction until the gate opens, after which the
+	// dead context halts the drain with frames still queued.
+	closed := make(chan struct{})
+	go func() { srv.Close(); close(closed) }()
+	waitFor(t, 5*time.Second, "drain begins", srv.Draining)
+	time.Sleep(50 * time.Millisecond) // let Close cancel the feed context
+	close(gate)
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server close wedged")
+	}
+
+	snap := reg.Snapshot()
+	get := func(name string) float64 {
+		t.Helper()
+		m, ok := snap.Get(name)
+		if !ok {
+			t.Fatalf("metric %s missing", name)
+		}
+		return m.Value
+	}
+	ingested := get("server_frames_ingested_total")
+	decisions := get("server_decisions_total")
+	dropped := get("server_frames_dropped_teardown_total")
+	if ingested != decisions+dropped {
+		t.Fatalf("books do not balance: ingested=%v decisions=%v dropped=%v", ingested, decisions, dropped)
+	}
+	if dropped == 0 {
+		t.Fatalf("expected teardown drops with a wedged runtime (ingested=%v decisions=%v)", ingested, decisions)
+	}
+
+	// Every acknowledged frame — dropped or not — recovers in the next life.
+	_, _, reg2 := newTestServer(t, func(c *server.Config) {
+		c.Durability = framelog.Config{Dir: dir, Fsync: framelog.FsyncOff}
+	})
+	waitFor(t, 10*time.Second, "successor replay", func() bool {
+		m, ok := reg2.Snapshot().Get("server_frames_recovered_total")
+		return ok && m.Value == queued+1
+	})
+}
+
+// TestDurabilityRejectsTraversalFeedIDs pins the feed-id validation against
+// names that would navigate the log directory tree.
+func TestDurabilityRejectsTraversalFeedIDs(t *testing.T) {
+	_, ts, _ := newTestServer(t, func(c *server.Config) {
+		c.Durability = framelog.Config{Dir: t.TempDir(), Fsync: framelog.FsyncOff}
+	})
+	for _, id := range []string{".", ".."} {
+		code, _, _ := doReq(t, http.MethodPut, ts.URL+"/v1/feeds/"+id, nil)
+		// "." and ".." collapse in URL path cleaning to a redirect or the
+		// list route — any outcome but a successful registration is fine.
+		if code == http.StatusCreated {
+			t.Fatalf("feed id %q registered", id)
+		}
+	}
+}

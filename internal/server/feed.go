@@ -3,10 +3,12 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/framelog"
 	"repro/internal/stream"
 )
 
@@ -65,6 +67,13 @@ type feed struct {
 	haveLast  bool
 	subs      map[*subscriber]struct{}
 
+	// log is the feed's durable frame log (nil without durability). Appends
+	// happen under mu, ahead of the queue send, so the log order is exactly
+	// the accepted frame order. recoverN is how many frames run must replay
+	// from the log before consuming the queue.
+	log      *framelog.Writer
+	recoverN int
+
 	done chan struct{}
 }
 
@@ -84,6 +93,15 @@ func (s *Server) newFeed(id string, seed int64) (*feed, error) {
 	}
 	if _, err := stream.New(f.runtimeConfig()); err != nil {
 		return nil, err
+	}
+	if s.cfg.Durability.Enabled() {
+		w, rec, err := framelog.Open(s.cfg.Durability, id)
+		if err != nil {
+			return nil, err
+		}
+		f.log = w
+		f.recoverN = rec.Frames
+		f.nextIndex = rec.NextIndex
 	}
 	return f, nil
 }
@@ -117,51 +135,76 @@ func (f *feed) runtimeConfig() stream.Config {
 	return sc
 }
 
+// publish records one decision as the feed's latest and fans it out to the
+// subscribers. It is the single path events take, live or recovered.
+func (f *feed) publish(fr fault.Frame, d stream.Decision) {
+	s := f.srv
+	ev := Event{
+		Seq:        int64(fr.Index),
+		Time:       fr.Rec.Time,
+		P:          d.P,
+		Pred:       d.Pred,
+		State:      d.State,
+		Flipped:    d.Flipped,
+		Mode:       d.Mode.String(),
+		CSIImputed: d.CSIImputed,
+		EnvImputed: d.EnvImputed,
+	}
+	s.m.decisions.Inc()
+	f.mu.Lock()
+	transition := !f.haveLast || f.last.State != d.State
+	f.last = ev
+	f.haveLast = true
+	for sub := range f.subs {
+		if !sub.all && !transition {
+			continue
+		}
+		select {
+		case sub.ch <- ev:
+		default:
+			// Slow subscriber: drop, visibly. The seq gap tells the
+			// client; the counter tells the operator.
+			s.m.eventsDropped.Inc()
+		}
+	}
+	f.mu.Unlock()
+}
+
 // run owns the feed's runtime until the queue closes (drain/unregister),
-// the context dies, or the idle watchdog evicts it.
+// the context dies, or the idle watchdog evicts it. With durability on, it
+// first replays the feed's logged frames through the runtime — rebuilding
+// the exact decision state of the previous life — before consuming live
+// ingest, whose frames queue up behind the replay in accepted order.
 func (f *feed) run(ctx context.Context) {
 	s := f.srv
 	defer s.wg.Done()
 	defer close(f.done)
 
 	rt, err := stream.New(f.runtimeConfig())
+	if err == nil && f.recoverN > 0 {
+		var n int
+		n, err = framelog.Replay(s.cfg.Durability.Dir, f.id, f.recoverN, func(fr fault.Frame) error {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			f.publish(fr, rt.Process(fr))
+			s.m.framesRecovered.Inc()
+			return nil
+		})
+		if err == nil && n != f.recoverN {
+			err = fmt.Errorf("server: feed %q replayed %d of %d logged frames", f.id, n, f.recoverN)
+		}
+	}
 	if err != nil {
-		// newFeed validated this config; reaching here is a programming
-		// error, but a dead feed must still leave the routing table.
+		// newFeed validated the config and the log, so reaching here means
+		// the world changed underneath us (or a programming error); either
+		// way a dead feed must still leave the routing table.
 		s.remove(f)
-		f.closeSubs()
+		f.teardown()
 		return
 	}
 	err = rt.Run(ctx, f.queue, func(fr fault.Frame, d stream.Decision) error {
-		ev := Event{
-			Seq:        int64(fr.Index),
-			Time:       fr.Rec.Time,
-			P:          d.P,
-			Pred:       d.Pred,
-			State:      d.State,
-			Flipped:    d.Flipped,
-			Mode:       d.Mode.String(),
-			CSIImputed: d.CSIImputed,
-			EnvImputed: d.EnvImputed,
-		}
-		s.m.decisions.Inc()
-		f.mu.Lock()
-		transition := !f.haveLast || f.last.State != d.State
-		f.last = ev
-		f.haveLast = true
-		for sub := range f.subs {
-			if !sub.all && !transition {
-				continue
-			}
-			select {
-			case sub.ch <- ev:
-			default:
-				// Slow subscriber: drop, visibly. The seq gap tells the
-				// client; the counter tells the operator.
-				s.m.eventsDropped.Inc()
-			}
-		}
-		f.mu.Unlock()
+		f.publish(fr, d)
 		return nil
 	})
 
@@ -171,11 +214,36 @@ func (f *feed) run(ctx context.Context) {
 		s.m.feedsClosed.Inc()
 	}
 	s.remove(f)
-	// Stop accepting frames: eviction and context death leave the queue
-	// channel open, so mark the feed closed and let producers see 404.
+	f.teardown()
+}
+
+// teardown ends the feed's serving life: it stops ingest (eviction and
+// context death leave the queue channel open, so producers must see the
+// closed flag), accounts for every accepted frame the runtime never
+// consumed — a clean drain leaves none; eviction, context death, and
+// replay failure may not — seals the log so those frames remain durably
+// replayable next start, and ends every subscriber stream.
+func (f *feed) teardown() {
 	f.mu.Lock()
 	f.closed = true
 	f.mu.Unlock()
+	dropped := 0
+drain:
+	for {
+		select {
+		case _, ok := <-f.queue:
+			if !ok {
+				break drain
+			}
+			dropped++
+		default:
+			break drain
+		}
+	}
+	f.srv.m.droppedTeardown.Add(int64(dropped))
+	if f.log != nil {
+		_ = f.log.Close()
+	}
 	f.closeSubs()
 }
 
@@ -242,6 +310,17 @@ type ingestResult struct {
 // accepted (they are already in the queue and will get decisions), the
 // rest are reported back for the client to retry. The second return is
 // false when the feed has ended.
+//
+// With durability on, the whole accepted prefix is appended to the log in
+// one batched write *before* any of it is made visible to the runtime, so
+// an accepted (2xx-acknowledged) frame is always replayable and the
+// durability tax is one syscall (plus at most one fsync) per ingest
+// request, not per frame. Capacity is decided first — all producers hold
+// f.mu and the consumer only drains, so len(queue) can't shrink the room
+// between the check and the sends — which keeps the log free of frames the
+// queue then rejects: log order is exactly the accepted frame order. A
+// failed batch append rejects the entire prefix (nothing was made visible,
+// nextIndex is untouched, and a torn tail on disk repairs on restart).
 func (f *feed) enqueue(frames []fault.Frame) (ingestResult, bool) {
 	s := f.srv
 	f.mu.Lock()
@@ -265,20 +344,26 @@ func (f *feed) enqueue(frames []fault.Frame) (ingestResult, bool) {
 			res.retry = time.Duration(float64(len(frames)-allowed) / rate * float64(time.Second))
 		}
 	}
+	if room := cap(f.queue) - len(f.queue); allowed > room {
+		allowed = room
+		res.reason = "queue_full"
+		res.retry = time.Second
+	}
 	for i := range frames[:allowed] {
-		frames[i].Index = f.nextIndex
-		select {
-		case f.queue <- frames[i]:
-			f.nextIndex++
-			res.accepted++
-		default:
-			res.reason = "queue_full"
+		frames[i].Index = f.nextIndex + i
+	}
+	if f.log != nil && allowed > 0 {
+		if err := f.log.AppendBatch(frames[:allowed]); err != nil {
+			allowed = 0
+			res.reason = "log_error"
 			res.retry = time.Second
 		}
-		if res.reason == "queue_full" {
-			break
-		}
 	}
+	for i := range frames[:allowed] {
+		f.queue <- frames[i]
+	}
+	f.nextIndex += allowed
+	res.accepted = allowed
 	f.tokens -= float64(res.accepted)
 	res.rejected = len(frames) - res.accepted
 	s.m.framesIngested.Add(int64(res.accepted))
@@ -287,6 +372,8 @@ func (f *feed) enqueue(frames []fault.Frame) (ingestResult, bool) {
 		s.m.rejQueueFull.Add(int64(res.rejected))
 	case "rate_limited":
 		s.m.rejRateLimited.Add(int64(res.rejected))
+	case "log_error":
+		s.m.rejLogError.Add(int64(res.rejected))
 	}
 	return res, true
 }

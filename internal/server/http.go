@@ -223,7 +223,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if res.rejected > 0 {
 		secs := int(res.retry/time.Second) + 1
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		writeJSON(w, http.StatusTooManyRequests, body)
+		code := http.StatusTooManyRequests
+		if res.reason == "log_error" {
+			// The durable log refused the append: a server-side fault, not
+			// client pressure. Accepted frames in the batch are still logged
+			// and acknowledged; the client retries the rest.
+			code = http.StatusInternalServerError
+		}
+		writeJSON(w, code, body)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, body)
@@ -293,9 +300,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// validFeedID accepts 1-128 chars of [a-zA-Z0-9._-].
+// validFeedID accepts 1-128 chars of [a-zA-Z0-9._-], excluding the path
+// navigation names "." and ".." — feed IDs become directory names under the
+// durable log root, and those two would escape or collide with it.
 func validFeedID(id string) bool {
-	if len(id) == 0 || len(id) > 128 {
+	if len(id) == 0 || len(id) > 128 || id == "." || id == ".." {
 		return false
 	}
 	for i := 0; i < len(id); i++ {

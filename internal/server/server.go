@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/framelog"
 	"repro/internal/obs"
 	"repro/internal/stream"
 )
@@ -79,6 +80,16 @@ type Config struct {
 	Seed int64
 	// Observer receives the server_* metrics. Nil disables observability.
 	Observer obs.Observer
+
+	// Durability, when its Dir is set, puts a per-feed append-only frame
+	// log (internal/framelog) under the ingest path: every frame is
+	// appended — straight to the kernel, ahead of the queue — before it is
+	// acknowledged, and New replays each feed's log through a fresh
+	// runtime on startup, recovering every feed to the bit-identical
+	// decision state an uninterrupted run would hold. The zero value
+	// disables durability. The Observer above also receives the
+	// framelog_* series.
+	Durability framelog.Config
 }
 
 // Validate reports whether the configuration is serveable.
@@ -92,6 +103,9 @@ func (c Config) Validate() error {
 	}
 	if c.RequestTimeout < 0 {
 		return fmt.Errorf("server: negative RequestTimeout %v", c.RequestTimeout)
+	}
+	if err := c.Durability.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -125,17 +139,21 @@ func (c Config) withDefaults() Config {
 // metrics are the server's obs instruments; all nil (no-op) without an
 // Observer.
 type metrics struct {
-	activeFeeds    *obs.Gauge
-	feedsCreated   *obs.Counter
-	feedsEvicted   *obs.Counter
-	feedsClosed    *obs.Counter
-	framesIngested *obs.Counter
-	rejQueueFull   *obs.Counter
-	rejRateLimited *obs.Counter
-	rejDraining    *obs.Counter
-	decisions      *obs.Counter
-	eventsDropped  *obs.Counter
-	reqLatency     *obs.Histogram
+	activeFeeds     *obs.Gauge
+	feedsCreated    *obs.Counter
+	feedsEvicted    *obs.Counter
+	feedsClosed     *obs.Counter
+	framesIngested  *obs.Counter
+	rejQueueFull    *obs.Counter
+	rejRateLimited  *obs.Counter
+	rejLogError     *obs.Counter
+	rejDraining     *obs.Counter
+	decisions       *obs.Counter
+	eventsDropped   *obs.Counter
+	droppedTeardown *obs.Counter
+	feedsRecovered  *obs.Counter
+	framesRecovered *obs.Counter
+	reqLatency      *obs.Histogram
 }
 
 func newMetrics(o obs.Observer) metrics {
@@ -143,17 +161,21 @@ func newMetrics(o obs.Observer) metrics {
 		return metrics{}
 	}
 	return metrics{
-		activeFeeds:    o.Gauge("server_active_feeds", "feeds currently registered"),
-		feedsCreated:   o.Counter("server_feeds_created_total", "feeds registered"),
-		feedsEvicted:   o.Counter("server_feeds_evicted_total", "feeds torn down by the idle watchdog"),
-		feedsClosed:    o.Counter("server_feeds_closed_total", "feeds closed by the client or drain"),
-		framesIngested: o.Counter("server_frames_ingested_total", "frames accepted into feed queues"),
-		rejQueueFull:   o.Counter("server_rejected_queue_full_total", "frames rejected because the feed queue was full"),
-		rejRateLimited: o.Counter("server_rejected_rate_limited_total", "frames rejected by the per-feed token bucket"),
-		rejDraining:    o.Counter("server_rejected_draining_total", "requests rejected while draining"),
-		decisions:      o.Counter("server_decisions_total", "decisions produced across all feeds"),
-		eventsDropped:  o.Counter("server_stream_events_dropped_total", "stream events dropped on slow subscribers"),
-		reqLatency:     o.Histogram("server_request_seconds", "non-streaming request latency", obs.ExpBuckets(1e-4, 4, 10)),
+		activeFeeds:     o.Gauge("server_active_feeds", "feeds currently registered"),
+		feedsCreated:    o.Counter("server_feeds_created_total", "feeds registered"),
+		feedsEvicted:    o.Counter("server_feeds_evicted_total", "feeds torn down by the idle watchdog"),
+		feedsClosed:     o.Counter("server_feeds_closed_total", "feeds closed by the client or drain"),
+		framesIngested:  o.Counter("server_frames_ingested_total", "frames accepted into feed queues"),
+		rejQueueFull:    o.Counter("server_rejected_queue_full_total", "frames rejected because the feed queue was full"),
+		rejRateLimited:  o.Counter("server_rejected_rate_limited_total", "frames rejected by the per-feed token bucket"),
+		rejLogError:     o.Counter("server_rejected_log_error_total", "frames rejected because the durable log append failed"),
+		rejDraining:     o.Counter("server_rejected_draining_total", "requests rejected while draining"),
+		decisions:       o.Counter("server_decisions_total", "decisions produced across all feeds"),
+		eventsDropped:   o.Counter("server_stream_events_dropped_total", "stream events dropped on slow subscribers"),
+		droppedTeardown: o.Counter("server_frames_dropped_teardown_total", "accepted frames still queued when their feed tore down (durable in the log when durability is on)"),
+		feedsRecovered:  o.Counter("server_feeds_recovered_total", "feeds rebuilt from the frame log at startup"),
+		framesRecovered: o.Counter("server_frames_recovered_total", "frames replayed from the frame log into feed runtimes"),
+		reqLatency:      o.Histogram("server_request_seconds", "non-streaming request latency", obs.ExpBuckets(1e-4, 4, 10)),
 	}
 }
 
@@ -174,20 +196,52 @@ type Server struct {
 	stop    context.CancelFunc
 }
 
-// New builds a Server. The configuration must Validate.
+// New builds a Server. The configuration must Validate. With durability
+// configured, every feed found in the log directory is re-registered and
+// its log replayed through a fresh runtime before New returns the server —
+// so the first request after a restart already sees the recovered state. A
+// feed whose log is corrupt before its tail fails New (acknowledged frames
+// are never silently dropped; move the feed's directory aside to proceed).
 func New(cfg Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	ctx, stop := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		m:       newMetrics(cfg.Observer),
 		feeds:   make(map[string]*feed),
 		baseCtx: ctx,
 		stop:    stop,
-	}, nil
+	}
+	if cfg.Durability.Enabled() {
+		if err := s.recoverFeeds(); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// recoverFeeds re-registers every feed present in the log directory. The
+// log replay itself runs on each feed's own goroutine (see feed.run), so N
+// recovered feeds replay concurrently, bounded by the shared engine.
+func (s *Server) recoverFeeds() error {
+	ids, err := framelog.ListFeeds(s.cfg.Durability.Dir)
+	if err != nil {
+		return fmt.Errorf("server: listing frame logs: %w", err)
+	}
+	for _, id := range ids {
+		if !validFeedID(id) {
+			return fmt.Errorf("server: frame log holds invalid feed id %q", id)
+		}
+		if _, _, err := s.register(id); err != nil {
+			return fmt.Errorf("server: recovering feed %q: %w", id, err)
+		}
+		s.m.feedsRecovered.Inc()
+	}
+	return nil
 }
 
 // FeedCount returns the number of registered feeds.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/framelog"
 	"repro/internal/infer"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -50,6 +51,51 @@ type ServeConfig struct {
 	DrainTimeout time.Duration
 	// Seed drives per-feed backoff jitter.
 	Seed int64
+
+	// Durability, when its Dir is set, gives every feed a crash-safe frame
+	// log: accepted frames are appended before they are acknowledged, and a
+	// restarted server replays each feed's log to the exact pre-crash
+	// decision state. The zero value disables durability.
+	Durability DurabilityConfig
+}
+
+// DurabilityConfig is the public face of the per-feed frame log (see
+// internal/framelog). The zero value means "no durability".
+type DurabilityConfig struct {
+	// Dir is the log root; each feed logs to Dir/<feedID>/. Empty disables
+	// durability.
+	Dir string
+	// Fsync is the sync policy: "always" (survive power loss per frame),
+	// "interval" (default; bound the power-loss window at FsyncInterval) or
+	// "off". A SIGKILL'd process loses nothing under any policy — appends
+	// bypass user-space buffering — the policy only matters for power loss.
+	Fsync string
+	// FsyncInterval is the maximum time between syncs under "interval"
+	// (default 100ms).
+	FsyncInterval time.Duration
+	// SegmentMaxBytes rotates log segments at this size (default 64 MiB).
+	SegmentMaxBytes int64
+	// MaxSegments, when > 0, caps retained segments per feed; recovery then
+	// replays only the retained suffix. 0 retains everything.
+	MaxSegments int
+}
+
+// Validate reports whether the durability configuration is usable; the zero
+// value is valid (durability off).
+func (c DurabilityConfig) Validate() error {
+	return c.framelog(nil).Validate()
+}
+
+// framelog lowers the public config to the internal one.
+func (c DurabilityConfig) framelog(o obs.Observer) framelog.Config {
+	return framelog.Config{
+		Dir:             c.Dir,
+		Fsync:           c.Fsync,
+		Interval:        c.FsyncInterval,
+		SegmentMaxBytes: c.SegmentMaxBytes,
+		MaxSegments:     c.MaxSegments,
+		Observer:        o,
+	}
 }
 
 // Validate reports whether the configuration is serveable.
@@ -63,7 +109,7 @@ func (c ServeConfig) Validate() error {
 	if _, err := infer.ParsePrecision(c.Precision); err != nil {
 		return err
 	}
-	return nil
+	return c.Durability.Validate()
 }
 
 // Server is a bound, ready-to-run occupancy service: the multi-tenant
@@ -126,6 +172,7 @@ func NewServer(d *Detector, cfg ServeConfig) (*Server, error) {
 		StreamBuffer:   cfg.StreamBuffer,
 		Seed:           cfg.Seed,
 		Observer:       reg,
+		Durability:     cfg.Durability.framelog(reg),
 	})
 	if err != nil {
 		for _, e := range engines {
