@@ -661,7 +661,7 @@ func BenchmarkFrameLogAppend(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer w.Close()
-			b.SetBytes(559) // length u32 + CRC32 + 551-byte frame payload
+			b.SetBytes(565) // length u32 + CRC32 + 557-byte frame payload
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -685,14 +685,14 @@ func BenchmarkFrameLogAppend(b *testing.B) {
 		for i := range batch {
 			batch[i] = frame
 		}
-		b.SetBytes(559)
+		b.SetBytes(565)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i += len(batch) {
 			for k := range batch {
 				batch[k].Index = i + k
 			}
-			if err := w.AppendBatch(batch); err != nil {
+			if _, err := w.AppendBatch(batch); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -16,10 +16,12 @@
 //   - segments rotate at a size bound and old segments can be retired under
 //     a retention cap, so one feed cannot grow a file without bound;
 //   - the fsync policy is explicit — "always" survives power loss per
-//     frame, "interval" bounds the power-loss window while keeping the
-//     append path cheap (a SIGKILL'd process loses nothing either way:
-//     appends go straight to the kernel, never a user-space buffer), and
-//     "off" leaves syncing to the OS entirely;
+//     frame, "interval" bounds the power-loss window while the append
+//     stream keeps flowing (the deadline is checked per append, so a
+//     burst's trailing frames stay unsynced until the next append, rotate,
+//     Flush or Close) and keeps the append path cheap (a SIGKILL'd process
+//     loses nothing either way: appends go straight to the kernel, never a
+//     user-space buffer), and "off" leaves syncing to the OS entirely;
 //   - Open repairs a torn tail by truncating the last segment to its final
 //     valid record, so recovery after a mid-append crash is clean, while
 //     corruption anywhere *before* the tail — acknowledged data — is an
@@ -63,7 +65,10 @@ type Config struct {
 	// "off".
 	Fsync string
 	// Interval is the maximum time between syncs under the "interval"
-	// policy (default 100ms). Ignored otherwise.
+	// policy (default 100ms). The deadline is checked on the append path,
+	// so it bounds the power-loss window only while appends keep arriving:
+	// the trailing frames of a burst stay unsynced until the next append,
+	// rotation, Flush or Close. Ignored under the other policies.
 	Interval time.Duration
 	// SegmentMaxBytes rotates the active segment once it reaches this size
 	// (default 64 MiB).

@@ -2,6 +2,7 @@ package framelog
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand"
 	"os"
@@ -463,8 +464,8 @@ func TestAppendBatchMatchesAppend(t *testing.T) {
 			for i := from; i < from+batch && i < n; i++ {
 				frames = append(frames, mkFrame(i))
 			}
-			if err := bw.AppendBatch(frames); err != nil {
-				t.Fatalf("batch=%d from=%d: %v", batch, from, err)
+			if n, err := bw.AppendBatch(frames); err != nil || n != len(frames) {
+				t.Fatalf("batch=%d from=%d: n=%d err=%v", batch, from, n, err)
 			}
 		}
 		if err := bw.Close(); err != nil {
@@ -498,6 +499,318 @@ func TestAppendBatchMatchesAppend(t *testing.T) {
 			if !framesEqual(got[i], mkFrame(i)) {
 				t.Fatalf("batch=%d: frame %d not bit-faithful", batch, i)
 			}
+		}
+	}
+}
+
+// TestOpenAfterCrashDuringRotation pins the recovery index against a crash
+// between createSegment and its header landing: the new last segment is
+// empty (or mid-header) and every record lives in earlier segments.
+// Recovery must hand out NextIndex = LastIndex+1, not 0 — reusing logged
+// indices would make post-recovery appends collide with acknowledged
+// frames and break replay.
+func TestOpenAfterCrashDuringRotation(t *testing.T) {
+	for _, junk := range [][]byte{nil, {0x4F, 0x46, 0x4C}} {
+		dir := t.TempDir()
+		w, _, err := Open(Config{Dir: dir, Fsync: FsyncOff}, "f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendN(t, w, 0, 12)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(feedDir(dir, "f"), segmentName(1)), junk, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		w2, rec, err := Open(Config{Dir: dir, Fsync: FsyncOff}, "f")
+		if err != nil {
+			t.Fatalf("junk=%d: %v", len(junk), err)
+		}
+		if rec.Frames != 12 || rec.LastIndex != 11 || rec.NextIndex != 12 {
+			t.Fatalf("junk=%d: recovery %+v, want Frames=12 LastIndex=11 NextIndex=12", len(junk), rec)
+		}
+		if wantTorn := len(junk) > 0; rec.TornTail != wantTorn {
+			t.Fatalf("junk=%d: TornTail=%v, want %v", len(junk), rec.TornTail, wantTorn)
+		}
+		appendN(t, w2, rec.NextIndex, 3)
+		if err := w2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got := replayAll(t, dir, "f")
+		if len(got) != 15 {
+			t.Fatalf("junk=%d: replayed %d frames, want 15", len(junk), len(got))
+		}
+		for i, g := range got {
+			if g.Index != i {
+				t.Fatalf("junk=%d: index %d at position %d — indices reused after rotation crash", len(junk), g.Index, i)
+			}
+		}
+	}
+}
+
+// tornWriteFile makes the next armed Write land only half its bytes before
+// failing, emulating ENOSPC mid-write.
+type tornWriteFile struct {
+	segFile
+	arm bool
+}
+
+func (f *tornWriteFile) Write(p []byte) (int, error) {
+	if f.arm {
+		f.arm = false
+		n, _ := f.segFile.Write(p[:len(p)/2])
+		return n, errors.New("injected: no space left on device")
+	}
+	return f.segFile.Write(p)
+}
+
+// TestTornWriteRepairedInPlace pins the writer's behaviour after a failed
+// Write that left partial bytes on disk: the torn bytes must be truncated
+// away before any further append, otherwise the next append buries them
+// mid-segment and the next Open fails with ErrCorrupt.
+func TestTornWriteRepairedInPlace(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := Open(Config{Dir: dir, Fsync: FsyncOff}, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 5)
+	w.f = &tornWriteFile{segFile: w.f, arm: true}
+	fr := mkFrame(5)
+	if err := w.Append(&fr); err == nil {
+		t.Fatal("injected write failure not reported")
+	}
+	// The writer stays usable and the retry lands on a record boundary.
+	appendN(t, w, 5, 3)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, rec, err := Open(Config{Dir: dir, Fsync: FsyncOff}, "f")
+	if err != nil {
+		t.Fatalf("reopen after torn-write repair: %v", err)
+	}
+	defer w2.Close()
+	if rec.Frames != 8 || rec.NextIndex != 8 || rec.TornTail {
+		t.Fatalf("recovery %+v, want 8 clean frames", rec)
+	}
+	for i, g := range replayAll(t, dir, "f") {
+		if !framesEqual(g, mkFrame(i)) {
+			t.Fatalf("frame %d not bit-faithful after in-place repair", i)
+		}
+	}
+}
+
+// countdownWriteFile fails (with a partial write) the Nth record write
+// across every segment the writer rotates through: the countdown is shared
+// pointer state so the injection survives rotation.
+type countdownWriteFile struct {
+	segFile
+	left *int
+}
+
+func (f *countdownWriteFile) Write(p []byte) (int, error) {
+	*f.left--
+	if *f.left == 0 {
+		n, _ := f.segFile.Write(p[:len(p)/2])
+		return n, errors.New("injected: write failed")
+	}
+	return f.segFile.Write(p)
+}
+
+// TestAppendBatchReportsLandedPrefix pins the batch contract the serving
+// layer depends on: a batch straddling a rotation issues one write per
+// segment, and when a later write fails the earlier chunks are already
+// durable in sealed segments. AppendBatch must report exactly that landed
+// prefix so the caller acknowledges it — treating it as rejected would let
+// a client retry duplicate the frames under colliding indices.
+func TestAppendBatchReportsLandedPrefix(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Fsync: FsyncOff, SegmentMaxBytes: int64(segHeaderLen + 4*recordLen)}
+	w, _, err := Open(cfg, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := 2 // first chunk lands, second (post-rotation) tears
+	wrap := func(sf segFile) segFile { return &countdownWriteFile{segFile: sf, left: &left} }
+	w.f = wrap(w.f)
+	w.wrap = wrap
+
+	frames := make([]fault.Frame, 10)
+	for i := range frames {
+		frames[i] = mkFrame(i)
+	}
+	n, err := w.AppendBatch(frames)
+	if err == nil {
+		t.Fatal("injected chunk failure not reported")
+	}
+	if n != 4 {
+		t.Fatalf("AppendBatch reported %d landed frames, want the 4 in the sealed segment", n)
+	}
+	// Only the landed prefix is visible to a reader.
+	if got := replayAll(t, dir, "f"); len(got) != 4 {
+		t.Fatalf("replay after failed batch: %d frames, want 4", len(got))
+	}
+	// Retrying the rejected suffix continues cleanly on a record boundary.
+	if n, err := w.AppendBatch(frames[4:]); err != nil || n != 6 {
+		t.Fatalf("retry: n=%d err=%v", n, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, dir, "f")
+	if len(got) != 10 {
+		t.Fatalf("after retry: %d frames, want 10", len(got))
+	}
+	for i, g := range got {
+		if !framesEqual(g, mkFrame(i)) {
+			t.Fatalf("frame %d not bit-faithful across failed batch + retry", i)
+		}
+	}
+}
+
+// failSyncFile fails the next armed Sync.
+type failSyncFile struct {
+	segFile
+	arm bool
+}
+
+func (f *failSyncFile) Sync() error {
+	if f.arm {
+		f.arm = false
+		return errors.New("injected: fsync failed")
+	}
+	return f.segFile.Sync()
+}
+
+// TestSyncFailureLatchesWriter pins the fsync-gate semantics: after a
+// failed fsync the durability of everything since the last successful sync
+// is unknowable, so the writer must reject all further appends rather than
+// keep acknowledging frames it cannot promise to replay.
+func TestSyncFailureLatchesWriter(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := Open(Config{Dir: dir, Fsync: FsyncAlways}, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 1)
+	w.f = &failSyncFile{segFile: w.f, arm: true}
+	fr := mkFrame(1)
+	if err := w.Append(&fr); err == nil {
+		t.Fatal("injected sync failure not reported")
+	}
+	fr2 := mkFrame(2)
+	if err := w.Append(&fr2); err == nil {
+		t.Fatal("append accepted by a failed writer")
+	}
+	if n, err := w.AppendBatch([]fault.Frame{mkFrame(2)}); err == nil || n != 0 {
+		t.Fatalf("batch accepted by a failed writer: n=%d err=%v", n, err)
+	}
+	w.Close()
+	// The unacked record whose sync failed is still in the log (its write
+	// landed); reopening resumes past it with no index collision.
+	_, rec, err := Open(Config{Dir: dir, Fsync: FsyncAlways}, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Frames != 2 || rec.NextIndex != 2 {
+		t.Fatalf("recovery %+v, want the sync-failed record retained and NextIndex=2", rec)
+	}
+}
+
+// TestHoldRetentionDefersCap pins the recovery-replay guard: while
+// retention is held, rotations retire nothing (every logged frame stays
+// replayable); releasing applies the cap immediately and it stays enforced
+// afterwards.
+func TestHoldRetentionDefersCap(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Fsync: FsyncOff, SegmentMaxBytes: int64(segHeaderLen + 4*recordLen), MaxSegments: 2}
+	w, _, err := Open(cfg, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.HoldRetention()
+	appendN(t, w, 0, 40)
+	segs, err := listSegments(feedDir(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) <= cfg.MaxSegments {
+		t.Fatalf("hold did not defer retention: %d segments", len(segs))
+	}
+	if got := replayAll(t, dir, "f"); len(got) != 40 {
+		t.Fatalf("replay under hold: %d frames, want all 40", len(got))
+	}
+	if err := w.ReleaseRetention(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err = listSegments(feedDir(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) > cfg.MaxSegments {
+		t.Fatalf("release kept %d segments, cap %d", len(segs), cfg.MaxSegments)
+	}
+	appendN(t, w, 40, 5)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err = listSegments(feedDir(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) > cfg.MaxSegments {
+		t.Fatalf("cap not enforced after release: %d segments", len(segs))
+	}
+	got := replayAll(t, dir, "f")
+	if len(got) == 0 || got[len(got)-1].Index != 44 {
+		t.Fatalf("retained suffix ends at %d, want 44", got[len(got)-1].Index)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Index != got[i-1].Index+1 {
+			t.Fatalf("retained indices not contiguous at %d", i)
+		}
+	}
+}
+
+// TestReplayToleratesSegmentRetiredMidReplay emulates the race between an
+// offline replay and a live writer's retention cap: a segment listed at
+// replay start is deleted before the replay reads it. The replay must skip
+// it — exactly what a listing taken after the retirement would do — not
+// fail as if the log were corrupt.
+func TestReplayToleratesSegmentRetiredMidReplay(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Fsync: FsyncOff, SegmentMaxBytes: int64(segHeaderLen + 4*recordLen)}
+	w, _, err := Open(cfg, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 12) // segments 0,1,2 with 4 records each
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []fault.Frame
+	if _, err := Replay(dir, "f", -1, func(f fault.Frame) error {
+		if len(got) == 0 {
+			// First delivery: segment 0 is already in memory; retire
+			// segment 1 before the replay reaches it.
+			if err := os.Remove(filepath.Join(feedDir(dir, "f"), segmentName(1))); err != nil {
+				return err
+			}
+		}
+		got = append(got, f)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay failed on a retired segment: %v", err)
+	}
+	want := []int{0, 1, 2, 3, 8, 9, 10, 11}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d frames, want %d", len(got), len(want))
+	}
+	for i, g := range got {
+		if g.Index != want[i] {
+			t.Fatalf("position %d: index %d, want %d", i, g.Index, want[i])
 		}
 	}
 }

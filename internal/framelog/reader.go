@@ -36,6 +36,13 @@ func Replay(root, feed string, limit int, fn func(fault.Frame) error) (int, erro
 		lastSeg := i == len(segs)-1
 		raw, err := os.ReadFile(filepath.Join(dir, segmentName(seg)))
 		if err != nil {
+			if os.IsNotExist(err) {
+				// The live writer's retention cap retired this segment
+				// between our listing and this read. Skip it — exactly what
+				// a listing taken now would do — rather than failing a
+				// replay of data that was retired by design, not corrupted.
+				continue
+			}
 			return delivered, err
 		}
 		if len(raw) < segHeaderLen {

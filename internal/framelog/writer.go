@@ -2,12 +2,24 @@ package framelog
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
 
 	"repro/internal/fault"
 )
+
+// segFile is the surface the writer needs from the active segment file.
+// Production always uses *os.File; tests substitute implementations that
+// inject partial writes and sync failures.
+type segFile interface {
+	io.Writer
+	io.Seeker
+	Sync() error
+	Close() error
+	Truncate(size int64) error
+}
 
 // Recovery describes what Open found in an existing feed log.
 type Recovery struct {
@@ -36,13 +48,25 @@ type Writer struct {
 	dir  string
 	m    metrics
 
-	f        *os.File
+	f        segFile
 	seg      int   // active segment number
 	segs     []int // live segment numbers, ascending
 	segBytes int64
 	lastSync time.Time
 	buf      []byte
 	closed   bool
+
+	// failed latches after an I/O error the writer cannot repair in place
+	// (a sync failure, a dead rotation, or a torn write it could not
+	// truncate away): every further append is rejected, because appending
+	// past an unknown on-disk state could bury torn bytes mid-segment and
+	// turn a repairable tail into ErrCorrupt at the next Open.
+	failed bool
+	// holdRetention suspends the MaxSegments cap (see HoldRetention).
+	holdRetention bool
+	// wrap, when non-nil, wraps each newly created segment file; tests use
+	// it to inject write and sync failures mid-stream.
+	wrap func(segFile) segFile
 }
 
 // Open opens (or creates) the log for one feed, scanning every retained
@@ -146,9 +170,15 @@ func (w *Writer) scan(segs []int, rec *Recovery) (Recovery, int64, error) {
 			if !lastSeg {
 				return *rec, 0, fmt.Errorf("framelog: %s/%s: %w", w.feed, segmentName(seg), ErrCorrupt)
 			}
+			// A crash between createSegment and its header landing leaves
+			// the last segment empty or mid-header. The earlier segments
+			// still hold records, so fall through to the NextIndex
+			// computation below — returning early here would hand out
+			// NextIndex 0 and make post-recovery appends reuse indices the
+			// log already holds.
 			rec.TornTail = len(raw) > 0
 			rec.TruncatedBytes += int64(len(raw))
-			return *rec, 0, nil
+			break
 		}
 		off, err := checkSegmentHeader(raw)
 		if err != nil {
@@ -190,10 +220,38 @@ func (w *Writer) createSegment(n int) error {
 		f.Close()
 		return err
 	}
-	w.f = f
+	var sf segFile = f
+	if w.wrap != nil {
+		sf = w.wrap(sf)
+	}
+	w.f = sf
 	w.seg = n
 	w.segBytes = segHeaderLen
 	return nil
+}
+
+// truncateTorn repairs a failed write that may have left partial bytes in
+// the active segment: the file is cut back to the last record boundary
+// (segBytes) and the fd offset rewound to match — a freshly created
+// segment is not opened O_APPEND, so without the seek the next write would
+// land at the stale offset and re-extend the file over a zero-filled hole.
+// The writer then stays usable and a later append cannot bury the torn
+// bytes mid-segment, which would turn a repairable torn tail into
+// ErrCorrupt at the next Open. If the repair itself fails the writer
+// latches failed instead.
+func (w *Writer) truncateTorn() {
+	if err := w.f.Truncate(w.segBytes); err != nil {
+		w.failed = true
+		return
+	}
+	if _, err := w.f.Seek(w.segBytes, io.SeekStart); err != nil {
+		w.failed = true
+	}
+}
+
+// errFailed is the permanent rejection after failed latches.
+func (w *Writer) errFailed() error {
+	return fmt.Errorf("framelog: %s: writer disabled by an earlier unrecoverable I/O error; reopen to resume", w.feed)
 }
 
 // Append encodes one frame and writes it to the active segment, rotating
@@ -203,6 +261,9 @@ func (w *Writer) createSegment(n int) error {
 func (w *Writer) Append(f *fault.Frame) error {
 	if w.closed {
 		return fmt.Errorf("framelog: append to closed writer (%s)", w.feed)
+	}
+	if w.failed {
+		return w.errFailed()
 	}
 	var t0 time.Time
 	if w.m.appendLat != nil {
@@ -216,6 +277,7 @@ func (w *Writer) Append(f *fault.Frame) error {
 	}
 	w.buf = appendRecord(w.buf[:0], f)
 	if _, err := w.f.Write(w.buf); err != nil {
+		w.truncateTorn()
 		w.m.appendErrors.Inc()
 		return err
 	}
@@ -235,26 +297,41 @@ func (w *Writer) Append(f *fault.Frame) error {
 // AppendBatch appends frames with one write per segment touched (for any
 // realistic segment size: one write, full stop) and one fsync-policy check
 // for the whole batch, amortising the per-frame syscall cost Append pays —
-// the serving layer logs each accepted ingest batch through this. The batch
-// is all-or-nothing at the API level: on error the caller must treat every
-// frame as unlogged (a torn tail on disk is repaired by the next Open,
-// exactly as for a torn single-frame append).
-func (w *Writer) AppendBatch(frames []fault.Frame) error {
+// the serving layer logs each accepted ingest batch through this.
+//
+// It returns how many leading frames have fully-written records in the
+// log. A batch that straddles a rotation issues one write per segment, so
+// an error partway through is NOT all-or-nothing: the chunks already
+// written are durable in sealed segments and cannot be unwritten. The
+// caller must treat exactly frames[:n] as logged (they will replay on
+// recovery) and only frames[n:] as rejected — reporting the landed prefix
+// as rejected would let a client retry duplicate those frames under
+// colliding indices. The failing chunk's own torn bytes are truncated
+// away in place, so the writer stays usable unless the error was
+// unrecoverable (see errFailed). After a sync error n covers every record
+// written — they are in the kernel, just not provably on the device — and
+// the writer latches failed because the durability of everything since the
+// last successful sync is unknowable.
+func (w *Writer) AppendBatch(frames []fault.Frame) (int, error) {
 	if len(frames) == 0 {
-		return nil
+		return 0, nil
 	}
 	if w.closed {
-		return fmt.Errorf("framelog: append to closed writer (%s)", w.feed)
+		return 0, fmt.Errorf("framelog: append to closed writer (%s)", w.feed)
+	}
+	if w.failed {
+		return 0, w.errFailed()
 	}
 	var t0 time.Time
 	if w.m.appendLat != nil {
 		t0 = time.Now()
 	}
-	for i := 0; i < len(frames); {
+	written := 0
+	for written < len(frames) {
 		if w.segBytes+recordLen > w.cfg.SegmentMaxBytes && w.segBytes > segHeaderLen {
 			if err := w.rotate(); err != nil {
 				w.m.appendErrors.Inc()
-				return err
+				return written, err
 			}
 		}
 		// Fill the active segment; a fresh segment always takes at least one
@@ -263,31 +340,32 @@ func (w *Writer) AppendBatch(frames []fault.Frame) error {
 		if fit < 1 {
 			fit = 1
 		}
-		n := len(frames) - i
+		n := len(frames) - written
 		if n > fit {
 			n = fit
 		}
 		w.buf = w.buf[:0]
 		for k := 0; k < n; k++ {
-			w.buf = appendRecord(w.buf, &frames[i+k])
+			w.buf = appendRecord(w.buf, &frames[written+k])
 		}
 		if _, err := w.f.Write(w.buf); err != nil {
+			w.truncateTorn()
 			w.m.appendErrors.Inc()
-			return err
+			return written, err
 		}
 		w.segBytes += int64(len(w.buf))
 		w.m.appends.Add(int64(n))
 		w.m.bytes.Add(int64(len(w.buf)))
-		i += n
+		written += n
 	}
 	if err := w.maybeSync(); err != nil {
 		w.m.appendErrors.Inc()
-		return err
+		return written, err
 	}
 	if w.m.appendLat != nil {
 		w.m.appendLat.Observe(time.Since(t0).Seconds())
 	}
-	return nil
+	return written, nil
 }
 
 // maybeSync applies the fsync policy after an append: unconditional under
@@ -304,13 +382,18 @@ func (w *Writer) maybeSync() error {
 	return nil
 }
 
-// sync forces the active segment to the device.
+// sync forces the active segment to the device. A sync failure latches the
+// writer failed: the kernel may have dropped the dirty pages, so the
+// durability of every write since the last successful sync is unknowable
+// and no later sync can retroactively cover them — acking more frames on
+// top of that would be a lie.
 func (w *Writer) sync() error {
 	var t0 time.Time
 	if w.m.fsyncLat != nil {
 		t0 = time.Now()
 	}
 	if err := w.f.Sync(); err != nil {
+		w.failed = true
 		return err
 	}
 	if w.m.fsyncLat != nil {
@@ -330,24 +413,52 @@ func (w *Writer) rotate() error {
 		return err
 	}
 	if err := w.f.Close(); err != nil {
+		w.failed = true
 		return err
 	}
 	if err := w.createSegment(w.seg + 1); err != nil {
+		// The sealed segment is closed and no new one exists: there is no
+		// active file left to append to.
+		w.failed = true
 		return err
 	}
 	w.segs = append(w.segs, w.seg)
 	w.m.rotations.Inc()
-	if max := w.cfg.MaxSegments; max > 0 {
-		for len(w.segs) > max {
-			old := w.segs[0]
-			if err := os.Remove(filepath.Join(w.dir, segmentName(old))); err != nil {
-				return err
-			}
-			w.segs = w.segs[1:]
-			w.m.retired.Inc()
+	if w.holdRetention {
+		return nil
+	}
+	return w.applyRetention()
+}
+
+// applyRetention deletes the oldest segments beyond the MaxSegments cap.
+func (w *Writer) applyRetention() error {
+	max := w.cfg.MaxSegments
+	if max <= 0 {
+		return nil
+	}
+	for len(w.segs) > max {
+		old := w.segs[0]
+		if err := os.Remove(filepath.Join(w.dir, segmentName(old))); err != nil {
+			return err
 		}
+		w.segs = w.segs[1:]
+		w.m.retired.Inc()
 	}
 	return nil
+}
+
+// HoldRetention suspends retention-cap deletions: segments still rotate,
+// but none is retired until ReleaseRetention. The serving layer holds
+// retention from Open until its recovery replay finishes, because the
+// replay reads the very segments a burst of live ingest could otherwise
+// rotate past the cap and delete out from under it.
+func (w *Writer) HoldRetention() { w.holdRetention = true }
+
+// ReleaseRetention re-enables the cap and immediately retires any excess
+// segments accumulated while it was held.
+func (w *Writer) ReleaseRetention() error {
+	w.holdRetention = false
+	return w.applyRetention()
 }
 
 // Flush forces everything appended so far to the device, whatever the fsync

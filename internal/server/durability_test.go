@@ -279,3 +279,56 @@ func TestDurabilityRejectsTraversalFeedIDs(t *testing.T) {
 		}
 	}
 }
+
+// TestRecoveryReplaySurvivesRetentionRotation pins the hold-retention wiring:
+// a feed recovering under a segment-retention cap is hit by a burst of live
+// ingest big enough to rotate the log well past the cap while the recovery
+// replay is still wedged on its first frame. Without the hold, retention
+// would delete the very segments the replay is reading and the feed would
+// die mid-recovery; with it, every recovered frame replays and the cap
+// catches up afterwards.
+func TestRecoveryReplaySurvivesRetentionRotation(t *testing.T) {
+	dir := t.TempDir()
+	// 4 records per segment (8-byte segment header + 565-byte records),
+	// keep 2 segments.
+	small := framelog.Config{
+		Dir: dir, Fsync: framelog.FsyncOff,
+		SegmentMaxBytes: 8 + 4*565, MaxSegments: 2,
+	}
+
+	// Life A: log 24 frames; the cap retains the last two segments
+	// (frames 16..23), which is what the successor must replay.
+	srvA, tsA, _ := newTestServer(t, func(c *server.Config) { c.Durability = small })
+	doReq(t, http.MethodPut, tsA.URL+"/v1/feeds/room", nil)
+	if code, ir, _ := ingest(t, tsA.URL, "room", durableFrames(24, 0)); code != http.StatusAccepted || ir.Accepted != 24 {
+		t.Fatalf("life A ingest: code=%d accepted=%d", code, ir.Accepted)
+	}
+	tsA.Close()
+	srvA.Close()
+
+	// Life B: wedge the replay on its first prediction, then ingest enough
+	// to rotate far past the cap before letting the replay proceed.
+	gate := make(chan struct{})
+	_, tsB, regB := newTestServer(t, func(c *server.Config) {
+		c.Durability = small
+		c.Primary = gatePred{gate: gate}
+		c.QueueDepth = 64
+	})
+	if code, ir, _ := ingest(t, tsB.URL, "room", durableFrames(24, 24)); code != http.StatusAccepted || ir.Accepted != 24 {
+		t.Fatalf("life B ingest: code=%d accepted=%d", code, ir.Accepted)
+	}
+	close(gate)
+	waitFor(t, 10*time.Second, "recovery replay under rotation", func() bool {
+		m, ok := regB.Snapshot().Get("server_frames_recovered_total")
+		return ok && m.Value == 8
+	})
+	// The feed survived and processed the recovered and the live frames.
+	waitFor(t, 10*time.Second, "post-recovery decisions", func() bool {
+		code, body, _ := doReq(t, http.MethodGet, tsB.URL+"/v1/feeds/room/occupancy", nil)
+		if code != http.StatusOK {
+			return false
+		}
+		var ev server.Event
+		return json.Unmarshal(body, &ev) == nil && ev.Seq == 47
+	})
+}

@@ -99,6 +99,13 @@ func (s *Server) newFeed(id string, seed int64) (*feed, error) {
 		if err != nil {
 			return nil, err
 		}
+		if rec.Frames > 0 {
+			// run's recovery replay is about to read these segments while
+			// live ingest may already be appending (and rotating) behind
+			// it; hold the retention cap until the replay is done so no
+			// segment it has yet to read gets retired underneath it.
+			w.HoldRetention()
+		}
 		f.log = w
 		f.recoverN = rec.Frames
 		f.nextIndex = rec.NextIndex
@@ -202,6 +209,14 @@ func (f *feed) run(ctx context.Context) {
 		s.remove(f)
 		f.teardown()
 		return
+	}
+	if f.log != nil && f.recoverN > 0 {
+		// The replay is done with the old segments; let the retention cap
+		// catch up (appends run under mu, so the release must too). A
+		// deletion error just leaves extra segments for the next rotation.
+		f.mu.Lock()
+		_ = f.log.ReleaseRetention()
+		f.mu.Unlock()
 	}
 	err = rt.Run(ctx, f.queue, func(fr fault.Frame, d stream.Decision) error {
 		f.publish(fr, d)
@@ -319,8 +334,12 @@ type ingestResult struct {
 // f.mu and the consumer only drains, so len(queue) can't shrink the room
 // between the check and the sends — which keeps the log free of frames the
 // queue then rejects: log order is exactly the accepted frame order. A
-// failed batch append rejects the entire prefix (nothing was made visible,
-// nextIndex is untouched, and a torn tail on disk repairs on restart).
+// failed batch append accepts exactly the prefix the log durably holds
+// (AppendBatch reports it) and rejects the rest: anything less and
+// recovery would replay frames the client was told to retry — duplicates
+// under colliding indices; anything more and an acknowledged frame would
+// be unreplayable. The failing chunk's torn bytes are truncated away by
+// the writer itself.
 func (f *feed) enqueue(frames []fault.Frame) (ingestResult, bool) {
 	s := f.srv
 	f.mu.Lock()
@@ -353,8 +372,8 @@ func (f *feed) enqueue(frames []fault.Frame) (ingestResult, bool) {
 		frames[i].Index = f.nextIndex + i
 	}
 	if f.log != nil && allowed > 0 {
-		if err := f.log.AppendBatch(frames[:allowed]); err != nil {
-			allowed = 0
+		if n, err := f.log.AppendBatch(frames[:allowed]); err != nil {
+			allowed = n
 			res.reason = "log_error"
 			res.retry = time.Second
 		}
