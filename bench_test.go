@@ -525,9 +525,60 @@ func BenchmarkMatMul(b *testing.B) {
 	a := tensor.NewMatrix(256, 256).RandomizeNormal(rng, 1)
 	c := tensor.NewMatrix(256, 256).RandomizeNormal(rng, 1)
 	dst := tensor.NewMatrix(256, 256)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.MatMul(dst, a, c)
+	}
+}
+
+// BenchmarkKernelSparseRowMatMulF32 measures the sparse f32 kernel in
+// isolation at the paper MLP's widest layer shape (128→256) with ~50%
+// activation density — the inference hot loop the cpukit dispatch targets
+// (generic scalar vs AVX2+FMA, DESIGN.md §14). Run with OCCU_KERNEL=generic
+// to benchmark the portable kernel on the same machine.
+func BenchmarkKernelSparseRowMatMulF32(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	w := tensor.NewMatrixF32(128, 256)
+	for i := range w.Data {
+		w.Data[i] = float32(rng.NormFloat64())
+	}
+	bias := make([]float32, 256)
+	idx := make([]int32, 0, 128)
+	val := make([]float32, 0, 128)
+	for k := 0; k < 128; k++ {
+		if rng.Float64() < 0.5 {
+			idx = append(idx, int32(k))
+			val = append(val, float32(rng.NormFloat64()))
+		}
+	}
+	dst := make([]float32, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.SparseRowMatMulF32Into(dst, bias, w, idx, val)
+	}
+}
+
+// BenchmarkKernelQuantMaddU7I8 measures the quantised int8 kernel at the
+// same 128→256 layer shape: u7 activations × k-quad-packed int8 weights,
+// int32 accumulation (VPMADDUBSW under the AVX2 kernel).
+func BenchmarkKernelQuantMaddU7I8(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	w := make([]int8, 128*256)
+	for i := range w {
+		w[i] = int8(rng.Intn(255) - 127)
+	}
+	packed := tensor.PackI8KQuad(w, 128, 256)
+	act := make([]uint8, 128)
+	for i := range act {
+		act[i] = uint8(rng.Intn(128))
+	}
+	dst := make([]int32, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.QuantMaddU7I8Into(dst, 256, packed, act)
 	}
 }
 

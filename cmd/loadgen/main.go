@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/cpukit"
 	"repro/internal/dataset"
 	"repro/internal/infer"
 	"repro/internal/obs"
@@ -82,6 +83,11 @@ func main() {
 		fail(fmt.Errorf("flags out of range: -feeds %d -per-feed %d -workers %d -batch %d -epochs %d",
 			*feeds, *perFeed, *workers, *batch, *epochs))
 	}
+
+	// Fail before training if OCCU_KERNEL asked for a kernel this CPU
+	// cannot run — every throughput number below is kernel-specific.
+	fail(cpukit.SelectionError())
+	fmt.Printf("loadgen: compute kernel %s\n", cpukit.Describe())
 
 	det, recs := buildFixture(*model, *seed, *epochs)
 	fmt.Printf("loadgen: %d feeds × %d records, %d cores, net %v, bank %d records\n",

@@ -61,6 +61,10 @@ func main() {
 	if *epochs < 1 {
 		fail(fmt.Errorf("-epochs must be >= 1 (got %d)", *epochs))
 	}
+	// Fail before training if OCCU_KERNEL asked for a kernel this CPU
+	// cannot run.
+	fail(occupancy.KernelError())
+	fmt.Printf("occupredict: compute kernel %s\n", occupancy.KernelDescription())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -77,6 +77,10 @@ func main() {
 	if *epochs < 1 {
 		fail(fmt.Errorf("-epochs must be >= 1 (got %d)", *epochs))
 	}
+	// Fail before training if OCCU_KERNEL asked for a kernel this CPU
+	// cannot run — silently serving on generic would defeat the override.
+	fail(occupancy.KernelError())
+	fmt.Printf("occuserve: compute kernel %s\n", occupancy.KernelDescription())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

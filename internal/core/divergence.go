@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/cpukit"
 	"repro/internal/dataset"
 	"repro/internal/infer"
 	"repro/internal/nn"
@@ -59,7 +60,13 @@ func (c DivergenceConfig) Validate() error {
 // the float64 reference.
 type DivergenceResult struct {
 	Precision infer.Precision
-	Samples   int
+	// Kernel names the cpukit kernel ("generic" or "avx2") the candidate ran
+	// on. The bounds admit a (precision, kernel) pair, not a precision alone:
+	// the AVX2 kernels regroup float accumulation, so their drift must be
+	// re-measured, and this field keeps the report unambiguous about which
+	// arithmetic was actually swept.
+	Kernel  string
+	Samples int
 	// MaxAbsDelta / MeanAbsDelta summarise |P_reduced − P_f64|.
 	MaxAbsDelta  float64
 	MeanAbsDelta float64
@@ -80,8 +87,8 @@ func (r *DivergenceResult) String() string {
 	if r.Pass {
 		verdict = "ok"
 	}
-	return fmt.Sprintf("%s vs f64: %d samples, max |Δp| %.3g (bound %.3g), mean %.3g, %d decision flips (rate %.3g, bound %.3g) — %s",
-		r.Precision, r.Samples, r.MaxAbsDelta, r.BoundAbsDelta, r.MeanAbsDelta,
+	return fmt.Sprintf("%s vs f64 (%s kernel): %d samples, max |Δp| %.3g (bound %.3g), mean %.3g, %d decision flips (rate %.3g, bound %.3g) — %s",
+		r.Precision, r.Kernel, r.Samples, r.MaxAbsDelta, r.BoundAbsDelta, r.MeanAbsDelta,
 		r.Flips, r.FlipRate, r.BoundFlipRate, verdict)
 }
 
@@ -115,7 +122,7 @@ func RunDivergence(det *Detector, recs []dataset.Record, cfg DivergenceConfig) (
 	}
 	reduced := newScorer()
 
-	res := &DivergenceResult{Precision: prec, Samples: len(recs)}
+	res := &DivergenceResult{Precision: prec, Kernel: cpukit.Active().String(), Samples: len(recs)}
 	res.BoundAbsDelta, res.BoundFlipRate = DefaultDivergenceBounds(prec)
 	if cfg.MaxAbsDelta != 0 {
 		res.BoundAbsDelta = cfg.MaxAbsDelta

@@ -36,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cpukit"
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/tensor"
@@ -239,6 +240,7 @@ type metrics struct {
 	busyWorkers *obs.Gauge
 	workers     *obs.Gauge
 	maxBatch    *obs.Gauge
+	kernelAVX2  *obs.Gauge
 }
 
 // newMetrics resolves the engine instrument set against o (nil → all-nil).
@@ -262,6 +264,9 @@ func newMetrics(o obs.Observer, maxBatch int) metrics {
 		busyWorkers: o.Gauge("infer_busy_workers", "workers currently scoring a batch"),
 		workers:     o.Gauge("infer_workers", "scoring goroutines configured"),
 		maxBatch:    o.Gauge("infer_max_batch_seen", "largest micro-batch coalesced so far"),
+		// The obs model has no labels, so kernel identity is a 0/1 gauge:
+		// 1 when the AVX2+FMA kernels serve this process, 0 for generic.
+		kernelAVX2: o.Gauge("infer_kernel_avx2", "1 when the cpukit AVX2 kernel is active, 0 for generic"),
 	}
 }
 
@@ -303,6 +308,9 @@ func New(cfg Config) (*Engine, error) {
 		m:    newMetrics(cfg.Observer, cfg.MaxBatch),
 	}
 	e.m.workers.Set(float64(cfg.Workers))
+	if cpukit.Active() == cpukit.KernelAVX2 {
+		e.m.kernelAVX2.Set(1)
+	}
 	e.pool.New = func() any { return &request{out: make(chan float64, 1)} }
 	e.wg.Add(cfg.Workers)
 	// The probe scorer serves worker 0; the rest build their own.
@@ -319,6 +327,12 @@ func (e *Engine) InputDim() int { return e.dim }
 // Precision returns the declared scorer precision (PrecisionF64 unless the
 // config said otherwise).
 func (e *Engine) Precision() Precision { return e.cfg.Precision }
+
+// Kernel names the cpukit compute kernel every score this engine produces
+// runs on ("generic" or "avx2") — a process-wide constant, surfaced here so
+// serving logs and the infer_kernel_avx2 gauge agree on what arithmetic is
+// live.
+func (e *Engine) Kernel() string { return cpukit.Active().String() }
 
 // Predict scores one feature row, blocking until a worker has served it.
 // The row is read until Predict returns and is not retained. Zero heap

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cpukit"
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/tensor"
@@ -257,5 +258,28 @@ func TestObserverDoesNotChangeScores(t *testing.T) {
 	}
 	if m := get("infer_max_batch_seen"); m.Value < 1 || m.Value > 16 {
 		t.Errorf("infer_max_batch_seen = %v, want within [1, MaxBatch]", m.Value)
+	}
+}
+
+// TestEngineKernelSurfaced pins the kernel-identity reporting: Kernel()
+// matches cpukit's process-wide selection and the infer_kernel_avx2 gauge
+// is 1 exactly when the AVX2 kernels are live.
+func TestEngineKernelSurfaced(t *testing.T) {
+	net, _, _ := testNet(t, 4)
+	reg := obs.NewRegistry()
+	eng, err := New(Config{NewScorer: NetworkScorer(net), Workers: 1, Observer: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if got, want := eng.Kernel(), cpukit.Active().String(); got != want {
+		t.Fatalf("Kernel() = %q, want %q", got, want)
+	}
+	want := 0.0
+	if cpukit.Active() == cpukit.KernelAVX2 {
+		want = 1
+	}
+	if got := reg.Gauge("infer_kernel_avx2", "").Value(); got != want {
+		t.Fatalf("infer_kernel_avx2 = %v, want %v (kernel %s)", got, want, cpukit.Active())
 	}
 }

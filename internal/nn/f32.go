@@ -4,8 +4,16 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/cpukit"
 	"repro/internal/tensor"
 )
+
+// quantI8 enables the quantised-activation int8 forward path: post-ReLU
+// activations are quantised to u7 bytes and hidden layers accumulate in
+// int32 via the VPMADDUBSW kernel. Only worthwhile (and only enabled) when
+// the AVX2 kernel is live; under KernelGeneric ArenaI8 runs the original
+// dequantise-to-float32 scalar path bit-identically.
+var quantI8 = cpukit.Active() == cpukit.KernelAVX2
 
 // Reduced-precision inference (DESIGN.md §12).
 //
@@ -265,9 +273,13 @@ func (a *ArenaF32) PredictProbsInto(dst []float64, x *tensor.Matrix) []float64 {
 
 // denseOpI8 is one Dense layer quantised to int8: weights row-major In×Out,
 // one symmetric scale per layer, bias kept in float32/float64 real units.
+// packed is the same weights in tensor.PackI8KQuad layout, present only on
+// hidden layers fed by a pure-ReLU predecessor — the layers eligible for the
+// quantised-activation VPMADDUBSW path (see ArenaI8.forwardRow).
 type denseOpI8 struct {
 	in, out int
 	w       []int8
+	packed  []int8
 	scale   float32
 	b       []float32
 	b64     []float64
@@ -322,6 +334,16 @@ func NewNetworkI8(net *Network) (*NetworkI8, error) {
 			w: q, scale: scale, b: op.b, b64: op.b64, acts: op.acts,
 		}
 	}
+	// Pack hidden layers whose input is a pure-ReLU activation (guaranteed
+	// non-negative, so quantisable to u7) for the VPMADDUBSW path. Layer 0
+	// sees raw standardised features (signed) and the final layer runs the
+	// float64 logit dot, so neither packs.
+	for i := 1; i < len(qops)-1; i++ {
+		prev := &qops[i-1]
+		if len(prev.acts) == 1 && prev.acts[0] == actReLU {
+			qops[i].packed = tensor.PackI8KQuad(qops[i].w, qops[i].in, qops[i].out)
+		}
+	}
 	return &NetworkI8{ops: qops, inDim: inDim, maxWidth: maxW}, nil
 }
 
@@ -338,18 +360,23 @@ func (n *NetworkI8) SizeBytes() int {
 	return total
 }
 
-// ArenaI8 is the int8-weight counterpart of ArenaF32: the same fused sparse
-// per-row pipeline, with each Dense accumulating activation × int8 weight in
-// float32 and applying the layer scale in the epilogue. On scalar x86 the
-// per-element int8→float32 widening makes this SLOWER than ArenaF32 — the
-// point of int8 here is the ~4× smaller weight footprint (see NetworkI8.
-// SizeBytes and DESIGN.md §12), not speed. Not safe for concurrent use.
+// ArenaI8 is the int8-weight counterpart of ArenaF32. Under the generic
+// kernel it runs the same fused sparse per-row pipeline, each Dense
+// accumulating activation × int8 weight in float32 — slower than ArenaF32
+// on scalar x86, where int8 buys only the ~4× smaller weight footprint (see
+// NetworkI8.SizeBytes and DESIGN.md §12). Under the AVX2 kernel, hidden
+// layers fed by ReLU instead quantise their activations to u7 bytes and
+// accumulate int32 products via VPMADDUBSW over k-quad-packed weights
+// (§14), which is what finally makes int8 the fastest precision. Not safe
+// for concurrent use.
 type ArenaI8 struct {
-	net *NetworkI8
-	idx []int32
-	val []float32
-	buf []float32
-	row []float32
+	net  *NetworkI8
+	idx  []int32
+	val  []float32
+	buf  []float32
+	row  []float32
+	qact []uint8
+	iacc []int32
 }
 
 // NewArenaI8 builds an inference arena over a quantised network.
@@ -360,43 +387,21 @@ func NewArenaI8(net *NetworkI8) *ArenaI8 {
 		val: make([]float32, net.maxWidth),
 		buf: make([]float32, net.maxWidth),
 		row: make([]float32, net.inDim),
+		// u7 activations, padded to a whole number of k-quads.
+		qact: make([]uint8, (net.maxWidth+3)&^3),
+		iacc: make([]int32, net.maxWidth),
 	}
 }
 
 // Network returns the quantised network this arena serves.
 func (a *ArenaI8) Network() *NetworkI8 { return a.net }
 
-// sparseRowMatMulI8 computes dst = bias + scale·Σ_k val[k]·w.row(idx[k])
-// over int8 weights (row-major in×out, n = out), 4-wide unrolled.
-func sparseRowMatMulI8(dst, bias []float32, w []int8, n int, scale float32, idx []int32, val []float32) {
-	for j := range dst {
-		dst[j] = 0
-	}
-	nz := len(idx)
-	k := 0
-	for ; k+4 <= nz; k += 4 {
-		a0, a1, a2, a3 := val[k], val[k+1], val[k+2], val[k+3]
-		b0 := w[int(idx[k])*n : int(idx[k])*n+n]
-		b1 := w[int(idx[k+1])*n : int(idx[k+1])*n+n]
-		b2 := w[int(idx[k+2])*n : int(idx[k+2])*n+n]
-		b3 := w[int(idx[k+3])*n : int(idx[k+3])*n+n]
-		for j := range dst {
-			dst[j] += a0*float32(b0[j]) + a1*float32(b1[j]) + a2*float32(b2[j]) + a3*float32(b3[j])
-		}
-	}
-	for ; k < nz; k++ {
-		av := val[k]
-		bk := w[int(idx[k])*n : int(idx[k])*n+n]
-		for j := range dst {
-			dst[j] += av * float32(bk[j])
-		}
-	}
-	for j := range dst {
-		dst[j] = dst[j]*scale + bias[j]
-	}
-}
-
-// forwardRow mirrors ArenaF32.forwardRow over int8 weights.
+// forwardRow mirrors ArenaF32.forwardRow over int8 weights. Activations
+// flow between layers in one of two forms: compacted sparse float32
+// (idx/val, the generic pipeline) or — when quantI8 is on and the consuming
+// layer is packed — dense u7 bytes in qact with the dense float32 originals
+// left in buf. The final layer always reads float32 activations and
+// accumulates its logit in float64.
 func (a *ArenaI8) forwardRow(row []float64) float64 {
 	if len(row) != a.net.inDim {
 		panic(fmt.Sprintf("nn: ArenaI8 got input width %d, want %d", len(row), a.net.inDim))
@@ -407,6 +412,8 @@ func (a *ArenaI8) forwardRow(row []float64) float64 {
 	}
 	nz := tensor.CompactNonzeroF32(a.idx, a.val, rf)
 	ops := a.net.ops
+	quant := false     // activations currently live in qact (+ dense buf), not idx/val
+	var qscale float32 // u7 dequantisation scale of qact
 	for i := range ops {
 		op := &ops[i]
 		if i == len(ops)-1 {
@@ -414,10 +421,12 @@ func (a *ArenaI8) forwardRow(row []float64) float64 {
 				panic(fmt.Sprintf("nn: ArenaI8 on %d-column output", op.out))
 			}
 			// Final logit in float64: dequantised dot plus real-unit bias.
+			// The layer before this one always hands off in compacted form
+			// (quantisation only targets packed hidden consumers), so the
+			// final dot is identical under every kernel/path combination.
 			acc := 0.0
-			n := op.out
 			for k, id := range a.idx[:nz] {
-				acc += float64(a.val[k]) * float64(op.w[int(id)*n])
+				acc += float64(a.val[k]) * float64(op.w[int(id)])
 			}
 			z := acc*float64(op.scale) + op.b64[0]
 			for _, act := range op.acts {
@@ -435,15 +444,41 @@ func (a *ArenaI8) forwardRow(row []float64) float64 {
 			return z
 		}
 		out := a.buf[:op.out]
-		sparseRowMatMulI8(out, op.b, op.w, op.out, op.scale, a.idx[:nz], a.val[:nz])
+		if quant {
+			in4 := (op.in + 3) &^ 3
+			tensor.QuantMaddU7I8Into(a.iacc[:op.out], op.out, op.packed, a.qact[:in4])
+			combined := op.scale * qscale
+			for j := range out {
+				out[j] = float32(a.iacc[j])*combined + op.b[j]
+			}
+		} else {
+			tensor.SparseRowMatMulI8Into(out, op.b, op.w, op.out, op.scale, a.idx[:nz], a.val[:nz])
+		}
 		if len(op.acts) == 1 && op.acts[0] == actReLU {
+			if quantI8 && i+1 < len(ops)-1 && ops[i+1].packed != nil {
+				// Next layer takes the VPMADDUBSW path: ReLU densely in
+				// place, quantise to u7, zero the k-quad padding bytes.
+				for j, v := range out {
+					if v < 0 {
+						out[j] = 0
+					}
+				}
+				qscale = tensor.QuantizeU7F32Into(a.qact[:op.out], out)
+				for j := op.out; j < (op.out+3)&^3; j++ {
+					a.qact[j] = 0
+				}
+				quant = true
+				continue
+			}
 			nz = tensor.ReLUCompactF32(a.idx, a.val, out)
+			quant = false
 			continue
 		}
 		for _, act := range op.acts {
 			applyActF32(act, out)
 		}
 		nz = tensor.CompactNonzeroF32(a.idx, a.val, out)
+		quant = false
 	}
 	panic("nn: ArenaI8 empty network")
 }

@@ -101,6 +101,46 @@ func ForEachChunk(workers, n int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// ChunkRunner is the allocation-free counterpart of ForEachChunk's closure:
+// a caller that fans out on every hot-path call (the tensor matmuls) keeps
+// its operands in a reusable struct and implements RunChunk on its pointer,
+// so handing it here converts a pointer to an interface — no closure object,
+// no per-call heap traffic.
+type ChunkRunner interface {
+	RunChunk(lo, hi int)
+}
+
+// ForEachChunkRunner is ForEachChunk with the chunk body supplied as a
+// ChunkRunner instead of a closure. Identical partitioning and determinism
+// contract.
+func ForEachChunkRunner(workers, n int, r ChunkRunner) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		r.RunChunk(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			r.RunChunk(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
 // Map runs fn(i) for every i in [0, n) on at most workers goroutines and
 // returns the results in task order, regardless of completion order.
 func Map[T any](workers, n int, fn func(i int) T) []T {

@@ -60,11 +60,14 @@ func (m *MatrixF32) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
 // Row returns row i as a slice aliasing the matrix storage.
 func (m *MatrixF32) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
-// MatMulF32 computes dst = a × b in float32 with the same 4-wide unrolled
-// ikj loop as the float64 kernel (see matmulRange): each output row is
-// accumulated independently in a fixed order, so batching never changes a
-// row's bits — the determinism contract the serving engine relies on.
-// Shapes must agree (a: m×k, b: k×n, dst: m×n); dst must not alias a or b.
+// MatMulF32 computes dst = a × b in float32. Under the generic kernel each
+// output row runs the same 4-wide unrolled ikj loop as the float64 kernel
+// (see matmulRange); under the AVX2 kernel rows go through the FMA assembly
+// in simd_amd64.s. Either way a row is accumulated independently in a fixed
+// order, so batching never changes its bits — the determinism contract the
+// serving engine relies on (which kernel produced the bits is a process-wide
+// constant, see simd.go). Shapes must agree (a: m×k, b: k×n, dst: m×n); dst
+// must not alias a or b.
 func MatMulF32(dst, a, b *MatrixF32) *MatrixF32 {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulF32 shape mismatch %dx%d * %dx%d -> %dx%d",
@@ -72,6 +75,16 @@ func MatMulF32(dst, a, b *MatrixF32) *MatrixF32 {
 	}
 	n := b.Cols
 	kMax := a.Cols
+	if useAVX2 && n > 0 && kMax > 0 {
+		for i := 0; i < a.Rows; i++ {
+			di := dst.Data[i*n : i*n+n]
+			for j := range di {
+				di[j] = 0
+			}
+			denseRowMatMulF32AVX2(&di[0], n, &a.Data[i*kMax], kMax, &b.Data[0])
+		}
+		return dst
+	}
 	for i := 0; i < a.Rows; i++ {
 		ai := a.Data[i*kMax : i*kMax+kMax]
 		di := dst.Data[i*n : i*n+n]
@@ -145,53 +158,25 @@ func ReLUCompactF32(idx []int32, val []float32, src []float32) int {
 // SparseRowMatMulF32Into computes dst = bias + Σ_k val[k]·b.Row(idx[k]) —
 // one activation row (in compacted nonzero form) times a dense In×Out
 // weight matrix, with the accumulator initialised from the bias so no
-// separate zeroing or bias pass is needed. The k-groups are unrolled 8-,
-// then 4-, then 1-wide; each output element accumulates in a fixed order
-// determined only by (idx, val), so the result is a pure function of the
-// row and the weights. len(dst) and len(bias) must equal b.Cols; every
-// idx[k] must be a valid row of b.
+// separate zeroing or bias pass is needed. Each output element accumulates
+// in a fixed order determined only by (idx, val) and the active kernel
+// (generic: 8/4/1-wide unrolled k-groups, see sparseAxpyF32Generic; AVX2:
+// FMA over 8-lane vectors), so the result is a pure function of the row and
+// the weights. len(dst) and len(bias) must equal b.Cols; every idx[k] must
+// be a valid row of b.
 func SparseRowMatMulF32Into(dst, bias []float32, b *MatrixF32, idx []int32, val []float32) {
 	if len(dst) != b.Cols || len(bias) != b.Cols {
 		panic(fmt.Sprintf("tensor: SparseRowMatMulF32Into dst/bias length %d/%d != cols %d",
 			len(dst), len(bias), b.Cols))
 	}
-	n := b.Cols
 	copy(dst, bias)
-	nz := len(idx)
-	k := 0
-	for ; k+8 <= nz; k += 8 {
-		a0, a1, a2, a3 := val[k], val[k+1], val[k+2], val[k+3]
-		a4, a5, a6, a7 := val[k+4], val[k+5], val[k+6], val[k+7]
-		b0 := b.Data[int(idx[k])*n : int(idx[k])*n+n]
-		b1 := b.Data[int(idx[k+1])*n : int(idx[k+1])*n+n]
-		b2 := b.Data[int(idx[k+2])*n : int(idx[k+2])*n+n]
-		b3 := b.Data[int(idx[k+3])*n : int(idx[k+3])*n+n]
-		b4 := b.Data[int(idx[k+4])*n : int(idx[k+4])*n+n]
-		b5 := b.Data[int(idx[k+5])*n : int(idx[k+5])*n+n]
-		b6 := b.Data[int(idx[k+6])*n : int(idx[k+6])*n+n]
-		b7 := b.Data[int(idx[k+7])*n : int(idx[k+7])*n+n]
-		for j := range dst {
-			dst[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j] +
-				a4*b4[j] + a5*b5[j] + a6*b6[j] + a7*b7[j]
+	if useAVX2 {
+		if len(idx) > 0 && b.Cols > 0 {
+			sparseAxpyF32AVX2(&dst[0], b.Cols, &b.Data[0], &idx[0], &val[0], len(idx))
 		}
+		return
 	}
-	for ; k+4 <= nz; k += 4 {
-		a0, a1, a2, a3 := val[k], val[k+1], val[k+2], val[k+3]
-		b0 := b.Data[int(idx[k])*n : int(idx[k])*n+n]
-		b1 := b.Data[int(idx[k+1])*n : int(idx[k+1])*n+n]
-		b2 := b.Data[int(idx[k+2])*n : int(idx[k+2])*n+n]
-		b3 := b.Data[int(idx[k+3])*n : int(idx[k+3])*n+n]
-		for j := range dst {
-			dst[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
-		}
-	}
-	for ; k < nz; k++ {
-		av := val[k]
-		bk := b.Data[int(idx[k])*n : int(idx[k])*n+n]
-		for j := range dst {
-			dst[j] += av * bk[j]
-		}
-	}
+	sparseAxpyF32Generic(dst, b, idx, val)
 }
 
 // SparseRowDotColumnF64 computes bias + Σ_k val[k]·b.At(idx[k], col),

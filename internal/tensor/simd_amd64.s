@@ -1,0 +1,482 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2+FMA inference kernels (DESIGN.md §14). These implement the same
+// operations as the pure-Go kernels in simd.go with vector arithmetic:
+//
+//   - sparseAxpyF32AVX2       dst[j] += Σ_k val[k] · w[idx[k]*n + j]   (f32)
+//   - denseRowMatMulF32AVX2   dst[j] += Σ_k a[k]   · b[k*n + j]        (f32)
+//   - sparseDequantAxpyI8AVX2 dst[j] += Σ_k val[k] · f32(w[idx[k]*n+j]) (s8 weights)
+//   - quantMaddU7I8AVX2       dst[j] += Σ_g Σ_r act[4g+r] · packed[(g*n+j)*4+r] (u7×s8, i32)
+//
+// Floating-point kernels accumulate with VFMADD231PS in 4-row groups, so
+// sums are grouped (and fused) differently from the scalar kernels — results
+// diverge boundedly and are gated by the tensor parity tests and
+// core.RunDivergence, never assumed bit-identical. The integer kernel is
+// exact: as long as every act byte is ≤ 127 (the U7 contract), VPMADDUBSW
+// cannot saturate and the result equals the pure-Go int32 arithmetic bit for
+// bit.
+//
+// Register conventions shared by the float kernels:
+//   DI  dst base          SI  weight/matrix base
+//   BX  n (columns)       CX  remaining k count
+//   R12 idx cursor        R13 val / a cursor
+//   R14 row stride bytes  R8–R11 current row pointers
+//   AX  column index j    DX  loop-bound scratch
+//   Y12–Y15 broadcast multipliers, Y0–Y3 column accumulators
+
+// func sparseAxpyF32AVX2(dst *float32, n int, w *float32, idx *int32, val *float32, nz int)
+TEXT ·sparseAxpyF32AVX2(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ n+8(FP), BX
+	MOVQ w+16(FP), SI
+	MOVQ idx+24(FP), R12
+	MOVQ val+32(FP), R13
+	MOVQ nz+40(FP), CX
+	MOVQ BX, R14
+	SHLQ $2, R14                  // stride = n * sizeof(float32)
+
+sp4_loop:
+	CMPQ CX, $4
+	JLT  sp1_loop
+	MOVLQSX (R12), AX
+	IMULQ   R14, AX
+	LEAQ    (SI)(AX*1), R8
+	MOVLQSX 4(R12), AX
+	IMULQ   R14, AX
+	LEAQ    (SI)(AX*1), R9
+	MOVLQSX 8(R12), AX
+	IMULQ   R14, AX
+	LEAQ    (SI)(AX*1), R10
+	MOVLQSX 12(R12), AX
+	IMULQ   R14, AX
+	LEAQ    (SI)(AX*1), R11
+	VBROADCASTSS (R13), Y12
+	VBROADCASTSS 4(R13), Y13
+	VBROADCASTSS 8(R13), Y14
+	VBROADCASTSS 12(R13), Y15
+	XORQ AX, AX
+
+sp4_j32:
+	LEAQ 32(AX), DX
+	CMPQ DX, BX
+	JGT  sp4_j8
+	VMOVUPS (DI)(AX*4), Y0
+	VMOVUPS 32(DI)(AX*4), Y1
+	VMOVUPS 64(DI)(AX*4), Y2
+	VMOVUPS 96(DI)(AX*4), Y3
+	VFMADD231PS (R8)(AX*4), Y12, Y0
+	VFMADD231PS 32(R8)(AX*4), Y12, Y1
+	VFMADD231PS 64(R8)(AX*4), Y12, Y2
+	VFMADD231PS 96(R8)(AX*4), Y12, Y3
+	VFMADD231PS (R9)(AX*4), Y13, Y0
+	VFMADD231PS 32(R9)(AX*4), Y13, Y1
+	VFMADD231PS 64(R9)(AX*4), Y13, Y2
+	VFMADD231PS 96(R9)(AX*4), Y13, Y3
+	VFMADD231PS (R10)(AX*4), Y14, Y0
+	VFMADD231PS 32(R10)(AX*4), Y14, Y1
+	VFMADD231PS 64(R10)(AX*4), Y14, Y2
+	VFMADD231PS 96(R10)(AX*4), Y14, Y3
+	VFMADD231PS (R11)(AX*4), Y15, Y0
+	VFMADD231PS 32(R11)(AX*4), Y15, Y1
+	VFMADD231PS 64(R11)(AX*4), Y15, Y2
+	VFMADD231PS 96(R11)(AX*4), Y15, Y3
+	VMOVUPS Y0, (DI)(AX*4)
+	VMOVUPS Y1, 32(DI)(AX*4)
+	VMOVUPS Y2, 64(DI)(AX*4)
+	VMOVUPS Y3, 96(DI)(AX*4)
+	ADDQ $32, AX
+	JMP  sp4_j32
+
+sp4_j8:
+	LEAQ 8(AX), DX
+	CMPQ DX, BX
+	JGT  sp4_jtail
+	VMOVUPS (DI)(AX*4), Y0
+	VFMADD231PS (R8)(AX*4), Y12, Y0
+	VFMADD231PS (R9)(AX*4), Y13, Y0
+	VFMADD231PS (R10)(AX*4), Y14, Y0
+	VFMADD231PS (R11)(AX*4), Y15, Y0
+	VMOVUPS Y0, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  sp4_j8
+
+sp4_jtail:
+	CMPQ AX, BX
+	JGE  sp4_next
+	VMOVSS (DI)(AX*4), X0
+	VFMADD231SS (R8)(AX*4), X12, X0
+	VFMADD231SS (R9)(AX*4), X13, X0
+	VFMADD231SS (R10)(AX*4), X14, X0
+	VFMADD231SS (R11)(AX*4), X15, X0
+	VMOVSS X0, (DI)(AX*4)
+	INCQ AX
+	JMP  sp4_jtail
+
+sp4_next:
+	ADDQ $16, R12
+	ADDQ $16, R13
+	SUBQ $4, CX
+	JMP  sp4_loop
+
+sp1_loop:
+	TESTQ CX, CX
+	JLE   sp_done
+	MOVLQSX (R12), AX
+	IMULQ   R14, AX
+	LEAQ    (SI)(AX*1), R8
+	VBROADCASTSS (R13), Y12
+	XORQ AX, AX
+
+sp1_j8:
+	LEAQ 8(AX), DX
+	CMPQ DX, BX
+	JGT  sp1_jtail
+	VMOVUPS (DI)(AX*4), Y0
+	VFMADD231PS (R8)(AX*4), Y12, Y0
+	VMOVUPS Y0, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  sp1_j8
+
+sp1_jtail:
+	CMPQ AX, BX
+	JGE  sp1_next
+	VMOVSS (DI)(AX*4), X0
+	VFMADD231SS (R8)(AX*4), X12, X0
+	VMOVSS X0, (DI)(AX*4)
+	INCQ AX
+	JMP  sp1_jtail
+
+sp1_next:
+	ADDQ $4, R12
+	ADDQ $4, R13
+	DECQ CX
+	JMP  sp1_loop
+
+sp_done:
+	VZEROUPPER
+	RET
+
+// func denseRowMatMulF32AVX2(dst *float32, n int, a *float32, kMax int, b *float32)
+// dst must be zeroed (or pre-biased) by the caller; b rows are consumed in
+// ascending k, four at a time.
+TEXT ·denseRowMatMulF32AVX2(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ n+8(FP), BX
+	MOVQ a+16(FP), R13
+	MOVQ kMax+24(FP), CX
+	MOVQ b+32(FP), SI
+	MOVQ BX, R14
+	SHLQ $2, R14
+
+dn4_loop:
+	CMPQ CX, $4
+	JLT  dn1_loop
+	MOVQ SI, R8
+	LEAQ (R8)(R14*1), R9
+	LEAQ (R9)(R14*1), R10
+	LEAQ (R10)(R14*1), R11
+	VBROADCASTSS (R13), Y12
+	VBROADCASTSS 4(R13), Y13
+	VBROADCASTSS 8(R13), Y14
+	VBROADCASTSS 12(R13), Y15
+	XORQ AX, AX
+
+dn4_j32:
+	LEAQ 32(AX), DX
+	CMPQ DX, BX
+	JGT  dn4_j8
+	VMOVUPS (DI)(AX*4), Y0
+	VMOVUPS 32(DI)(AX*4), Y1
+	VMOVUPS 64(DI)(AX*4), Y2
+	VMOVUPS 96(DI)(AX*4), Y3
+	VFMADD231PS (R8)(AX*4), Y12, Y0
+	VFMADD231PS 32(R8)(AX*4), Y12, Y1
+	VFMADD231PS 64(R8)(AX*4), Y12, Y2
+	VFMADD231PS 96(R8)(AX*4), Y12, Y3
+	VFMADD231PS (R9)(AX*4), Y13, Y0
+	VFMADD231PS 32(R9)(AX*4), Y13, Y1
+	VFMADD231PS 64(R9)(AX*4), Y13, Y2
+	VFMADD231PS 96(R9)(AX*4), Y13, Y3
+	VFMADD231PS (R10)(AX*4), Y14, Y0
+	VFMADD231PS 32(R10)(AX*4), Y14, Y1
+	VFMADD231PS 64(R10)(AX*4), Y14, Y2
+	VFMADD231PS 96(R10)(AX*4), Y14, Y3
+	VFMADD231PS (R11)(AX*4), Y15, Y0
+	VFMADD231PS 32(R11)(AX*4), Y15, Y1
+	VFMADD231PS 64(R11)(AX*4), Y15, Y2
+	VFMADD231PS 96(R11)(AX*4), Y15, Y3
+	VMOVUPS Y0, (DI)(AX*4)
+	VMOVUPS Y1, 32(DI)(AX*4)
+	VMOVUPS Y2, 64(DI)(AX*4)
+	VMOVUPS Y3, 96(DI)(AX*4)
+	ADDQ $32, AX
+	JMP  dn4_j32
+
+dn4_j8:
+	LEAQ 8(AX), DX
+	CMPQ DX, BX
+	JGT  dn4_jtail
+	VMOVUPS (DI)(AX*4), Y0
+	VFMADD231PS (R8)(AX*4), Y12, Y0
+	VFMADD231PS (R9)(AX*4), Y13, Y0
+	VFMADD231PS (R10)(AX*4), Y14, Y0
+	VFMADD231PS (R11)(AX*4), Y15, Y0
+	VMOVUPS Y0, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  dn4_j8
+
+dn4_jtail:
+	CMPQ AX, BX
+	JGE  dn4_next
+	VMOVSS (DI)(AX*4), X0
+	VFMADD231SS (R8)(AX*4), X12, X0
+	VFMADD231SS (R9)(AX*4), X13, X0
+	VFMADD231SS (R10)(AX*4), X14, X0
+	VFMADD231SS (R11)(AX*4), X15, X0
+	VMOVSS X0, (DI)(AX*4)
+	INCQ AX
+	JMP  dn4_jtail
+
+dn4_next:
+	LEAQ (R11)(R14*1), SI
+	ADDQ $16, R13
+	SUBQ $4, CX
+	JMP  dn4_loop
+
+dn1_loop:
+	TESTQ CX, CX
+	JLE   dn_done
+	MOVQ SI, R8
+	VBROADCASTSS (R13), Y12
+	XORQ AX, AX
+
+dn1_j8:
+	LEAQ 8(AX), DX
+	CMPQ DX, BX
+	JGT  dn1_jtail
+	VMOVUPS (DI)(AX*4), Y0
+	VFMADD231PS (R8)(AX*4), Y12, Y0
+	VMOVUPS Y0, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  dn1_j8
+
+dn1_jtail:
+	CMPQ AX, BX
+	JGE  dn1_next
+	VMOVSS (DI)(AX*4), X0
+	VFMADD231SS (R8)(AX*4), X12, X0
+	VMOVSS X0, (DI)(AX*4)
+	INCQ AX
+	JMP  dn1_jtail
+
+dn1_next:
+	ADDQ R14, SI
+	ADDQ $4, R13
+	DECQ CX
+	JMP  dn1_loop
+
+dn_done:
+	VZEROUPPER
+	RET
+
+// func sparseDequantAxpyI8AVX2(dst *float32, n int, w *int8, idx *int32, val *float32, nz int)
+// int8 weight rows are widened 8 lanes at a time (VPMOVSXBD + VCVTDQ2PS)
+// and folded into the float32 accumulator with FMA — the vector form of the
+// scalar per-weight widening that made the pure-Go int8 path slower than
+// f32 (DESIGN.md §12).
+TEXT ·sparseDequantAxpyI8AVX2(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ n+8(FP), BX
+	MOVQ w+16(FP), SI
+	MOVQ idx+24(FP), R12
+	MOVQ val+32(FP), R13
+	MOVQ nz+40(FP), CX
+	MOVQ BX, R14                  // stride = n * sizeof(int8)
+
+dq4_loop:
+	CMPQ CX, $4
+	JLT  dq1_loop
+	MOVLQSX (R12), AX
+	IMULQ   R14, AX
+	LEAQ    (SI)(AX*1), R8
+	MOVLQSX 4(R12), AX
+	IMULQ   R14, AX
+	LEAQ    (SI)(AX*1), R9
+	MOVLQSX 8(R12), AX
+	IMULQ   R14, AX
+	LEAQ    (SI)(AX*1), R10
+	MOVLQSX 12(R12), AX
+	IMULQ   R14, AX
+	LEAQ    (SI)(AX*1), R11
+	VBROADCASTSS (R13), Y12
+	VBROADCASTSS 4(R13), Y13
+	VBROADCASTSS 8(R13), Y14
+	VBROADCASTSS 12(R13), Y15
+	XORQ AX, AX
+
+dq4_j8:
+	LEAQ 8(AX), DX
+	CMPQ DX, BX
+	JGT  dq4_jtail
+	VMOVUPS (DI)(AX*4), Y0
+	VPMOVSXBD (R8)(AX*1), Y4
+	VCVTDQ2PS Y4, Y4
+	VFMADD231PS Y4, Y12, Y0
+	VPMOVSXBD (R9)(AX*1), Y5
+	VCVTDQ2PS Y5, Y5
+	VFMADD231PS Y5, Y13, Y0
+	VPMOVSXBD (R10)(AX*1), Y4
+	VCVTDQ2PS Y4, Y4
+	VFMADD231PS Y4, Y14, Y0
+	VPMOVSXBD (R11)(AX*1), Y5
+	VCVTDQ2PS Y5, Y5
+	VFMADD231PS Y5, Y15, Y0
+	VMOVUPS Y0, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  dq4_j8
+
+dq4_jtail:
+	CMPQ AX, BX
+	JGE  dq4_next
+	VMOVSS (DI)(AX*4), X0
+	MOVBLSX (R8)(AX*1), DX
+	VCVTSI2SSL DX, X4, X4
+	VFMADD231SS X4, X12, X0
+	MOVBLSX (R9)(AX*1), DX
+	VCVTSI2SSL DX, X4, X4
+	VFMADD231SS X4, X13, X0
+	MOVBLSX (R10)(AX*1), DX
+	VCVTSI2SSL DX, X4, X4
+	VFMADD231SS X4, X14, X0
+	MOVBLSX (R11)(AX*1), DX
+	VCVTSI2SSL DX, X4, X4
+	VFMADD231SS X4, X15, X0
+	VMOVSS X0, (DI)(AX*4)
+	INCQ AX
+	JMP  dq4_jtail
+
+dq4_next:
+	ADDQ $16, R12
+	ADDQ $16, R13
+	SUBQ $4, CX
+	JMP  dq4_loop
+
+dq1_loop:
+	TESTQ CX, CX
+	JLE   dq_done
+	MOVLQSX (R12), AX
+	IMULQ   R14, AX
+	LEAQ    (SI)(AX*1), R8
+	VBROADCASTSS (R13), Y12
+	XORQ AX, AX
+
+dq1_j8:
+	LEAQ 8(AX), DX
+	CMPQ DX, BX
+	JGT  dq1_jtail
+	VMOVUPS (DI)(AX*4), Y0
+	VPMOVSXBD (R8)(AX*1), Y4
+	VCVTDQ2PS Y4, Y4
+	VFMADD231PS Y4, Y12, Y0
+	VMOVUPS Y0, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  dq1_j8
+
+dq1_jtail:
+	CMPQ AX, BX
+	JGE  dq1_next
+	VMOVSS (DI)(AX*4), X0
+	MOVBLSX (R8)(AX*1), DX
+	VCVTSI2SSL DX, X4, X4
+	VFMADD231SS X4, X12, X0
+	VMOVSS X0, (DI)(AX*4)
+	INCQ AX
+	JMP  dq1_jtail
+
+dq1_next:
+	ADDQ $4, R12
+	ADDQ $4, R13
+	DECQ CX
+	JMP  dq1_loop
+
+dq_done:
+	VZEROUPPER
+	RET
+
+// func quantMaddU7I8AVX2(dst *int32, n int, packed *int8, act *uint8, groups int)
+// The VPMADDUBSW/VPMADDWD int8 dot-product kernel. packed holds the weight
+// matrix in k-quad layout (tensor.PackI8KQuad): group g stores, for every
+// output column j, the four consecutive-k weights w[4g..4g+3][j] as adjacent
+// bytes. One VPMADDUBSW against the broadcast activation quad produces
+// a[4g]·w[4g][j] + a[4g+1]·w[4g+1][j] in even int16 lanes and the remaining
+// pair in odd lanes; VPMADDWD against words of 1 folds the pair into one
+// int32 per column. act bytes must be ≤ 127 so the int16 stage cannot
+// saturate (127·127·2 = 32258 < 32767) — quantMaddU7I8Generic is then
+// bit-identical.
+//
+// Registers: DI dst, BX n, SI packed group base, R13 act cursor, CX groups,
+// R14 group stride (n·4), R8–R11 the group's four act bytes (scalar tail),
+// Y6 broadcast act quad, Y7 words of 1, R12/R15/DX scalar scratch.
+TEXT ·quantMaddU7I8AVX2(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ n+8(FP), BX
+	MOVQ packed+16(FP), SI
+	MOVQ act+24(FP), R13
+	MOVQ groups+32(FP), CX
+	MOVQ BX, R14
+	SHLQ $2, R14
+	VPCMPEQW Y7, Y7, Y7
+	VPSRLW $15, Y7, Y7            // 16 × int16(1)
+
+qm_gloop:
+	TESTQ CX, CX
+	JLE   qm_done
+	VPBROADCASTD (R13), Y6
+	MOVBLZX (R13), R8
+	MOVBLZX 1(R13), R9
+	MOVBLZX 2(R13), R10
+	MOVBLZX 3(R13), R11
+	XORQ AX, AX
+
+qm_j8:
+	LEAQ 8(AX), DX
+	CMPQ DX, BX
+	JGT  qm_jtail
+	VMOVDQU (SI)(AX*4), Y4
+	VPMADDUBSW Y4, Y6, Y5
+	VPMADDWD Y7, Y5, Y5
+	VPADDD (DI)(AX*4), Y5, Y5
+	VMOVDQU Y5, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  qm_j8
+
+qm_jtail:
+	CMPQ AX, BX
+	JGE  qm_gnext
+	LEAQ (SI)(AX*4), DX
+	MOVBLSX (DX), R15
+	IMULL R8, R15
+	MOVBLSX 1(DX), R12
+	IMULL R9, R12
+	ADDL  R12, R15
+	MOVBLSX 2(DX), R12
+	IMULL R10, R12
+	ADDL  R12, R15
+	MOVBLSX 3(DX), R12
+	IMULL R11, R12
+	ADDL  R12, R15
+	ADDL  R15, (DI)(AX*4)
+	INCQ AX
+	JMP  qm_jtail
+
+qm_gnext:
+	ADDQ R14, SI
+	ADDQ $4, R13
+	DECQ CX
+	JMP  qm_gloop
+
+qm_done:
+	VZEROUPPER
+	RET

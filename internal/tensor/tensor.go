@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/parallel"
 )
@@ -237,9 +238,7 @@ func MatMul(dst, a, b *Matrix) *Matrix {
 		kernel = matmulRangeBlocked
 	}
 	if work >= matmulParallelThreshold && a.Rows > 1 {
-		parallelRows(a.Rows, func(lo, hi int) {
-			kernel(dst, a, b, lo, hi)
-		})
+		parallelRows(a.Rows, kernel, dst, a, b)
 	} else {
 		kernel(dst, a, b, 0, a.Rows)
 	}
@@ -331,13 +330,10 @@ func MatMulATB(dst, a, b *Matrix) *Matrix {
 	// result, bit for bit — is independent of the worker count. This is the
 	// Dense backward path (dW = xᵀ·grad), which was the last serial matmul.
 	work := a.Rows * a.Cols * b.Cols
-	doRange := func(lo, hi int) {
-		matmulATBRange(dst, a, b, lo, hi)
-	}
 	if work >= matmulParallelThreshold && a.Cols > 1 {
-		parallelRows(a.Cols, doRange)
+		parallelRows(a.Cols, matmulATBRange, dst, a, b)
 	} else {
-		doRange(0, a.Cols)
+		matmulATBRange(dst, a, b, 0, a.Cols)
 	}
 	return dst
 }
@@ -392,13 +388,10 @@ func MatMulABT(dst, a, b *Matrix) *Matrix {
 		}
 	}
 	work := a.Rows * a.Cols * b.Rows
-	doRange := func(lo, hi int) {
-		matmulABTRange(dst, a, b, lo, hi)
-	}
 	if work >= matmulParallelThreshold && a.Rows > 1 {
-		parallelRows(a.Rows, doRange)
+		parallelRows(a.Rows, matmulABTRange, dst, a, b)
 	} else {
-		doRange(0, a.Rows)
+		matmulABTRange(dst, a, b, 0, a.Rows)
 	}
 	return dst
 }
@@ -430,11 +423,30 @@ func matmulABTRange(dst, a, b *Matrix, lo, hi int) {
 	}
 }
 
-// parallelRows splits [0,n) into one contiguous chunk per available worker
-// via the shared pool. The static partition keeps each output row's
-// accumulation order fixed for any worker count (see internal/parallel).
-func parallelRows(n int, f func(lo, hi int)) {
-	parallel.ForEachChunk(0, n, f)
+// matmulJob carries one parallel matmul's operands across the goroutine
+// fan-out in ChunkRunner form. Pooling the struct and passing its pointer as
+// the interface keeps the fan-out allocation-free in steady state — the
+// closure this replaces heap-allocated its captures on every call, the one
+// allocation training-loop profiles showed in BenchmarkMatMul.
+type matmulJob struct {
+	kernel    func(dst, a, b *Matrix, lo, hi int)
+	dst, a, b *Matrix
+}
+
+func (j *matmulJob) RunChunk(lo, hi int) { j.kernel(j.dst, j.a, j.b, lo, hi) }
+
+var matmulJobPool = sync.Pool{New: func() any { return new(matmulJob) }}
+
+// parallelRows runs kernel over dst rows [0,n), split into one contiguous
+// chunk per available worker via the shared pool. The static partition keeps
+// each output row's accumulation order fixed for any worker count (see
+// internal/parallel).
+func parallelRows(n int, kernel func(dst, a, b *Matrix, lo, hi int), dst, a, b *Matrix) {
+	j := matmulJobPool.Get().(*matmulJob)
+	j.kernel, j.dst, j.a, j.b = kernel, dst, a, b
+	parallel.ForEachChunkRunner(0, n, j)
+	*j = matmulJob{}
+	matmulJobPool.Put(j)
 }
 
 // AddRowVector adds vector v (length Cols) to every row in place.

@@ -352,3 +352,26 @@ func TestMinMaxPanicsOnEmpty(t *testing.T) {
 	}()
 	MinMax(nil)
 }
+
+// TestMatMulParallelZeroAlloc pins the parallel dispatch path to zero heap
+// allocations per call: the matmulJob pool replaced the per-call closure
+// that used to escape into the fan-out. GOMAXPROCS is forced to 1 so the
+// chunk runner executes inline and the measurement excludes goroutine
+// machinery, isolating exactly the dispatch-path allocation.
+func TestMatMulParallelZeroAlloc(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	rng := rand.New(rand.NewSource(61))
+	// 256³ MACs is above matmulParallelThreshold, so this takes the
+	// parallel branch of MatMul.
+	a := NewMatrix(256, 256).RandomizeNormal(rng, 1)
+	b := NewMatrix(256, 256).RandomizeNormal(rng, 1)
+	dst := NewMatrix(256, 256)
+	if n := testing.AllocsPerRun(5, func() {
+		MatMul(dst, a, b)
+		MatMulATB(dst, a, b)
+		MatMulABT(dst, a, b)
+	}); n != 0 {
+		t.Fatalf("parallel matmul dispatch allocates %v per run, want 0", n)
+	}
+}

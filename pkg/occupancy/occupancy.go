@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/cpukit"
 	"repro/internal/csi"
 	"repro/internal/dataset"
 	"repro/internal/infer"
@@ -228,6 +229,23 @@ const (
 	PrecisionF32 = "f32"
 	PrecisionI8  = "int8"
 )
+
+// Kernel returns the compute kernel every score in this process runs on:
+// "avx2" when the hand-written AVX2+FMA kernels were selected at startup,
+// "generic" for the portable pure-Go kernels (DESIGN.md §14). The selection
+// is made once per process (hardware detection, overridable via the
+// OCCU_KERNEL environment variable) and never changes.
+func Kernel() string { return cpukit.Active().String() }
+
+// KernelDescription returns the one-line selection report servers print at
+// startup, e.g. "avx2 (auto-detected; cpu avx2+fma: true)".
+func KernelDescription() string { return cpukit.Describe() }
+
+// KernelError reports a failed kernel selection — OCCU_KERNEL forced a
+// kernel this CPU cannot run, or named an unknown kernel. The process falls
+// back to generic in that case; servers should treat a non-nil error as
+// fatal at startup rather than silently serving slower than asked.
+func KernelError() error { return cpukit.SelectionError() }
 
 // EngineConfig controls NewEngine. The zero value is sensible: one worker
 // per core, micro-batches of up to 256 rows, float64 scoring.

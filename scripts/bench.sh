@@ -28,7 +28,7 @@ out="${1:-BENCH_$(date +%F).json}"
 if [[ -z "${1:-}" && -e "$out" ]]; then
   out="BENCH_$(date +%FT%H%M%S).json"
 fi
-benches='BenchmarkTable4Full|BenchmarkTrainEpochMLP|BenchmarkMatMul$|BenchmarkInferenceMLPBatch256|BenchmarkInferenceMLPSingleFused|BenchmarkEngineMultiFeed|BenchmarkFrameLogAppend'
+benches='BenchmarkTable4Full|BenchmarkTrainEpochMLP|BenchmarkMatMul$|BenchmarkInferenceMLPBatch256|BenchmarkInferenceMLPSingleFused|BenchmarkEngineMultiFeed|BenchmarkFrameLogAppend|BenchmarkKernel'
 
 raw="$(go test -bench="$benches" -benchtime=3x -benchmem -run '^$' . 2>&1)"
 echo "$raw"
@@ -59,6 +59,16 @@ done
   printf '  "num_cpu": %s,\n' "$(getconf _NPROCESSORS_ONLN)"
   cpu_model="$(grep -m1 'model name' /proc/cpuinfo 2>/dev/null | cut -d: -f2- | sed 's/^ *//' || true)"
   printf '  "cpu": "%s",\n' "${cpu_model:-unknown}"
+  # Which SIMD features the host offers and which kernel was requested —
+  # the Inference*/Kernel* numbers are meaningless without them (an AVX2
+  # run and a generic run differ ~3x on the f32 path, DESIGN.md §14).
+  cpu_flags="$(grep -m1 '^flags' /proc/cpuinfo 2>/dev/null | cut -d: -f2- || true)"
+  feats=""
+  for f in avx2 fma avx512f; do
+    if grep -qw "$f" <<<"$cpu_flags"; then feats="${feats:+$feats }$f"; fi
+  done
+  printf '  "cpu_simd": "%s",\n' "${feats:-none}"
+  printf '  "kernel": "%s",\n' "${OCCU_KERNEL:-auto}"
   printf '  "benchmarks": [\n'
   echo "$raw" | awk '
     /^Benchmark/ {
