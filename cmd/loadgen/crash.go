@@ -3,7 +3,6 @@ package main
 import (
 	"bufio"
 	"context"
-	"encoding/json"
 	"fmt"
 	"math"
 	"net/http"
@@ -18,7 +17,6 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/fault"
 	"repro/internal/framelog"
-	"repro/internal/server"
 	"repro/internal/stream"
 	"repro/pkg/occupancy"
 )
@@ -64,9 +62,9 @@ func runCrashChild(model, logDir string) {
 	fail(srv.Run(context.Background()))
 }
 
-// startCrashChild launches the child server process and returns it with its
-// base URL (confirmed live via /healthz).
-func startCrashChild(model, logDir string) (*exec.Cmd, string) {
+// startCrashChild launches the child server process and returns it with a
+// client bound to its base URL (confirmed live via the health probe).
+func startCrashChild(model, logDir string) (*exec.Cmd, *occupancy.Client, string) {
 	self, err := os.Executable()
 	fail(err)
 	cmd := exec.Command(self, "-crash-child", "-model", model, "-crash-log-dir", logDir)
@@ -96,15 +94,21 @@ func startCrashChild(model, logDir string) (*exec.Cmd, string) {
 		_ = cmd.Process.Kill()
 		fail(fmt.Errorf("crash: child did not announce its address"))
 	}
-	client := &http.Client{Timeout: time.Second}
+	cl, err := occupancy.NewClient(occupancy.ClientConfig{
+		BaseURL:      url,
+		HTTPClient:   &http.Client{},
+		MaxRetryWait: 50 * time.Millisecond,
+	})
+	fail(err)
+	probe, err := occupancy.NewClient(occupancy.ClientConfig{
+		BaseURL:    url,
+		HTTPClient: &http.Client{Timeout: time.Second},
+	})
+	fail(err)
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		resp, err := client.Get(url + "/healthz")
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return cmd, url
-			}
+		if err := probe.Healthy(context.Background()); err == nil {
+			return cmd, cl, url
 		}
 		if time.Now().After(deadline) {
 			_ = cmd.Process.Kill()
@@ -116,9 +120,9 @@ func startCrashChild(model, logDir string) (*exec.Cmd, string) {
 
 // crashFrame is the deterministic k-th frame of the crash run, exactly as
 // the server's ingest path will see it.
-func crashFrame(recs []dataset.Record, k int) server.FrameJSON {
+func crashFrame(recs []dataset.Record, k int) occupancy.Frame {
 	r := &recs[k%len(recs)]
-	return server.FrameJSON{Time: r.Time, CSI: r.CSI[:], Temp: r.Temp, Humidity: r.Humidity}
+	return occupancy.Frame{Time: r.Time, CSI: r.CSI[:], Temp: r.Temp, Humidity: r.Humidity}
 }
 
 // crashRefFrame mirrors server-side frame construction (http.FrameJSON.
@@ -138,6 +142,7 @@ func crashRefFrame(recs []dataset.Record, k int) fault.Frame {
 // runCrashMode drives the kill-and-recover scenario. total is the planned
 // frame count; the kill lands once half of it is acknowledged.
 func runCrashMode(det *core.Detector, recs []dataset.Record, total int, model string) {
+	ctx := context.Background()
 	tmp, err := os.MkdirTemp("", "loadgen-crash-*")
 	fail(err)
 	defer os.RemoveAll(tmp)
@@ -153,54 +158,36 @@ func runCrashMode(det *core.Detector, recs []dataset.Record, total int, model st
 	fail(err)
 	logDir := filepath.Join(tmp, "framelog")
 	const id = "crash-room"
-	client := &http.Client{}
 
 	// Phase 1: serve and stream until the kill threshold.
-	child, url := startCrashChild(model, logDir)
+	child, cl, url := startCrashChild(model, logDir)
 	fmt.Printf("loadgen: crash: child A at %s, logging to %s\n", url, logDir)
-	code, _ := do(client, http.MethodPut, url+"/v1/feeds/"+id, nil)
-	if code != http.StatusCreated {
-		fail(fmt.Errorf("crash: register: status %d", code))
+	if _, err := cl.RegisterFeed(ctx, id); err != nil {
+		fail(fmt.Errorf("crash: register: %w", err))
 	}
 
 	var acked, killed atomic.Int64
 	senderDone := make(chan struct{})
 	go func() {
 		defer close(senderDone)
-		pending := make([]server.FrameJSON, 0, httpBatch)
+		pending := make([]occupancy.Frame, 0, httpBatch)
 		k := 0
+		// The client rides out 429 pressure internally; any error that
+		// remains is either the kill landing mid-request (expected) or a
+		// real ingest failure.
 		flush := func() bool {
-			for len(pending) > 0 {
-				body, err := json.Marshal(server.IngestRequest{Frames: pending})
-				fail(err)
-				req, err := http.NewRequest(http.MethodPost, url+"/v1/feeds/"+id+"/frames", strings.NewReader(string(body)))
-				fail(err)
-				req.Header.Set("Content-Type", "application/json")
-				resp, err := client.Do(req)
-				if err != nil {
-					if killed.Load() != 0 {
-						return false // the kill landed mid-request: expected
-					}
-					fail(fmt.Errorf("crash: ingest: %w", err))
-				}
-				var ir server.IngestResponse
-				rb := json.NewDecoder(resp.Body)
-				_ = rb.Decode(&ir)
-				resp.Body.Close()
-				switch resp.StatusCode {
-				case http.StatusAccepted:
-					pending = pending[:0]
-				case http.StatusTooManyRequests:
-					pending = pending[ir.Accepted:]
-					time.Sleep(2 * time.Millisecond)
-				default:
-					if killed.Load() != 0 {
-						return false
-					}
-					fail(fmt.Errorf("crash: ingest: status %d", resp.StatusCode))
-				}
-				acked.Add(int64(ir.Accepted))
+			if len(pending) == 0 {
+				return true
 			}
+			n, err := cl.Ingest(ctx, id, pending)
+			acked.Add(int64(n))
+			if err != nil {
+				if killed.Load() != 0 {
+					return false
+				}
+				fail(fmt.Errorf("crash: ingest: %w", err))
+			}
+			pending = pending[:0]
 			return true
 		}
 		for k < total {
@@ -262,18 +249,21 @@ func runCrashMode(det *core.Detector, recs []dataset.Record, total int, model st
 	}
 
 	// Phase 3: a fresh child recovers from the log alone.
-	child2, url2 := startCrashChild(model, logDir)
+	child2, cl2, url2 := startCrashChild(model, logDir)
 	defer func() {
 		_ = child2.Process.Kill()
 		_ = child2.Wait()
 	}()
 	fmt.Printf("loadgen: crash: child B at %s, recovering\n", url2)
-	var rec server.Event
+	var rec occupancy.Decision
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		code, body := do(client, http.MethodGet, url2+"/v1/feeds/"+id+"/occupancy", nil)
-		if code == http.StatusOK && json.Unmarshal(body, &rec) == nil && rec.Seq == int64(len(logged)-1) {
-			break
+		d, ok, err := cl2.Occupancy(ctx, id)
+		if err == nil && ok {
+			rec = d
+			if rec.Seq == int64(len(logged)-1) {
+				break
+			}
 		}
 		if time.Now().After(deadline) {
 			fail(fmt.Errorf("crash: recovery never reached frame %d (last: %+v)", len(logged)-1, rec))
@@ -290,43 +280,32 @@ func runCrashMode(det *core.Detector, recs []dataset.Record, total int, model st
 
 	// Phase 4: the stream continues across the crash as if it never
 	// happened — every remaining decision bit-identical to the reference.
-	streamResp, err := client.Get(url2 + "/v1/feeds/" + id + "/stream?all=1")
-	fail(err)
-	if streamResp.StatusCode != http.StatusOK {
-		fail(fmt.Errorf("crash: stream subscribe: status %d", streamResp.StatusCode))
+	st, err := cl2.StreamDecisions(ctx, id, true)
+	if err != nil {
+		fail(fmt.Errorf("crash: stream subscribe: %w", err))
 	}
-	events := make(chan server.Event, total)
+	events := make(chan occupancy.Decision, total)
 	go func() {
 		defer close(events)
-		defer streamResp.Body.Close()
-		sc := bufio.NewScanner(streamResp.Body)
-		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-		for sc.Scan() {
-			var ev server.Event
-			if json.Unmarshal(sc.Bytes(), &ev) == nil {
-				events <- ev
+		defer st.Close()
+		for {
+			ev, err := st.Next()
+			if err != nil {
+				return
 			}
+			events <- ev
 		}
 	}()
 
-	pending := make([]server.FrameJSON, 0, httpBatch)
+	pending := make([]occupancy.Frame, 0, httpBatch)
 	flush := func() {
-		for len(pending) > 0 {
-			body, err := json.Marshal(server.IngestRequest{Frames: pending})
-			fail(err)
-			code, resp := do(client, http.MethodPost, url2+"/v1/feeds/"+id+"/frames", body)
-			var ir server.IngestResponse
-			_ = json.Unmarshal(resp, &ir)
-			switch code {
-			case http.StatusAccepted:
-				pending = pending[:0]
-			case http.StatusTooManyRequests:
-				pending = pending[ir.Accepted:]
-				time.Sleep(2 * time.Millisecond)
-			default:
-				fail(fmt.Errorf("crash: continuation ingest: status %d: %s", code, resp))
-			}
+		if len(pending) == 0 {
+			return
 		}
+		if _, err := cl2.Ingest(ctx, id, pending); err != nil {
+			fail(fmt.Errorf("crash: continuation ingest: %w", err))
+		}
+		pending = pending[:0]
 	}
 	for k := len(logged); k < total; k++ {
 		pending = append(pending, crashFrame(recs, k))
@@ -338,7 +317,7 @@ func runCrashMode(det *core.Detector, recs []dataset.Record, total int, model st
 
 	diverged := 0
 	for k := len(logged); k < total; k++ {
-		var ev server.Event
+		var ev occupancy.Decision
 		select {
 		case ev = <-events:
 		case <-time.After(30 * time.Second):

@@ -15,6 +15,23 @@
 //	loadgen [-feeds n] [-per-feed n] [-workers n] [-batch n] [-delay d]
 //	        [-model detector.bin] [-epochs n] [-seed n] [-verify]
 //	        [-precision f64|f32|int8] [-metrics-addr :9090] [-crash]
+//	        [-http [-target url] [-cluster n [-drain-node id]]]
+//
+// -http drives the network serving layer through the typed occupancy.Client
+// instead of in-process calls; with an empty -target it boots the server
+// itself and requires every streamed decision to match a local replay bit
+// for bit.
+//
+// -cluster (with -http) switches to the sharded-cluster harness: it boots n
+// in-process nodes behind one shard map (or, with -target, drives a running
+// occuserve cluster and takes membership from its map), streams every feed
+// at its owning node, and mid-run drains one node out of the cluster —
+// installing the epoch+1 map, pulling the drained node's sealed feed logs,
+// and handing each moved feed's history to its new owner. The run fails if
+// any acknowledged frame is missing from a log, or if any decision —
+// before, across, or after the drain — differs by one bit from a
+// single-node replay of the same frames (DESIGN.md §15). External nodes
+// must serve with durability on and a stream buffer covering -per-feed.
 //
 // -crash switches to the durability harness: a child server process (this
 // binary re-exec'd) serves with a durable frame log, gets SIGKILLed once
@@ -70,6 +87,9 @@ func main() {
 		httpRun = flag.Bool("http", false, "drive the network serving layer over HTTP instead of in-process calls")
 		target  = flag.String("target", "", "with -http: URL of a running occuserve (empty: boot an in-process server and verify decisions)")
 
+		clusterN  = flag.Int("cluster", 0, "with -http: drive a sharded cluster with a mid-run drain — boot this many in-process nodes, or with -target take membership from the external cluster's shard map")
+		drainNode = flag.String("drain-node", "", "with -cluster: node ID to drain mid-run (empty: the last node in the shard map)")
+
 		crash       = flag.Bool("crash", false, "SIGKILL a durable child server mid-stream, restart it, and require bit-identical recovered decisions (DESIGN.md §13)")
 		crashChild  = flag.Bool("crash-child", false, "internal: run as the durable server child for -crash")
 		crashLogDir = flag.String("crash-log-dir", "", "internal: frame log root for -crash-child")
@@ -82,6 +102,9 @@ func main() {
 	if *feeds < 1 || *perFeed < 1 || *workers < 0 || *batch < 1 || *epochs < 1 {
 		fail(fmt.Errorf("flags out of range: -feeds %d -per-feed %d -workers %d -batch %d -epochs %d",
 			*feeds, *perFeed, *workers, *batch, *epochs))
+	}
+	if (*clusterN > 0 || *drainNode != "") && !*httpRun {
+		fail(fmt.Errorf("-cluster/-drain-node require -http"))
 	}
 
 	// Fail before training if OCCU_KERNEL asked for a kernel this CPU
@@ -111,7 +134,11 @@ func main() {
 	}
 
 	if *httpRun {
-		runHTTPMode(det, recs, *feeds, *perFeed, *workers, *batch, *seed, *target, reg)
+		if *clusterN > 0 {
+			runClusterMode(det, recs, *feeds, *perFeed, *workers, *batch, *seed, *clusterN, *drainNode, *target, reg)
+		} else {
+			runHTTPMode(det, recs, *feeds, *perFeed, *workers, *batch, *seed, *target, reg)
+		}
 		return
 	}
 

@@ -3,14 +3,19 @@
 // and read occupancy decisions back, all served by one shared batched
 // inference engine.
 //
-// The API (see DESIGN.md §11):
+// The API (the full reference is API.md; see also DESIGN.md §11 and §15):
 //
 //	PUT    /v1/feeds/{id}            register a feed
 //	POST   /v1/feeds/{id}/frames     batch-ingest CSI frames (429 + Retry-After
 //	                                 on backpressure)
 //	GET    /v1/feeds/{id}/occupancy  latest decision
 //	GET    /v1/feeds/{id}/stream     NDJSON decision stream
+//	GET    /v1/feeds/{id}/log        dump a drained feed's durable frame log
 //	DELETE /v1/feeds/{id}            close a feed
+//	GET    /v1/cluster               shard map, node identity, model hash
+//	PUT    /v1/cluster               install a newer shard map
+//	POST   /v1/cluster/drain         drain this node and wait
+//	GET    /v1/model                 the detector bundle this node serves
 //	GET    /healthz, /readyz         liveness / readiness
 //	GET    /metrics, /debug/pprof/   observability
 //
@@ -22,9 +27,21 @@
 //
 //	occuserve [-addr :8080] [-model detector.bin] [-epochs n]
 //	          [-queue n] [-max-feeds n] [-rate-limit hz] [-idle-timeout d]
+//	          [-stream-buffer n]
 //	          [-workers n] [-batch n] [-precision f64|f32|int8]
 //	          [-log-dir dir] [-fsync always|interval|off] [-fsync-interval d]
 //	          [-drain-timeout d] [-seed n]
+//	          [-cluster-self id] [-cluster-nodes id=url,...] [-cluster-vnodes n]
+//	          [-cluster-forward] [-model-from url]
+//
+// Cluster mode: -cluster-self names this node in the shard map;
+// -cluster-nodes seeds the initial membership (epoch 1), or is left empty to
+// have an orchestrator install the map via PUT /v1/cluster. A node whose
+// -cluster-self is absent from the map owns no feeds; give it
+// -cluster-forward and it is the thin router that proxies every feed request
+// to the owner. -model-from fetches the detector bundle from a running peer
+// instead of loading or training one, so every node serves byte-identical
+// weights (verify via the model_sha256 field of /v1/cluster).
 //
 // -precision selects the inference arithmetic: f64 (default) is
 // bit-identical to the offline reference path; f32 halves the hot-path
@@ -48,6 +65,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -66,12 +84,19 @@ func main() {
 		maxFeeds  = flag.Int("max-feeds", 0, "concurrent feed cap (0 = default 1024)")
 		rate      = flag.Float64("rate-limit", 0, "per-feed ingest rate limit in frames/sec (0 = unlimited)")
 		idle      = flag.Duration("idle-timeout", 0, "evict feeds idle this long (0 = default 2m, negative = never)")
+		streamBuf = flag.Int("stream-buffer", 0, "per-subscriber decision stream buffer (0 = default 256)")
 		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 		seed      = flag.Int64("seed", 42, "per-feed jitter seed")
 
 		logDir        = flag.String("log-dir", "", "durable frame log root (empty: durability off)")
 		fsync         = flag.String("fsync", "interval", "frame log sync policy: always, interval or off")
 		fsyncInterval = flag.Duration("fsync-interval", 0, "max time between syncs under -fsync interval (0 = default 100ms)")
+
+		clusterSelf    = flag.String("cluster-self", "", "this node's ID in the shard map (empty: standalone)")
+		clusterNodes   = flag.String("cluster-nodes", "", "initial shard membership as id=url[,id=url...] (empty: wait for an orchestrator to install a map)")
+		clusterVNodes  = flag.Int("cluster-vnodes", 0, "virtual nodes per member on the hash ring (0 = default 64)")
+		clusterForward = flag.Bool("cluster-forward", false, "proxy misplaced feed requests to their owner instead of answering 307 (router mode)")
+		modelFrom      = flag.String("model-from", "", "fetch the detector bundle from this running peer instead of -model/training")
 	)
 	flag.Parse()
 	if *epochs < 1 {
@@ -87,11 +112,21 @@ func main() {
 
 	var primary, fallback *occupancy.Detector
 	var err error
-	if *model != "" {
+	switch {
+	case *modelFrom != "":
+		cl, cerr := occupancy.NewClient(occupancy.ClientConfig{BaseURL: *modelFrom})
+		fail(cerr)
+		blob, ferr := cl.FetchModel(ctx)
+		fail(ferr)
+		primary, err = occupancy.LoadBytes(blob)
+		fail(err)
+		fmt.Printf("occuserve: fetched detector bundle from %s (%s features, %d bytes)\n",
+			*modelFrom, primary.Features(), len(blob))
+	case *model != "":
 		primary, err = occupancy.Load(*model)
 		fail(err)
 		fmt.Printf("occuserve: loaded %s (%s features)\n", *model, primary.Features())
-	} else {
+	default:
 		fmt.Println("occuserve: no -model; training C+E and CSI-only detectors on a synthetic day")
 		tcfg := occupancy.TrainConfig{Features: occupancy.FeaturesCSIEnv, Epochs: *epochs, Seed: *seed}
 		primary, err = occupancy.Train(tcfg)
@@ -99,6 +134,15 @@ func main() {
 		tcfg.Features = occupancy.FeaturesCSI
 		fallback, err = occupancy.Train(tcfg)
 		fail(err)
+	}
+
+	var clusterCfg *occupancy.ClusterConfig
+	if *clusterSelf != "" {
+		m, merr := parseClusterNodes(*clusterNodes, *clusterVNodes)
+		fail(merr)
+		clusterCfg = &occupancy.ClusterConfig{Self: *clusterSelf, Map: m, Forward: *clusterForward}
+	} else if *clusterNodes != "" || *clusterForward {
+		fail(fmt.Errorf("-cluster-nodes/-cluster-forward need -cluster-self"))
 	}
 
 	srv, err := occupancy.NewServer(primary, occupancy.ServeConfig{
@@ -111,6 +155,7 @@ func main() {
 		MaxFeeds:     *maxFeeds,
 		RatePerSec:   *rate,
 		IdleTimeout:  *idle,
+		StreamBuffer: *streamBuf,
 		DrainTimeout: *drain,
 		Seed:         *seed,
 		Durability: occupancy.DurabilityConfig{
@@ -118,10 +163,19 @@ func main() {
 			Fsync:         *fsync,
 			FsyncInterval: *fsyncInterval,
 		},
+		Cluster: clusterCfg,
 	})
 	fail(err)
 	if *logDir != "" {
 		fmt.Printf("occuserve: durable frame log at %s (fsync=%s)\n", *logDir, *fsync)
+	}
+	if clusterCfg != nil {
+		role := "member"
+		if clusterCfg.Forward {
+			role = "forwarding router"
+		}
+		fmt.Printf("occuserve: cluster node %q (%s, map epoch %d, %d members)\n",
+			clusterCfg.Self, role, clusterCfg.Map.Epoch, len(clusterCfg.Map.Nodes))
 	}
 	if *precision != occupancy.PrecisionF64 {
 		fmt.Printf("occuserve: serving at %s precision (bounded divergence vs the f64 reference, DESIGN.md §12)\n", *precision)
@@ -131,6 +185,24 @@ func main() {
 		fail(err)
 	}
 	fmt.Println("occuserve: drained cleanly")
+}
+
+// parseClusterNodes parses "id=url[,id=url...]" into an epoch-1 shard map;
+// an empty spec yields the zero map ("wait for PUT /v1/cluster").
+func parseClusterNodes(spec string, vnodes int) (occupancy.ShardMap, error) {
+	m := occupancy.ShardMap{VNodes: vnodes}
+	if spec == "" {
+		return m, m.Validate()
+	}
+	m.Epoch = 1
+	for _, part := range strings.Split(spec, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return m, fmt.Errorf("-cluster-nodes entry %q: want id=url", part)
+		}
+		m.Nodes = append(m.Nodes, occupancy.ClusterNode{ID: id, Addr: addr})
+	}
+	return m, m.Validate()
 }
 
 func fail(err error) {

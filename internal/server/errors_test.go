@@ -1,0 +1,71 @@
+package server_test
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestErrorEnvelopeGolden pins the exact wire bytes of the error envelope.
+// These bodies are API: clients switch on code and parse retry_after_ms, so
+// a drifted field name or a handler bypassing writeError must fail loudly.
+func TestErrorEnvelopeGolden(t *testing.T) {
+	_, ts, _ := newTestServer(t, func(c *server.Config) {
+		c.RatePerSec = 1
+		c.Burst = 2
+	})
+	if code, _, _ := doReq(t, http.MethodPut, ts.URL+"/v1/feeds/room-g", nil); code != http.StatusCreated {
+		t.Fatal("register")
+	}
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+		status int
+		want   string
+	}{
+		{
+			name: "unknown feed", method: http.MethodGet, path: "/v1/feeds/ghost/occupancy",
+			status: http.StatusNotFound,
+			want:   `{"code":"unknown_feed","message":"unknown feed"}` + "\n",
+		},
+		{
+			name: "invalid feed id", method: http.MethodPut, path: "/v1/feeds/bad%20id",
+			status: http.StatusBadRequest,
+			want:   `{"code":"invalid_feed_id","message":"feed id must be 1-128 chars of [a-zA-Z0-9._-]"}` + "\n",
+		},
+		{
+			name: "empty batch", method: http.MethodPost, path: "/v1/feeds/room-g/frames",
+			body:   server.IngestRequest{},
+			status: http.StatusBadRequest,
+			want:   `{"code":"empty_batch","message":"empty frame batch"}` + "\n",
+		},
+		{
+			name: "no cluster", method: http.MethodGet, path: "/v1/cluster",
+			status: http.StatusNotFound,
+			want:   `{"code":"no_cluster","message":"node runs without cluster configuration"}` + "\n",
+		},
+		{
+			name: "rate limited with retry guidance", method: http.MethodPost, path: "/v1/feeds/room-g/frames",
+			body:   server.IngestRequest{Frames: mkFrames(5, 0.9)},
+			status: http.StatusTooManyRequests,
+			want: `{"code":"rate_limited","message":"3 of 5 frames rejected (rate_limited); retry the remainder",` +
+				`"retry_after_ms":3000,"accepted":2,"rejected":3}` + "\n",
+		},
+	}
+	for _, c := range cases {
+		code, body, hdr := doReq(t, c.method, ts.URL+c.path, c.body)
+		if code != c.status {
+			t.Errorf("%s: status %d, want %d", c.name, code, c.status)
+		}
+		if string(body) != c.want {
+			t.Errorf("%s: body\n got %q\nwant %q", c.name, body, c.want)
+		}
+		if code == http.StatusTooManyRequests && hdr.Get("Retry-After") != "3" {
+			t.Errorf("%s: Retry-After %q, want 3", c.name, hdr.Get("Retry-After"))
+		}
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"math"
 	"net/http"
-	"strconv"
 	"time"
 
 	"repro/internal/csi"
@@ -59,17 +58,37 @@ func (fj *FrameJSON) toFrame() (fault.Frame, error) {
 	return f, nil
 }
 
+// frameJSON is toFrame's inverse for the ingest-visible fields: it renders a
+// frame back to the wire exactly as a client would have sent it, which is
+// what makes a log pull + re-ingest (feed handoff) reproduce the original
+// accepted frame sequence bit for bit. Fields the HTTP path never populates
+// (EnvStale, Nulled, AGCGlitch) are deliberately not round-tripped —
+// decisions do not depend on them.
+func frameJSON(f *fault.Frame) FrameJSON {
+	fj := FrameJSON{Time: f.Rec.Time, Dropped: f.Dropped}
+	if !f.Dropped {
+		fj.CSI = append([]float64(nil), f.Rec.CSI[:]...)
+	}
+	if f.EnvOK {
+		fj.Temp, fj.Humidity = f.Rec.Temp, f.Rec.Humidity
+	} else {
+		no := false
+		fj.EnvOK = &no
+	}
+	return fj
+}
+
 // IngestRequest is the body of POST /v1/feeds/{id}/frames.
 type IngestRequest struct {
 	Frames []FrameJSON `json:"frames"`
 }
 
-// IngestResponse reports how much of the batch was accepted. On 429 the
-// client should retry the remaining len-Accepted frames after Retry-After.
+// IngestResponse is the 202 body: the whole batch was accepted. A partial
+// accept is an error on this surface — 429 (or 500 on log_error) with the
+// ErrorBody envelope carrying the accepted/rejected split and the retry
+// delay, so the success shape never needs inspecting for failure.
 type IngestResponse struct {
-	Accepted int    `json:"accepted"`
-	Rejected int    `json:"rejected,omitempty"`
-	Reason   string `json:"reason,omitempty"`
+	Accepted int `json:"accepted"`
 }
 
 // FeedInfo describes one feed in registration and listing responses.
@@ -79,30 +98,37 @@ type FeedInfo struct {
 	Decisions  int64  `json:"decisions"`
 }
 
-// errorResponse is the uniform error body.
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-// Handler returns the server's HTTP API:
+// Handler returns the server's HTTP API (the full reference is API.md):
 //
 //	PUT    /v1/feeds/{id}            register a feed (idempotent)
 //	DELETE /v1/feeds/{id}            close a feed, draining its queue
-//	GET    /v1/feeds                 list feeds
+//	GET    /v1/feeds                 list local feeds
 //	POST   /v1/feeds/{id}/frames     batch-ingest CSI frames
 //	GET    /v1/feeds/{id}/occupancy  latest decision
 //	GET    /v1/feeds/{id}/stream     NDJSON decision stream (?all=1: every
 //	                                 decision, default: state transitions)
+//	GET    /v1/feeds/{id}/log        NDJSON dump of the feed's durable frame
+//	                                 log (handoff source; requires durability)
+//	GET    /v1/cluster               shard map + node identity + model hash
+//	PUT    /v1/cluster               install a newer shard map
+//	POST   /v1/cluster/drain         drain this node and wait for it
+//	GET    /v1/model                 the detector bundle this node serves
 //	GET    /healthz                  process liveness
 //	GET    /readyz                   503 once draining
 //
-// Every route except the NDJSON stream is bounded by RequestTimeout.
-// Metrics/pprof are deliberately not mounted here — compose with
-// obs.Handler on the same mux (see cmd/occuserve).
+// On a cluster-configured node, every per-feed route first resolves the
+// feed's owner on the shard map: a misplaced request is answered 307 (with
+// Location and a misplaced_feed envelope) or, in Forward mode, proxied to
+// the owner. Every error on the surface is one ErrorBody envelope.
+//
+// Every route except the NDJSON stream, the log dump, and cluster drain is
+// bounded by RequestTimeout. Metrics/pprof are deliberately not mounted
+// here — compose with obs.Handler on the same mux (see cmd/occuserve).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	bounded := func(h http.HandlerFunc) http.Handler {
-		return http.TimeoutHandler(s.instrument(h), s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+		return http.TimeoutHandler(s.instrument(h), s.cfg.RequestTimeout,
+			`{"code":"timeout","message":"request timed out"}`)
 	}
 	mux.Handle("PUT /v1/feeds/{id}", bounded(s.handleRegister))
 	mux.Handle("DELETE /v1/feeds/{id}", bounded(s.handleUnregister))
@@ -110,6 +136,11 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/feeds/{id}/frames", bounded(s.handleIngest))
 	mux.Handle("GET /v1/feeds/{id}/occupancy", bounded(s.handleOccupancy))
 	mux.HandleFunc("GET /v1/feeds/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/feeds/{id}/log", s.handleFeedLog)
+	mux.Handle("GET /v1/cluster", bounded(s.handleClusterGet))
+	mux.Handle("PUT /v1/cluster", bounded(s.handleClusterPut))
+	mux.HandleFunc("POST /v1/cluster/drain", s.handleDrain)
+	mux.Handle("GET /v1/model", bounded(s.handleModel))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -136,23 +167,26 @@ func (s *Server) instrument(h http.HandlerFunc) http.Handler {
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		s.m.rejDraining.Inc()
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"server is draining"})
-		return
-	}
 	id := r.PathValue("id")
 	if !validFeedID(id) {
-		writeJSON(w, http.StatusBadRequest, errorResponse{"feed id must be 1-128 chars of [a-zA-Z0-9._-]"})
+		writeError(w, http.StatusBadRequest, CodeInvalidFeedID, "feed id must be 1-128 chars of [a-zA-Z0-9._-]")
+		return
+	}
+	if s.routed(w, r, id) {
+		return
+	}
+	if s.draining.Load() {
+		s.m.rejDraining.Inc()
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "node is draining")
 		return
 	}
 	f, existed, err := s.register(id)
 	switch {
 	case errors.Is(err, errFeedLimit):
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
+		writeError(w, http.StatusServiceUnavailable, CodeFeedLimit, err.Error())
 		return
 	case err != nil:
-		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
 	code := http.StatusCreated
@@ -163,9 +197,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
-	f := s.lookup(r.PathValue("id"))
+	id := r.PathValue("id")
+	if s.routed(w, r, id) {
+		return
+	}
+	f := s.lookup(id)
 	if f == nil {
-		writeJSON(w, http.StatusNotFound, errorResponse{"unknown feed"})
+		writeError(w, http.StatusNotFound, CodeUnknownFeed, "unknown feed")
 		return
 	}
 	f.closeQueue()
@@ -186,60 +224,66 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		s.m.rejDraining.Inc()
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"server is draining"})
+	id := r.PathValue("id")
+	if s.routed(w, r, id) {
 		return
 	}
-	f := s.lookup(r.PathValue("id"))
+	if s.draining.Load() {
+		s.m.rejDraining.Inc()
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "node is draining")
+		return
+	}
+	f := s.lookup(id)
 	if f == nil {
-		writeJSON(w, http.StatusNotFound, errorResponse{"unknown feed"})
+		writeError(w, http.StatusNotFound, CodeUnknownFeed, "unknown feed")
 		return
 	}
 	var req IngestRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{"malformed frame batch: " + err.Error()})
+		writeError(w, http.StatusBadRequest, CodeMalformedRequest, "malformed frame batch: "+err.Error())
 		return
 	}
 	if len(req.Frames) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{"empty frame batch"})
+		writeError(w, http.StatusBadRequest, CodeEmptyBatch, "empty frame batch")
 		return
 	}
 	frames := make([]fault.Frame, len(req.Frames))
 	for i := range req.Frames {
 		var err error
 		if frames[i], err = req.Frames[i].toFrame(); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("frame %d: %v", i, err)})
+			writeError(w, http.StatusBadRequest, CodeBadFrame, fmt.Sprintf("frame %d: %v", i, err))
 			return
 		}
 	}
 	res, ok := f.enqueue(frames)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{"feed is closed"})
+		writeError(w, http.StatusNotFound, CodeUnknownFeed, "feed is closed")
 		return
 	}
-	body := IngestResponse{Accepted: res.accepted, Rejected: res.rejected, Reason: res.reason}
 	if res.rejected > 0 {
-		secs := int(res.retry/time.Second) + 1
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		code := http.StatusTooManyRequests
-		if res.reason == "log_error" {
+		status := http.StatusTooManyRequests
+		msg := fmt.Sprintf("%d of %d frames rejected (%s); retry the remainder", res.rejected, len(frames), res.reason)
+		if res.reason == CodeLogError {
 			// The durable log refused the append: a server-side fault, not
 			// client pressure. Accepted frames in the batch are still logged
 			// and acknowledged; the client retries the rest.
-			code = http.StatusInternalServerError
+			status = http.StatusInternalServerError
 		}
-		writeJSON(w, code, body)
+		writeErrorRetry(w, status, res.reason, msg, res.retry, res.accepted, res.rejected)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, body)
+	writeJSON(w, http.StatusAccepted, IngestResponse{Accepted: res.accepted})
 }
 
 func (s *Server) handleOccupancy(w http.ResponseWriter, r *http.Request) {
-	f := s.lookup(r.PathValue("id"))
+	id := r.PathValue("id")
+	if s.routed(w, r, id) {
+		return
+	}
+	f := s.lookup(id)
 	if f == nil {
-		writeJSON(w, http.StatusNotFound, errorResponse{"unknown feed"})
+		writeError(w, http.StatusNotFound, CodeUnknownFeed, "unknown feed")
 		return
 	}
 	ev, ok := f.latest()
@@ -250,20 +294,24 @@ func (s *Server) handleOccupancy(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ev)
 }
 
-// handleStream serves the NDJSON decision stream. It is the one unbounded
-// route: it runs until the client disconnects or the feed ends. Transitions
-// only by default; ?all=1 emits every decision (each line carries seq, so
-// any drop on a slow client is detectable as a gap).
+// handleStream serves the NDJSON decision stream. It is an unbounded route:
+// it runs until the client disconnects or the feed ends. Transitions only by
+// default; ?all=1 emits every decision (each line carries seq, so any drop
+// on a slow client is detectable as a gap).
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	f := s.lookup(r.PathValue("id"))
+	id := r.PathValue("id")
+	if s.routed(w, r, id) {
+		return
+	}
+	f := s.lookup(id)
 	if f == nil {
-		writeJSON(w, http.StatusNotFound, errorResponse{"unknown feed"})
+		writeError(w, http.StatusNotFound, CodeUnknownFeed, "unknown feed")
 		return
 	}
 	all := r.URL.Query().Get("all") != ""
 	sub, ok := f.subscribe(all)
 	if !ok {
-		writeJSON(w, http.StatusGone, errorResponse{"feed has ended"})
+		writeError(w, http.StatusGone, CodeFeedEnded, "feed has ended")
 		return
 	}
 	defer f.unsubscribe(sub)

@@ -27,12 +27,16 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"net/http/httputil"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/framelog"
 	"repro/internal/obs"
 	"repro/internal/stream"
@@ -90,6 +94,42 @@ type Config struct {
 	// disables durability. The Observer above also receives the
 	// framelog_* series.
 	Durability framelog.Config
+
+	// Cluster, when non-nil, makes the node shard-aware: it serves and
+	// accepts the versioned shard map on /v1/cluster and redirects (or,
+	// with Forward, proxies) requests for feeds another node owns. Nil
+	// keeps the node standalone — every feed is local. See DESIGN.md §15.
+	Cluster *ClusterConfig
+
+	// ModelBlob, when non-nil, is the serialized detector bundle this node
+	// serves on GET /v1/model, with its SHA-256 reported on /v1/cluster —
+	// the artifact-distribution channel that lets every node in a cluster
+	// prove it serves identical trained weights.
+	ModelBlob []byte
+}
+
+// ClusterConfig configures a node's place in the sharded cluster.
+type ClusterConfig struct {
+	// Self is this node's ID. It need not appear in the map: a node whose
+	// ID the map omits owns nothing and redirects (or forwards) every feed
+	// request — that is the thin-router configuration.
+	Self string
+	// Map is the initial shard map. The zero Map means "no membership
+	// installed yet"; feed requests are served locally until an
+	// orchestrator PUTs a populated map to /v1/cluster.
+	Map cluster.Map
+	// Forward proxies misplaced feed requests to the owner instead of
+	// answering 307. Routers set it; peer nodes usually leave clients to
+	// follow redirects (or route by shard map) themselves.
+	Forward bool
+}
+
+// Validate reports whether the cluster configuration is usable.
+func (c ClusterConfig) Validate() error {
+	if c.Self == "" {
+		return errors.New("server: ClusterConfig.Self is required")
+	}
+	return c.Map.Validate()
 }
 
 // Validate reports whether the configuration is serveable.
@@ -106,6 +146,11 @@ func (c Config) Validate() error {
 	}
 	if err := c.Durability.Validate(); err != nil {
 		return err
+	}
+	if c.Cluster != nil {
+		if err := c.Cluster.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -192,8 +237,37 @@ type Server struct {
 	draining atomic.Bool
 	wg       sync.WaitGroup // one entry per live feed runtime
 
+	// shard is the live cluster view (nil on standalone nodes); self and
+	// forward mirror the ClusterConfig. modelSHA caches the hex SHA-256 of
+	// cfg.ModelBlob.
+	shard    *cluster.State
+	self     string
+	forward  bool
+	modelSHA string
+
+	// proxies caches one reverse proxy per peer address for Forward mode.
+	proxyMu sync.Mutex
+	proxies map[string]*httputil.ReverseProxy
+
 	baseCtx context.Context
 	stop    context.CancelFunc
+}
+
+// ShardMap returns the node's installed shard map (zero Map when the node is
+// standalone or nothing is installed yet).
+func (s *Server) ShardMap() cluster.Map {
+	if s.shard == nil {
+		return cluster.Map{}
+	}
+	return s.shard.Map()
+}
+
+// UpdateShardMap installs a newer shard map (see cluster.State.Update).
+func (s *Server) UpdateShardMap(m cluster.Map) error {
+	if s.shard == nil {
+		return errors.New("server: node is not cluster-configured")
+	}
+	return s.shard.Update(m)
 }
 
 // New builds a Server. The configuration must Validate. With durability
@@ -212,8 +286,21 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		m:       newMetrics(cfg.Observer),
 		feeds:   make(map[string]*feed),
+		proxies: make(map[string]*httputil.ReverseProxy),
 		baseCtx: ctx,
 		stop:    stop,
+	}
+	if cfg.Cluster != nil {
+		st, err := cluster.NewState(cfg.Cluster.Map)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		s.shard, s.self, s.forward = st, cfg.Cluster.Self, cfg.Cluster.Forward
+	}
+	if len(cfg.ModelBlob) > 0 {
+		sum := sha256.Sum256(cfg.ModelBlob)
+		s.modelSHA = hex.EncodeToString(sum[:])
 	}
 	if cfg.Durability.Enabled() {
 		if err := s.recoverFeeds(); err != nil {

@@ -1,10 +1,10 @@
 package server_test
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -19,6 +19,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/pkg/occupancy"
 )
 
 // ampPred is a deterministic stand-in detector: P(occupied) is the first
@@ -62,9 +63,24 @@ func newTestServer(t *testing.T, mod func(*server.Config)) (*server.Server, *htt
 	return srv, ts, reg
 }
 
+// newClient wraps a test server in the typed client every consumer of the
+// API is expected to use. Retry waits are shortened so pressure tests stay
+// fast.
+func newClient(t *testing.T, base string) *occupancy.Client {
+	t.Helper()
+	cl, err := occupancy.NewClient(occupancy.ClientConfig{
+		BaseURL:      base,
+		MaxRetryWait: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
 // mkFrames builds n clean frames whose first subcarrier is amp.
-func mkFrames(n int, amp float64) []server.FrameJSON {
-	frames := make([]server.FrameJSON, n)
+func mkFrames(n int, amp float64) []occupancy.Frame {
+	frames := make([]occupancy.Frame, n)
 	base := time.Date(2026, 1, 5, 9, 0, 0, 0, time.UTC)
 	for i := range frames {
 		c := make([]float64, csi.NumSubcarriers)
@@ -72,12 +88,14 @@ func mkFrames(n int, amp float64) []server.FrameJSON {
 		for k := 1; k < len(c); k++ {
 			c[k] = 1
 		}
-		frames[i] = server.FrameJSON{Time: base.Add(time.Duration(i) * 50 * time.Millisecond), CSI: c, Temp: 21, Humidity: 40}
+		frames[i] = occupancy.Frame{Time: base.Add(time.Duration(i) * 50 * time.Millisecond), CSI: c, Temp: 21, Humidity: 40}
 	}
 	return frames
 }
 
-// doReq runs one request against the test server.
+// doReq runs one raw request against the test server — kept for wire-level
+// assertions (status codes, headers, exact bodies) the typed client
+// deliberately abstracts away.
 func doReq(t *testing.T, method, url string, body any) (int, []byte, http.Header) {
 	t.Helper()
 	var rd io.Reader
@@ -104,15 +122,42 @@ func doReq(t *testing.T, method, url string, body any) (int, []byte, http.Header
 	return resp.StatusCode, b, resp.Header
 }
 
-// ingest POSTs frames and decodes the ingest response.
-func ingest(t *testing.T, base, id string, frames []server.FrameJSON) (int, server.IngestResponse, http.Header) {
+// rawIngest POSTs one un-retried batch and decodes whichever body came back:
+// the 202 IngestResponse or the error envelope.
+func rawIngest(t *testing.T, base, id string, frames []occupancy.Frame) (int, server.IngestResponse, server.ErrorBody, http.Header) {
 	t.Helper()
 	code, body, hdr := doReq(t, http.MethodPost, base+"/v1/feeds/"+id+"/frames", server.IngestRequest{Frames: frames})
 	var ir server.IngestResponse
-	if len(body) > 0 {
+	var eb server.ErrorBody
+	if code == http.StatusAccepted {
 		_ = json.Unmarshal(body, &ir)
+	} else if len(body) > 0 {
+		_ = json.Unmarshal(body, &eb)
+	}
+	return code, ir, eb, hdr
+}
+
+// ingest POSTs one un-retried batch expecting success, folding a pressure
+// envelope's accepted count in so recovery tests can assert acceptance
+// uniformly.
+func ingest(t *testing.T, base, id string, frames []occupancy.Frame) (int, server.IngestResponse, http.Header) {
+	t.Helper()
+	code, ir, eb, hdr := rawIngest(t, base, id, frames)
+	if code != http.StatusAccepted {
+		ir.Accepted = eb.Accepted
 	}
 	return code, ir, hdr
+}
+
+// wantCode asserts err is an APIError with the given envelope code.
+func wantCode(t *testing.T, err error, code string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("want error code %q, got nil", code)
+	}
+	if !occupancy.IsCode(err, code) {
+		t.Fatalf("want error code %q, got %v", code, err)
+	}
 }
 
 // waitFor polls cond until it returns true or the deadline passes.
@@ -130,105 +175,104 @@ func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
 
 func TestLifecycleAndLatestDecision(t *testing.T) {
 	srv, ts, _ := newTestServer(t, nil)
+	cl := newClient(t, ts.URL)
+	ctx := context.Background()
 
-	code, _, _ := doReq(t, http.MethodGet, ts.URL+"/healthz", nil)
-	if code != http.StatusOK {
-		t.Fatalf("healthz: %d", code)
+	if err := cl.Healthy(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
 	}
-	code, _, _ = doReq(t, http.MethodGet, ts.URL+"/readyz", nil)
-	if code != http.StatusOK {
-		t.Fatalf("readyz before drain: %d", code)
+	if err := cl.Ready(ctx); err != nil {
+		t.Fatalf("readyz before drain: %v", err)
 	}
 
-	code, _, _ = doReq(t, http.MethodPut, ts.URL+"/v1/feeds/room-a", nil)
-	if code != http.StatusCreated {
+	// Registration is idempotent, and the wire distinguishes created from
+	// found.
+	if code, _, _ := doReq(t, http.MethodPut, ts.URL+"/v1/feeds/room-a", nil); code != http.StatusCreated {
 		t.Fatalf("register: %d, want 201", code)
 	}
-	code, _, _ = doReq(t, http.MethodPut, ts.URL+"/v1/feeds/room-a", nil)
-	if code != http.StatusOK {
-		t.Fatalf("re-register: %d, want 200 (idempotent)", code)
+	if fi, err := cl.RegisterFeed(ctx, "room-a"); err != nil || fi.ID != "room-a" {
+		t.Fatalf("re-register: %+v %v", fi, err)
 	}
-	code, _, _ = doReq(t, http.MethodGet, ts.URL+"/v1/feeds/room-a/occupancy", nil)
-	if code != http.StatusNoContent {
-		t.Fatalf("occupancy before any frame: %d, want 204", code)
+	if _, ok, err := cl.Occupancy(ctx, "room-a"); err != nil || ok {
+		t.Fatalf("occupancy before any frame: ok=%v err=%v, want no decision yet", ok, err)
 	}
 
-	code, ir, _ := ingest(t, ts.URL, "room-a", mkFrames(3, 0.9))
-	if code != http.StatusAccepted || ir.Accepted != 3 || ir.Rejected != 0 {
-		t.Fatalf("ingest: %d %+v", code, ir)
+	if n, err := cl.Ingest(ctx, "room-a", mkFrames(3, 0.9)); err != nil || n != 3 {
+		t.Fatalf("ingest: %d %v", n, err)
 	}
 
-	var ev server.Event
+	var ev occupancy.Decision
 	waitFor(t, 2*time.Second, "decision seq 2", func() bool {
-		code, body, _ := doReq(t, http.MethodGet, ts.URL+"/v1/feeds/room-a/occupancy", nil)
-		if code != http.StatusOK {
-			return false
-		}
-		if err := json.Unmarshal(body, &ev); err != nil {
+		d, ok, err := cl.Occupancy(ctx, "room-a")
+		if err != nil {
 			t.Fatal(err)
 		}
-		return ev.Seq == 2
+		ev = d
+		return ok && ev.Seq == 2
 	})
 	if ev.P != 0.9 || ev.Pred != 1 || ev.State != 1 || ev.Mode != "primary" {
 		t.Fatalf("decision: %+v", ev)
 	}
 
-	code, body, _ := doReq(t, http.MethodGet, ts.URL+"/v1/feeds", nil)
-	if code != http.StatusOK || !strings.Contains(string(body), "room-a") {
-		t.Fatalf("list: %d %s", code, body)
+	feeds, err := cl.ListFeeds(ctx)
+	if err != nil || len(feeds) != 1 || feeds[0].ID != "room-a" {
+		t.Fatalf("list: %+v %v", feeds, err)
 	}
 
-	code, _, _ = doReq(t, http.MethodDelete, ts.URL+"/v1/feeds/room-a", nil)
-	if code != http.StatusOK {
-		t.Fatalf("delete: %d", code)
+	if err := cl.CloseFeed(ctx, "room-a"); err != nil {
+		t.Fatalf("delete: %v", err)
 	}
 	waitFor(t, 2*time.Second, "feed teardown", func() bool { return srv.FeedCount() == 0 })
-	code, _, _ = doReq(t, http.MethodGet, ts.URL+"/v1/feeds/room-a/occupancy", nil)
-	if code != http.StatusNotFound {
-		t.Fatalf("occupancy after delete: %d, want 404", code)
-	}
+	_, _, err = cl.Occupancy(ctx, "room-a")
+	wantCode(t, err, server.CodeUnknownFeed)
 }
 
 func TestRequestValidation(t *testing.T) {
 	_, ts, _ := newTestServer(t, nil)
+	cl := newClient(t, ts.URL)
+	ctx := context.Background()
 
-	if code, _, _ := doReq(t, http.MethodPut, ts.URL+"/v1/feeds/bad%20id", nil); code != http.StatusBadRequest {
-		t.Fatalf("invalid feed id: %d, want 400", code)
+	if _, err := cl.RegisterFeed(ctx, "bad id"); !occupancy.IsCode(err, server.CodeInvalidFeedID) {
+		t.Fatalf("invalid feed id: %v, want %s", err, server.CodeInvalidFeedID)
 	}
-	for _, u := range []string{"/v1/feeds/ghost/occupancy", "/v1/feeds/ghost/stream"} {
-		if code, _, _ := doReq(t, http.MethodGet, ts.URL+u, nil); code != http.StatusNotFound {
-			t.Fatalf("GET %s on unknown feed: %d, want 404", u, code)
-		}
+	if _, _, err := cl.Occupancy(ctx, "ghost"); !occupancy.IsCode(err, server.CodeUnknownFeed) {
+		t.Fatalf("occupancy on unknown feed: %v", err)
 	}
-	if code, _, _ := doReq(t, http.MethodDelete, ts.URL+"/v1/feeds/ghost", nil); code != http.StatusNotFound {
-		t.Fatalf("delete unknown feed: %d, want 404", code)
+	if _, err := cl.StreamDecisions(ctx, "ghost", false); !occupancy.IsCode(err, server.CodeUnknownFeed) {
+		t.Fatalf("stream on unknown feed: %v", err)
 	}
-	if code, _, _ := ingest(t, ts.URL, "ghost", mkFrames(1, 0.5)); code != http.StatusNotFound {
-		t.Fatalf("ingest to unknown feed: %d, want 404", code)
+	if err := cl.CloseFeed(ctx, "ghost"); !occupancy.IsCode(err, server.CodeUnknownFeed) {
+		t.Fatalf("delete unknown feed: %v", err)
+	}
+	if _, err := cl.Ingest(ctx, "ghost", mkFrames(1, 0.5)); !occupancy.IsCode(err, server.CodeUnknownFeed) {
+		t.Fatalf("ingest to unknown feed: %v", err)
 	}
 
-	if code, _, _ := doReq(t, http.MethodPut, ts.URL+"/v1/feeds/room-b", nil); code != http.StatusCreated {
+	if _, err := cl.RegisterFeed(ctx, "room-b"); err != nil {
 		t.Fatal("register room-b")
 	}
-	// Malformed JSON body.
+	// Malformed JSON body (below the client: the client can only send
+	// well-formed JSON).
 	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/feeds/room-b/frames", strings.NewReader(`{"frames": [{`))
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
+	var eb server.ErrorBody
+	_ = json.NewDecoder(resp.Body).Decode(&eb)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("malformed JSON: %d, want 400", resp.StatusCode)
+	if resp.StatusCode != http.StatusBadRequest || eb.Code != server.CodeMalformedRequest {
+		t.Fatalf("malformed JSON: %d %+v, want 400 %s", resp.StatusCode, eb, server.CodeMalformedRequest)
 	}
 	// Wrong CSI width.
 	bad := mkFrames(1, 0.5)
 	bad[0].CSI = bad[0].CSI[:7]
-	if code, _, _ := ingest(t, ts.URL, "room-b", bad); code != http.StatusBadRequest {
-		t.Fatalf("short CSI: %d, want 400", code)
+	if _, err := cl.Ingest(ctx, "room-b", bad); !occupancy.IsCode(err, server.CodeBadFrame) {
+		t.Fatalf("short CSI: %v, want %s", err, server.CodeBadFrame)
 	}
-	// Empty batch.
-	if code, _, _ := ingest(t, ts.URL, "room-b", nil); code != http.StatusBadRequest {
-		t.Fatalf("empty batch: %d, want 400", code)
+	// Empty batch (raw: the client short-circuits an empty slice).
+	if code, _, eb, _ := rawIngest(t, ts.URL, "room-b", nil); code != http.StatusBadRequest || eb.Code != server.CodeEmptyBatch {
+		t.Fatalf("empty batch: %d %+v", code, eb)
 	}
 }
 
@@ -238,36 +282,60 @@ func TestQueueFullReturns429(t *testing.T) {
 		c.Primary = gatePred{gate: gate}
 		c.QueueDepth = 2
 	})
-	if code, _, _ := doReq(t, http.MethodPut, ts.URL+"/v1/feeds/room-q", nil); code != http.StatusCreated {
+	cl := newClient(t, ts.URL)
+	ctx := context.Background()
+	if _, err := cl.RegisterFeed(ctx, "room-q"); err != nil {
 		t.Fatal("register")
 	}
 
-	code, ir, hdr := ingest(t, ts.URL, "room-q", mkFrames(10, 0.9))
+	code, _, eb, hdr := rawIngest(t, ts.URL, "room-q", mkFrames(10, 0.9))
 	if code != http.StatusTooManyRequests {
 		t.Fatalf("overfull ingest: %d, want 429", code)
 	}
-	if ir.Reason != "queue_full" {
-		t.Fatalf("reason %q, want queue_full", ir.Reason)
+	if eb.Code != server.CodeQueueFull {
+		t.Fatalf("code %q, want %s", eb.Code, server.CodeQueueFull)
 	}
-	if hdr.Get("Retry-After") == "" {
-		t.Fatal("429 without Retry-After")
+	if hdr.Get("Retry-After") == "" || eb.RetryAfterMS <= 0 {
+		t.Fatalf("429 without retry guidance: header %q, retry_after_ms %d", hdr.Get("Retry-After"), eb.RetryAfterMS)
 	}
 	// Queue depth 2 plus at most two frames already pulled by the (gated)
 	// runtime: the accept watermark is tight, never silent.
-	if ir.Accepted < 1 || ir.Accepted > 4 || ir.Accepted+ir.Rejected != 10 {
-		t.Fatalf("partial accept accounting: %+v", ir)
+	if eb.Accepted < 1 || eb.Accepted > 4 || eb.Accepted+eb.Rejected != 10 {
+		t.Fatalf("partial accept accounting: %+v", eb)
 	}
-	if got := reg.Counter("server_rejected_queue_full_total", "").Value(); got != int64(ir.Rejected) {
-		t.Fatalf("rejected counter %d != response %d", got, ir.Rejected)
+	if got := reg.Counter("server_rejected_queue_full_total", "").Value(); got != int64(eb.Rejected) {
+		t.Fatalf("rejected counter %d != response %d", got, eb.Rejected)
 	}
 
 	// Unblock and close: every accepted frame must still get its decision.
 	close(gate)
-	if code, _, _ := doReq(t, http.MethodDelete, ts.URL+"/v1/feeds/room-q", nil); code != http.StatusOK {
+	if err := cl.CloseFeed(ctx, "room-q"); err != nil {
 		t.Fatal("delete")
 	}
 	waitFor(t, 2*time.Second, "queued frames to drain", func() bool {
-		return reg.Counter("server_decisions_total", "").Value() == int64(ir.Accepted)
+		return reg.Counter("server_decisions_total", "").Value() == int64(eb.Accepted)
+	})
+}
+
+// TestClientRidesOutBackpressure: the typed client turns the 429 + envelope
+// contract into "the whole batch lands": it advances past accepted prefixes
+// and honors the retry delay until every frame is in.
+func TestClientRidesOutBackpressure(t *testing.T) {
+	_, ts, reg := newTestServer(t, func(c *server.Config) {
+		c.QueueDepth = 4
+	})
+	cl := newClient(t, ts.URL)
+	ctx := context.Background()
+	if _, err := cl.RegisterFeed(ctx, "room-bp"); err != nil {
+		t.Fatal("register")
+	}
+	const total = 64
+	n, err := cl.Ingest(ctx, "room-bp", mkFrames(total, 0.9))
+	if err != nil || n != total {
+		t.Fatalf("client ingest through a depth-4 queue: %d %v, want %d", n, err, total)
+	}
+	waitFor(t, 5*time.Second, "all decisions", func() bool {
+		return reg.Counter("server_decisions_total", "").Value() == total
 	})
 }
 
@@ -276,18 +344,19 @@ func TestRateLimitReturns429(t *testing.T) {
 		c.RatePerSec = 1
 		c.Burst = 2
 	})
-	if code, _, _ := doReq(t, http.MethodPut, ts.URL+"/v1/feeds/room-r", nil); code != http.StatusCreated {
+	cl := newClient(t, ts.URL)
+	if _, err := cl.RegisterFeed(context.Background(), "room-r"); err != nil {
 		t.Fatal("register")
 	}
-	code, ir, hdr := ingest(t, ts.URL, "room-r", mkFrames(5, 0.9))
-	if code != http.StatusTooManyRequests || ir.Reason != "rate_limited" {
-		t.Fatalf("rate-limited ingest: %d %+v", code, ir)
+	code, _, eb, hdr := rawIngest(t, ts.URL, "room-r", mkFrames(5, 0.9))
+	if code != http.StatusTooManyRequests || eb.Code != server.CodeRateLimited {
+		t.Fatalf("rate-limited ingest: %d %+v", code, eb)
 	}
-	if ir.Accepted != 2 || ir.Rejected != 3 {
-		t.Fatalf("burst accounting: %+v", ir)
+	if eb.Accepted != 2 || eb.Rejected != 3 {
+		t.Fatalf("burst accounting: %+v", eb)
 	}
-	if hdr.Get("Retry-After") == "" {
-		t.Fatal("429 without Retry-After")
+	if hdr.Get("Retry-After") == "" || eb.RetryAfterMS <= 0 {
+		t.Fatal("429 without retry guidance")
 	}
 	if got := reg.Counter("server_rejected_rate_limited_total", "").Value(); got != 3 {
 		t.Fatalf("rate-limited counter %d, want 3", got)
@@ -296,51 +365,49 @@ func TestRateLimitReturns429(t *testing.T) {
 
 func TestStreamAndClientDisconnect(t *testing.T) {
 	_, ts, _ := newTestServer(t, nil)
-	if code, _, _ := doReq(t, http.MethodPut, ts.URL+"/v1/feeds/room-s", nil); code != http.StatusCreated {
+	cl := newClient(t, ts.URL)
+	ctx := context.Background()
+	if _, err := cl.RegisterFeed(ctx, "room-s"); err != nil {
 		t.Fatal("register")
 	}
 
 	// Subscriber 1 will be killed mid-stream; subscriber 2 survives.
-	ctx, cancel := context.WithCancel(context.Background())
-	req1, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/feeds/room-s/stream?all=1", nil)
-	resp1, err := http.DefaultClient.Do(req1)
+	doomedCtx, cancel := context.WithCancel(context.Background())
+	doomed, err := cl.StreamDecisions(doomedCtx, "room-s", true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp1.Body.Close()
-	req2, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/feeds/room-s/stream?all=1", nil)
-	resp2, err := http.DefaultClient.Do(req2)
+	defer doomed.Close()
+	survivor, err := cl.StreamDecisions(ctx, "room-s", true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp2.Body.Close()
+	defer survivor.Close()
 
-	var events []server.Event
+	var events []occupancy.Decision
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		sc := bufio.NewScanner(resp2.Body)
-		for sc.Scan() {
-			var ev server.Event
-			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-				t.Error(err)
-				return
+		for {
+			ev, err := survivor.Next()
+			if err != nil {
+				return // stream ended with the feed
 			}
 			events = append(events, ev)
 		}
 	}()
 
-	if code, ir, _ := ingest(t, ts.URL, "room-s", mkFrames(4, 0.9)); code != http.StatusAccepted || ir.Accepted != 4 {
-		t.Fatalf("first ingest: %d %+v", code, ir)
+	if n, err := cl.Ingest(ctx, "room-s", mkFrames(4, 0.9)); err != nil || n != 4 {
+		t.Fatalf("first ingest: %d %v", n, err)
 	}
 	// Kill subscriber 1 mid-stream, then keep ingesting: the server must
 	// shrug the disconnect off and keep serving the survivor.
 	cancel()
-	if code, ir, _ := ingest(t, ts.URL, "room-s", mkFrames(4, 0.1)); code != http.StatusAccepted || ir.Accepted != 4 {
-		t.Fatalf("post-disconnect ingest: %d %+v", code, ir)
+	if n, err := cl.Ingest(ctx, "room-s", mkFrames(4, 0.1)); err != nil || n != 4 {
+		t.Fatalf("post-disconnect ingest: %d %v", n, err)
 	}
 
-	if code, _, _ := doReq(t, http.MethodDelete, ts.URL+"/v1/feeds/room-s", nil); code != http.StatusOK {
+	if err := cl.CloseFeed(ctx, "room-s"); err != nil {
 		t.Fatal("delete")
 	}
 	select {
@@ -366,9 +433,11 @@ func TestStreamAndClientDisconnect(t *testing.T) {
 
 func TestDrainUnderLoadLosesNoDecisions(t *testing.T) {
 	srv, ts, reg := newTestServer(t, nil)
+	cl := newClient(t, ts.URL)
+	ctx := context.Background()
 	const feeds = 4
 	for f := 0; f < feeds; f++ {
-		if code, _, _ := doReq(t, http.MethodPut, fmt.Sprintf("%s/v1/feeds/load-%d", ts.URL, f), nil); code != http.StatusCreated {
+		if _, err := cl.RegisterFeed(ctx, fmt.Sprintf("load-%d", f)); err != nil {
 			t.Fatal("register")
 		}
 	}
@@ -381,15 +450,19 @@ func TestDrainUnderLoadLosesNoDecisions(t *testing.T) {
 		go func(f int) {
 			defer wg.Done()
 			for {
-				code, ir, _ := ingest(t, ts.URL, fmt.Sprintf("load-%d", f), mkFrames(8, 0.7))
-				accepted.Add(int64(ir.Accepted))
-				switch code {
-				case http.StatusAccepted, http.StatusTooManyRequests:
+				n, err := cl.Ingest(ctx, fmt.Sprintf("load-%d", f), mkFrames(8, 0.7))
+				accepted.Add(int64(n))
+				if err == nil {
 					continue
-				case http.StatusServiceUnavailable, http.StatusNotFound:
-					return // draining (503) or queue already closed (404)
+				}
+				switch {
+				case occupancy.IsCode(err, server.CodeDraining),
+					occupancy.IsCode(err, server.CodeUnknownFeed): // queue already closed
+					return
+				case occupancy.IsCode(err, server.CodeQueueFull):
+					continue // retry budget ran out under pressure; keep hammering
 				default:
-					t.Errorf("ingest during load: unexpected status %d", code)
+					t.Errorf("ingest during load: unexpected error %v", err)
 					return
 				}
 			}
@@ -398,17 +471,16 @@ func TestDrainUnderLoadLosesNoDecisions(t *testing.T) {
 
 	waitFor(t, 2*time.Second, "load to flow", func() bool { return accepted.Load() > 64 })
 	srv.BeginDrain()
-	if code, _, _ := doReq(t, http.MethodGet, ts.URL+"/readyz", nil); code != http.StatusServiceUnavailable {
-		t.Fatalf("readyz while draining: %d, want 503", code)
+	if err := cl.Ready(ctx); err == nil {
+		t.Fatal("readyz while draining: want 503")
 	}
-	if code, _, _ := doReq(t, http.MethodPut, ts.URL+"/v1/feeds/late", nil); code != http.StatusServiceUnavailable {
-		t.Fatalf("register while draining: %d, want 503", code)
-	}
+	_, err := cl.RegisterFeed(ctx, "late")
+	wantCode(t, err, server.CodeDraining)
 	wg.Wait()
 
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := srv.Drain(ctx); err != nil {
+	if err := srv.Drain(drainCtx); err != nil {
 		t.Fatal(err)
 	}
 	// The backpressure contract's other half: accepted means decided. Every
@@ -430,18 +502,20 @@ func TestIdleFeedEviction(t *testing.T) {
 	srv, ts, reg := newTestServer(t, func(c *server.Config) {
 		c.IdleTimeout = 240 * time.Millisecond
 	})
-	if code, _, _ := doReq(t, http.MethodPut, ts.URL+"/v1/feeds/quiet", nil); code != http.StatusCreated {
+	cl := newClient(t, ts.URL)
+	ctx := context.Background()
+	if _, err := cl.RegisterFeed(ctx, "quiet"); err != nil {
 		t.Fatal("register")
 	}
 	waitFor(t, 5*time.Second, "idle eviction", func() bool { return srv.FeedCount() == 0 })
 	if got := reg.Counter("server_feeds_evicted_total", "").Value(); got != 1 {
 		t.Fatalf("evicted counter %d, want 1", got)
 	}
-	if code, _, _ := doReq(t, http.MethodGet, ts.URL+"/v1/feeds/quiet/occupancy", nil); code != http.StatusNotFound {
+	if _, _, err := cl.Occupancy(ctx, "quiet"); !occupancy.IsCode(err, server.CodeUnknownFeed) {
 		t.Fatal("evicted feed still routable")
 	}
 	// The id is free again.
-	if code, _, _ := doReq(t, http.MethodPut, ts.URL+"/v1/feeds/quiet", nil); code != http.StatusCreated {
+	if _, err := cl.RegisterFeed(ctx, "quiet"); err != nil {
 		t.Fatal("re-register after eviction")
 	}
 }
@@ -455,5 +529,27 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if err := (server.Config{Primary: ampPred{}, RequestTimeout: -time.Second}).Validate(); err == nil {
 		t.Fatal("negative RequestTimeout accepted")
+	}
+	if err := (server.Config{Primary: ampPred{}, Cluster: &server.ClusterConfig{}}).Validate(); err == nil {
+		t.Fatal("ClusterConfig without Self accepted")
+	}
+	if err := (server.ClusterConfig{Self: "a", Map: occupancy.ShardMap{Epoch: -1}}).Validate(); err == nil {
+		t.Fatal("invalid shard map accepted")
+	}
+}
+
+// errors.As sanity for the exported error type: a wrapped APIError still
+// answers IsCode.
+func TestAPIErrorUnwrap(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	cl := newClient(t, ts.URL)
+	_, _, err := cl.Occupancy(context.Background(), "ghost")
+	wrapped := fmt.Errorf("polling: %w", err)
+	if !occupancy.IsCode(wrapped, server.CodeUnknownFeed) {
+		t.Fatalf("wrapped APIError lost its code: %v", wrapped)
+	}
+	var ae *occupancy.APIError
+	if !errors.As(wrapped, &ae) || ae.Status != http.StatusNotFound {
+		t.Fatalf("wrapped APIError lost its status: %v", wrapped)
 	}
 }

@@ -1,0 +1,564 @@
+package occupancy
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+// Wire types of the /v1 surface, re-exported so client code never imports
+// internal packages. They are aliases, not copies: the client and the server
+// marshal the same bytes by construction.
+type (
+	// Frame is one CSI frame as ingested over the wire.
+	Frame = server.FrameJSON
+	// FeedInfo describes a feed in registration and listing responses.
+	FeedInfo = server.FeedInfo
+	// Decision is one occupancy decision event (a stream line or the
+	// /occupancy body).
+	Decision = server.Event
+	// ErrorBody is the uniform JSON error envelope of every non-2xx
+	// response.
+	ErrorBody = server.ErrorBody
+	// ClusterInfo is the GET /v1/cluster body.
+	ClusterInfo = server.ClusterInfo
+	// LoggedFrame is one line of a feed's durable-log dump: the frame plus
+	// its log sequence number.
+	LoggedFrame = server.LogFrame
+)
+
+// APIError is any non-2xx answer from the service, carrying the HTTP status
+// and the decoded error envelope. Callers switch on Code — the status only
+// groups causes coarsely.
+type APIError struct {
+	Status int
+	ErrorBody
+}
+
+// Error renders the failure for logs.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("occupancy: server answered %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// IsCode reports whether err is an APIError carrying the given envelope code.
+func IsCode(err error, code string) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == code
+}
+
+// ClientConfig configures Client. Only BaseURL is required.
+type ClientConfig struct {
+	// BaseURL is any node of the service — a standalone server, a cluster
+	// member, or a forwarding router. No trailing slash required.
+	BaseURL string
+	// HTTPClient, when non-nil, replaces http.DefaultClient. Streaming
+	// calls need a client without an overall Timeout.
+	HTTPClient *http.Client
+	// MaxRetries bounds consecutive no-progress retries of a pressure
+	// response (429, or 500 log_error) before Ingest gives up (default 4).
+	// Retries honor Retry-After / retry_after_ms; a batch that makes
+	// partial progress resets the budget.
+	MaxRetries int
+	// MaxRetryWait caps one Retry-After sleep (default 5s).
+	MaxRetryWait time.Duration
+	// DisableRouting pins every request to BaseURL: the client never
+	// fetches the shard map and relies on server-side redirects or
+	// forwarding. The default (false) routes per-feed requests to the
+	// owning node once a shard map is available.
+	DisableRouting bool
+}
+
+// Validate reports whether the client configuration is usable.
+func (c ClientConfig) Validate() error {
+	if c.BaseURL == "" {
+		return errors.New("occupancy: ClientConfig.BaseURL is required")
+	}
+	u, err := url.Parse(c.BaseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return fmt.Errorf("occupancy: unusable BaseURL %q (want e.g. http://host:port)", c.BaseURL)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("occupancy: negative MaxRetries %d", c.MaxRetries)
+	}
+	if c.MaxRetryWait < 0 {
+		return fmt.Errorf("occupancy: negative MaxRetryWait %v", c.MaxRetryWait)
+	}
+	return nil
+}
+
+// maxIngestBatch bounds one ingest request the client sends; larger slices
+// are chunked. Well under the server's request-body cap at wire size.
+const maxIngestBatch = 512
+
+// Client is the typed interface to the /v1 surface. It is safe for
+// concurrent use.
+//
+// Against a sharded cluster the client is shard-map aware: on first use it
+// fetches the map from BaseURL and sends each feed's requests straight to
+// the owning node (refresh with RefreshShardMap after a topology change). A
+// standalone server, or DisableRouting, pins everything to BaseURL; requests
+// that still land on a non-owner are healed by the server — the client
+// follows its 307, or the router forwards.
+type Client struct {
+	cfg  ClientConfig
+	base string
+	hc   *http.Client
+
+	mu      sync.Mutex
+	probed  bool // cluster probe done (or routing disabled)
+	ring    *cluster.Ring
+	mapInfo ShardMap
+}
+
+// NewClient builds a Client. The configuration must Validate.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.MaxRetryWait == 0 {
+		cfg.MaxRetryWait = 5 * time.Second
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{
+		cfg:    cfg,
+		base:   strings.TrimSuffix(cfg.BaseURL, "/"),
+		hc:     hc,
+		probed: cfg.DisableRouting,
+	}, nil
+}
+
+// At returns a derived client pinned to the given node address (no shard-map
+// routing), sharing the HTTP client and retry policy. Use it to address one
+// specific node — drain it, pull a log from it — regardless of placement.
+func (c *Client) At(addr string) *Client {
+	return &Client{
+		cfg:    c.cfg,
+		base:   strings.TrimSuffix(addr, "/"),
+		hc:     c.hc,
+		probed: true,
+	}
+}
+
+// ShardMap returns the shard map the client currently routes by (zero Map
+// when none is known).
+func (c *Client) ShardMap() ShardMap {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mapInfo
+}
+
+// RefreshShardMap fetches BaseURL's cluster info and routes by its map from
+// now on. Against a standalone server (no_cluster) it clears routing and
+// returns nil.
+func (c *Client) RefreshShardMap(ctx context.Context) error {
+	info, err := c.Cluster(ctx)
+	if err != nil {
+		if IsCode(err, server.CodeNoCluster) {
+			c.mu.Lock()
+			c.probed, c.ring, c.mapInfo = true, nil, ShardMap{}
+			c.mu.Unlock()
+			return nil
+		}
+		return err
+	}
+	return c.installMap(info.Map)
+}
+
+// installMap compiles and installs a map for routing (an empty map clears
+// routing).
+func (c *Client) installMap(m ShardMap) error {
+	var ring *cluster.Ring
+	if !m.Empty() {
+		r, err := cluster.NewRing(m)
+		if err != nil {
+			return err
+		}
+		ring = r
+	}
+	c.mu.Lock()
+	c.probed, c.ring, c.mapInfo = true, ring, m
+	c.mu.Unlock()
+	return nil
+}
+
+// endpointFor resolves the base URL to send a feed's request to, probing the
+// cluster once if needed. Any probe failure degrades to BaseURL — the server
+// side still heals misplacement.
+func (c *Client) endpointFor(ctx context.Context, feed string) string {
+	c.mu.Lock()
+	probed, ring := c.probed, c.ring
+	c.mu.Unlock()
+	if !probed {
+		_ = c.RefreshShardMap(ctx)
+		c.mu.Lock()
+		ring = c.ring
+		c.mu.Unlock()
+	}
+	if ring != nil {
+		if owner, ok := ring.Owner(feed); ok {
+			return strings.TrimSuffix(owner.Addr, "/")
+		}
+	}
+	return c.base
+}
+
+// do performs one JSON round trip: marshal in (nil: no body), decode a 2xx
+// answer into out (nil or 204: discard), turn any other answer into an
+// *APIError. 307s are followed transparently (the request body is replayed).
+func (c *Client) do(ctx context.Context, method, base, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out == nil || resp.StatusCode == http.StatusNoContent {
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return decodeAPIError(resp)
+}
+
+// decodeAPIError turns a non-2xx response into an *APIError, tolerating
+// non-envelope bodies (proxies, panics) by synthesizing one.
+func decodeAPIError(resp *http.Response) error {
+	ae := &APIError{Status: resp.StatusCode}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err := json.Unmarshal(raw, &ae.ErrorBody); err != nil || ae.Code == "" {
+		ae.Code = server.CodeInternal
+		ae.Message = strings.TrimSpace(string(raw))
+		if ae.Message == "" {
+			ae.Message = resp.Status
+		}
+	}
+	if ae.RetryAfterMS == 0 {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ae.RetryAfterMS = int64(secs) * 1000
+		}
+	}
+	return ae
+}
+
+// RegisterFeed registers (or finds) a feed on its owning node.
+func (c *Client) RegisterFeed(ctx context.Context, id string) (FeedInfo, error) {
+	var fi FeedInfo
+	err := c.do(ctx, http.MethodPut, c.endpointFor(ctx, id), "/v1/feeds/"+url.PathEscape(id), nil, &fi)
+	return fi, err
+}
+
+// CloseFeed closes a feed; its queued frames still get decisions.
+func (c *Client) CloseFeed(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, c.endpointFor(ctx, id), "/v1/feeds/"+url.PathEscape(id), nil, nil)
+}
+
+// ListFeeds lists the feeds live on the node at BaseURL (listing is
+// per-node, not cluster-wide).
+func (c *Client) ListFeeds(ctx context.Context) ([]FeedInfo, error) {
+	var out struct {
+		Feeds []FeedInfo `json:"feeds"`
+	}
+	err := c.do(ctx, http.MethodGet, c.base, "/v1/feeds", nil, &out)
+	return out.Feeds, err
+}
+
+// Ingest sends frames to the feed, chunking large slices and riding out
+// pressure: a partially-accepted batch (429 queue_full / rate_limited, or
+// 500 log_error) advances past the accepted prefix, waits the server's
+// retry_after_ms, and retries the rest. It returns the number of frames
+// accepted — equal to len(frames) unless the retry budget (MaxRetries
+// consecutive attempts with zero progress) or ctx ran out, in which case the
+// error is the last pressure answer.
+func (c *Client) Ingest(ctx context.Context, id string, frames []Frame) (int, error) {
+	ep := c.endpointFor(ctx, id)
+	path := "/v1/feeds/" + url.PathEscape(id) + "/frames"
+	accepted := 0
+	stalls := 0
+	for accepted < len(frames) {
+		chunk := frames[accepted:]
+		if len(chunk) > maxIngestBatch {
+			chunk = chunk[:maxIngestBatch]
+		}
+		var ok server.IngestResponse
+		err := c.do(ctx, http.MethodPost, ep, path, server.IngestRequest{Frames: chunk}, &ok)
+		if err == nil {
+			accepted += ok.Accepted
+			stalls = 0
+			continue
+		}
+		var ae *APIError
+		if !errors.As(err, &ae) || !retryableCode(ae.Code) {
+			return accepted, err
+		}
+		accepted += ae.Accepted
+		if ae.Accepted > 0 {
+			stalls = 0
+		} else {
+			stalls++
+			if stalls > c.cfg.MaxRetries {
+				return accepted, err
+			}
+		}
+		if err := c.sleep(ctx, ae.RetryAfterMS); err != nil {
+			return accepted, err
+		}
+	}
+	return accepted, nil
+}
+
+// retryableCode reports whether an envelope code means "back off and retry
+// the rest of the batch".
+func retryableCode(code string) bool {
+	switch code {
+	case server.CodeQueueFull, server.CodeRateLimited, server.CodeLogError:
+		return true
+	}
+	return false
+}
+
+// sleep waits the server-suggested backoff (capped at MaxRetryWait), or
+// until ctx is done.
+func (c *Client) sleep(ctx context.Context, ms int64) error {
+	d := time.Duration(ms) * time.Millisecond
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	if d > c.cfg.MaxRetryWait {
+		d = c.cfg.MaxRetryWait
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Occupancy returns the feed's latest decision; ok is false when the feed
+// has not decided yet (204).
+func (c *Client) Occupancy(ctx context.Context, id string) (Decision, bool, error) {
+	ep := c.endpointFor(ctx, id)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ep+"/v1/feeds/"+url.PathEscape(id)+"/occupancy", nil)
+	if err != nil {
+		return Decision{}, false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return Decision{}, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return Decision{}, false, nil
+	case http.StatusOK:
+		var d Decision
+		if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+			return Decision{}, false, err
+		}
+		return d, true, nil
+	}
+	return Decision{}, false, decodeAPIError(resp)
+}
+
+// DecisionStream is a live NDJSON decision subscription. Next blocks for the
+// next decision; it returns io.EOF when the feed ends and the stream closes
+// cleanly. Close releases the connection.
+type DecisionStream struct {
+	body io.ReadCloser
+	dec  *json.Decoder
+}
+
+// Next returns the next decision on the stream.
+func (s *DecisionStream) Next() (Decision, error) {
+	var d Decision
+	if err := s.dec.Decode(&d); err != nil {
+		return Decision{}, err
+	}
+	return d, nil
+}
+
+// Close tears the subscription down.
+func (s *DecisionStream) Close() error { return s.body.Close() }
+
+// StreamDecisions subscribes to the feed's decision stream — state
+// transitions by default, every decision with all=true. Cancel ctx or Close
+// the stream to unsubscribe. The configured HTTP client must not enforce an
+// overall Timeout, or the stream dies with it.
+func (c *Client) StreamDecisions(ctx context.Context, id string, all bool) (*DecisionStream, error) {
+	ep := c.endpointFor(ctx, id)
+	u := ep + "/v1/feeds/" + url.PathEscape(id) + "/stream"
+	if all {
+		u += "?all=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeAPIError(resp)
+	}
+	return &DecisionStream{body: resp.Body, dec: json.NewDecoder(resp.Body)}, nil
+}
+
+// Cluster returns the node's cluster info (identity, shard map, model hash).
+func (c *Client) Cluster(ctx context.Context) (ClusterInfo, error) {
+	var info ClusterInfo
+	err := c.do(ctx, http.MethodGet, c.base, "/v1/cluster", nil, &info)
+	return info, err
+}
+
+// UpdateShardMap installs a strictly-newer shard map on the node at BaseURL
+// and routes by it from now on. Installing a topology change on a whole
+// cluster means calling this At() every member.
+func (c *Client) UpdateShardMap(ctx context.Context, m ShardMap) error {
+	if err := c.do(ctx, http.MethodPut, c.base, "/v1/cluster", m, nil); err != nil {
+		return err
+	}
+	return c.installMap(m)
+}
+
+// DrainNode drains the node at BaseURL: new work is rejected immediately and
+// the call blocks until every accepted frame has its decision. After a clean
+// return the node's feed logs are complete and quiescent — safe handoff
+// sources.
+func (c *Client) DrainNode(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, c.base, "/v1/cluster/drain", nil, nil)
+}
+
+// FeedLog pulls the feed's complete durable frame log from the node at
+// BaseURL. It fails if the dump is truncated (no terminating eof line) or
+// the count disagrees — a partial log must never seed a handoff.
+func (c *Client) FeedLog(ctx context.Context, id string) ([]LoggedFrame, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/feeds/"+url.PathEscape(id)+"/log", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var frames []LoggedFrame
+	for {
+		var line struct {
+			LoggedFrame
+			EOF    bool `json:"eof"`
+			Frames int  `json:"frames"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, errors.New("occupancy: log dump truncated (no eof line)")
+			}
+			return nil, err
+		}
+		if line.EOF {
+			if line.Frames != len(frames) {
+				return nil, fmt.Errorf("occupancy: log dump eof count %d != %d frames received", line.Frames, len(frames))
+			}
+			return frames, nil
+		}
+		frames = append(frames, line.LoggedFrame)
+	}
+}
+
+// HandoffFeed moves a feed's history onto its current owner: it pulls the
+// complete log from fromAddr (a drained node), registers the feed — routed
+// to the new owner — and re-ingests the history in order through the normal
+// ingest path. Decisions are a pure function of the accepted frame sequence,
+// so the new owner recomputes the feed's decision sequence bit-identically;
+// live ingest then continues where the old node stopped. It returns the
+// number of frames handed off.
+func (c *Client) HandoffFeed(ctx context.Context, id, fromAddr string) (int, error) {
+	logged, err := c.At(fromAddr).FeedLog(ctx, id)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := c.RegisterFeed(ctx, id); err != nil {
+		return 0, err
+	}
+	frames := make([]Frame, len(logged))
+	for i, lf := range logged {
+		frames[i] = lf.FrameJSON
+	}
+	n, err := c.Ingest(ctx, id, frames)
+	if err != nil {
+		return n, fmt.Errorf("occupancy: handoff re-ingest of %q accepted %d of %d: %w", id, n, len(frames), err)
+	}
+	return n, nil
+}
+
+// FetchModel downloads the node's detector bundle, verifying the reported
+// SHA-256 via /v1/cluster when the node is cluster-configured.
+func (c *Client) FetchModel(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/model", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Healthy reports process liveness of the node at BaseURL.
+func (c *Client) Healthy(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, c.base, "/healthz", nil, nil)
+}
+
+// Ready reports whether the node at BaseURL accepts new work (draining
+// answers an error).
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, c.base, "/readyz", nil, nil)
+}

@@ -15,6 +15,7 @@
 package occupancy
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
@@ -188,6 +189,17 @@ func TrainFromCSV(path string, cfg TrainConfig) (*Detector, error) {
 // Load reads a detector bundle written by Save.
 func Load(path string) (*Detector, error) {
 	det, err := core.LoadDetectorFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{det: det}, nil
+}
+
+// LoadBytes reads a detector bundle from memory — e.g. one fetched from a
+// serving node with Client.FetchModel, the cluster's model-distribution
+// channel.
+func LoadBytes(b []byte) (*Detector, error) {
+	det, err := core.LoadDetector(bytes.NewReader(b))
 	if err != nil {
 		return nil, err
 	}

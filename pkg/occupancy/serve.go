@@ -1,6 +1,7 @@
 package occupancy
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net"
@@ -8,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/framelog"
 	"repro/internal/infer"
@@ -57,6 +59,43 @@ type ServeConfig struct {
 	// restarted server replays each feed's log to the exact pre-crash
 	// decision state. The zero value disables durability.
 	Durability DurabilityConfig
+
+	// Cluster, when non-nil, makes this node one member of a sharded
+	// serving cluster: it serves and accepts the versioned shard map on
+	// /v1/cluster and answers requests for feeds another node owns with a
+	// 307 to the owner (or proxies them when Forward is set). Nil keeps
+	// the node standalone.
+	Cluster *ClusterConfig
+}
+
+// ShardMap is the versioned cluster membership every node and client
+// routes by; see internal/cluster for the placement contract.
+type ShardMap = cluster.Map
+
+// ClusterNode is one serving node in a ShardMap.
+type ClusterNode = cluster.Node
+
+// ClusterConfig places a node in (or in front of) a sharded cluster.
+type ClusterConfig struct {
+	// Self is this node's ID in the shard map. An ID the map omits makes
+	// the node a thin router: it owns no feeds and redirects (or, with
+	// Forward, proxies) every feed request to the owner.
+	Self string
+	// Map is the initial shard map. The zero value means "no membership
+	// yet": feeds are served locally until a populated map is installed
+	// via PUT /v1/cluster (Client.UpdateShardMap).
+	Map ShardMap
+	// Forward proxies misplaced feed requests to their owner instead of
+	// answering 307 — the router configuration.
+	Forward bool
+}
+
+// Validate reports whether the cluster configuration is usable.
+func (c ClusterConfig) Validate() error { return c.lower().Validate() }
+
+// lower converts to the internal/server form.
+func (c ClusterConfig) lower() server.ClusterConfig {
+	return server.ClusterConfig{Self: c.Self, Map: c.Map, Forward: c.Forward}
 }
 
 // DurabilityConfig is the public face of the per-feed frame log (see
@@ -109,6 +148,11 @@ func (c ServeConfig) Validate() error {
 	if _, err := infer.ParsePrecision(c.Precision); err != nil {
 		return err
 	}
+	if c.Cluster != nil {
+		if err := c.Cluster.Validate(); err != nil {
+			return err
+		}
+	}
 	return c.Durability.Validate()
 }
 
@@ -139,6 +183,31 @@ func NewServer(d *Detector, cfg ServeConfig) (*Server, error) {
 	}
 	if cfg.MaxBatch == 0 {
 		cfg.MaxBatch = 256
+	}
+
+	// Every node serves its detector bundle on /v1/model so a cluster can
+	// verify (by SHA-256 on /v1/cluster) that all members hold identical
+	// weights — the precondition for placement-independent decisions.
+	var blob bytes.Buffer
+	if err := d.det.Save(&blob); err != nil {
+		return nil, err
+	}
+	var clusterCfg *server.ClusterConfig
+	if cfg.Cluster != nil {
+		cc := cfg.Cluster.lower()
+		clusterCfg = &cc
+		// A cluster member serves the *distributed* weights, not the
+		// in-memory ones: the bundle stores weights as float32, so a
+		// freshly-trained f64 detector is not bit-identical to its own saved
+		// form. Normalizing to the bundle makes decisions
+		// placement-independent — a node that trained locally and a peer
+		// that fetched the bundle via /v1/model score every frame
+		// identically.
+		nd, err := LoadBytes(blob.Bytes())
+		if err != nil {
+			return nil, err
+		}
+		d = nd
 	}
 
 	reg := obs.NewRegistry()
@@ -173,6 +242,8 @@ func NewServer(d *Detector, cfg ServeConfig) (*Server, error) {
 		Seed:           cfg.Seed,
 		Observer:       reg,
 		Durability:     cfg.Durability.framelog(reg),
+		Cluster:        clusterCfg,
+		ModelBlob:      blob.Bytes(),
 	})
 	if err != nil {
 		for _, e := range engines {
