@@ -749,3 +749,91 @@ func BenchmarkFrameLogAppend(b *testing.B) {
 		}
 	})
 }
+
+// --- Online learning / hot swap (DESIGN.md §16) ----------------------------
+
+// benchSwapRegistry builds a two-version model registry around one small
+// trained detector (both versions share the payload — the benchmarks measure
+// registry mechanics, not inference) and activates the first version.
+func benchSwapRegistry(b *testing.B) (*infer.Registry, [2]string, *dataset.Record) {
+	b.Helper()
+	_, split := benchFixture(b)
+	dcfg := core.DefaultDetectorConfig()
+	dcfg.Hidden = []int{32, 16}
+	dcfg.Train.Epochs = 1
+	dcfg.Train.Seed = 7
+	dcfg.Seed = 7
+	det, err := core.TrainDetector(split.Train, dcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := infer.NewRegistry(nil)
+	build := func([]byte) (any, error) { return det, nil }
+	va, _, err := reg.Install([]byte("bench-bundle-a"), build)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vb, _, err := reg.Install([]byte("bench-bundle-b"), build)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := reg.Activate(va.ID()); err != nil {
+		b.Fatal(err)
+	}
+	return reg, [2]string{va.ID(), vb.ID()}, &split.Folds[0].Records[0]
+}
+
+// BenchmarkModelSwapActivate measures the hot-swap control-plane cost: one
+// Registry.Activate is a map lookup plus an atomic pointer flip, which is
+// why activation never pauses serving (DESIGN.md §16).
+func BenchmarkModelSwapActivate(b *testing.B) {
+	reg, ids, _ := benchSwapRegistry(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Activate(ids[i&1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelSwapServing measures the per-decision cost the registry adds
+// to the serving hot path — ResolveFor (pin lookup + atomic active load) and
+// the payload type assertion, then a real detector forward — while a
+// background goroutine flips the active version as fast as it can, the
+// worst-case swap pressure a feed can see.
+func BenchmarkModelSwapServing(b *testing.B) {
+	reg, ids, rec := benchSwapRegistry(b)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				if _, err := reg.Activate(ids[i&1]); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}()
+	type predictor interface {
+		PredictRecord(r *dataset.Record) (float64, int)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := reg.ResolveFor("bench-feed")
+		p, ok := v.Payload().(predictor)
+		if !ok {
+			b.Fatal("payload is not a predictor")
+		}
+		p.PredictRecord(rec)
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}

@@ -90,6 +90,8 @@ func main() {
 		clusterN  = flag.Int("cluster", 0, "with -http: drive a sharded cluster with a mid-run drain — boot this many in-process nodes, or with -target take membership from the external cluster's shard map")
 		drainNode = flag.String("drain-node", "", "with -cluster: node ID to drain mid-run (empty: the last node in the shard map)")
 
+		swap = flag.Bool("swap", false, "hot-swap gate: shadow-train a candidate from the server's frame logs, install and atomically activate it mid-run, and require zero frame loss plus bit-identical old/new decision segments (DESIGN.md §16)")
+
 		crash       = flag.Bool("crash", false, "SIGKILL a durable child server mid-stream, restart it, and require bit-identical recovered decisions (DESIGN.md §13)")
 		crashChild  = flag.Bool("crash-child", false, "internal: run as the durable server child for -crash")
 		crashLogDir = flag.String("crash-log-dir", "", "internal: frame log root for -crash-child")
@@ -118,6 +120,10 @@ func main() {
 
 	if *crash {
 		runCrashMode(det, recs, *perFeed, *model)
+		return
+	}
+	if *swap {
+		runSwapMode(det, recs, *feeds, *perFeed, *epochs, *seed)
 		return
 	}
 

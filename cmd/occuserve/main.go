@@ -15,7 +15,12 @@
 //	GET    /v1/cluster               shard map, node identity, model hash
 //	PUT    /v1/cluster               install a newer shard map
 //	POST   /v1/cluster/drain         drain this node and wait
-//	GET    /v1/model                 the detector bundle this node serves
+//	GET    /v1/models                installed model versions + the active one
+//	POST   /v1/models                install a candidate bundle (gated)
+//	POST   /v1/models/activate       atomically hot-swap the active version
+//	GET    /v1/models/{version}      fetch an installed bundle by sha256
+//	PUT    /v1/feeds/{id}/model      pin a feed to a version (A/B); DELETE unpins
+//	GET    /v1/model                 legacy alias: the active version's bundle
 //	GET    /healthz, /readyz         liveness / readiness
 //	GET    /metrics, /debug/pprof/   observability
 //
@@ -31,6 +36,8 @@
 //	          [-workers n] [-batch n] [-precision f64|f32|int8]
 //	          [-log-dir dir] [-fsync always|interval|off] [-fsync-interval d]
 //	          [-drain-timeout d] [-seed n]
+//	          [-drift-baseline n] [-drift-window n] [-drift-bins n]
+//	          [-drift-psi x] [-drift-ks x] [-drift-consecutive n]
 //	          [-cluster-self id] [-cluster-nodes id=url,...] [-cluster-vnodes n]
 //	          [-cluster-forward] [-model-from url]
 //
@@ -54,6 +61,13 @@
 // pre-crash decision state (prove it with `loadgen -crash`; DESIGN.md §13).
 // -fsync bounds the power-loss window; a plain process kill loses nothing
 // under any policy.
+//
+// Setting any -drift-* flag attaches a deterministic per-feed drift
+// detector to the primary decision-score stream: PSI and KS over tumbling
+// windows against a baseline captured at feed start, exported on /metrics
+// (server_drift_*) and the feed listing. Candidate bundles installed via
+// POST /v1/models pass a divergence gate before they become activatable;
+// `loadgen -swap` proves a mid-run activation loses nothing (DESIGN.md §16).
 //
 // Without -model, a C+E detector (plus a CSI-only fallback for feeds whose
 // env sensors die) is trained on a synthetic day at startup.
@@ -87,6 +101,13 @@ func main() {
 		streamBuf = flag.Int("stream-buffer", 0, "per-subscriber decision stream buffer (0 = default 256)")
 		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 		seed      = flag.Int64("seed", 42, "per-feed jitter seed")
+
+		driftBaseline    = flag.Int("drift-baseline", 0, "drift: baseline sample count (0 = default 512; any -drift-* flag enables detection)")
+		driftWindow      = flag.Int("drift-window", 0, "drift: tumbling evaluation window size (0 = default 256)")
+		driftBins        = flag.Int("drift-bins", 0, "drift: PSI histogram bins (0 = default 16)")
+		driftPSI         = flag.Float64("drift-psi", 0, "drift: PSI trigger threshold (0 = default 0.25)")
+		driftKS          = flag.Float64("drift-ks", 0, "drift: KS trigger threshold (0 = default 0.2)")
+		driftConsecutive = flag.Int("drift-consecutive", 0, "drift: consecutive breaching windows to latch a trigger (0 = default 2)")
 
 		logDir        = flag.String("log-dir", "", "durable frame log root (empty: durability off)")
 		fsync         = flag.String("fsync", "interval", "frame log sync policy: always, interval or off")
@@ -164,10 +185,22 @@ func main() {
 			FsyncInterval: *fsyncInterval,
 		},
 		Cluster: clusterCfg,
+		Drift: occupancy.DriftConfig{
+			Baseline:    *driftBaseline,
+			Window:      *driftWindow,
+			Bins:        *driftBins,
+			PSI:         *driftPSI,
+			KS:          *driftKS,
+			Consecutive: *driftConsecutive,
+		},
 	})
 	fail(err)
 	if *logDir != "" {
 		fmt.Printf("occuserve: durable frame log at %s (fsync=%s)\n", *logDir, *fsync)
+	}
+	if dc := (occupancy.DriftConfig{Baseline: *driftBaseline, Window: *driftWindow, Bins: *driftBins,
+		PSI: *driftPSI, KS: *driftKS, Consecutive: *driftConsecutive}); dc.Enabled() {
+		fmt.Println("occuserve: per-feed drift detection on (server_drift_* metrics)")
 	}
 	if clusterCfg != nil {
 		role := "member"

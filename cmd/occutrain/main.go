@@ -7,10 +7,22 @@
 //	occutrain -data trace.csv [-features CSI|Env|C+E] [-model out.bin]
 //	          [-epochs n] [-lr f] [-batch n] [-hidden 128,256,128] [-seed n]
 //	          [-metrics-addr :9090]
+//	occutrain -shadow-log-dir dir -shadow-from active.bin -model out.bin
+//	          [-shadow-feeds a,b] [-shadow-max-frames n]
+//	          [-checkpoint path] [-checkpoint-every n]
+//	          [-epochs n] [-lr f] [-batch n] [-hidden 128,256,128] [-seed n]
 //
 // With -data "" a synthetic trace is generated on the fly. With
 // -metrics-addr, training progress (train_* series) is served on /metrics
 // alongside /debug/pprof/ for profiling slow epochs.
+//
+// The second form is shadow retraining (DESIGN.md §16): instead of a CSV,
+// the candidate trains on the frames a serving node retained in its durable
+// frame log (-log-dir on occuserve), pseudo-labeled by the active detector
+// bundle given via -shadow-from. Training is checkpointed — rerunning with
+// the same -checkpoint resumes into the bit-identical weight trajectory —
+// and the resulting bundle is what POST /v1/models on a running server
+// gates and installs for a zero-downtime hot-swap.
 package main
 
 import (
@@ -38,8 +50,24 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		trainN  = flag.Int("train", 40000, "max training samples after thinning (0 = all)")
 		metrics = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (empty disables)")
+
+		shadowLogDir = flag.String("shadow-log-dir", "", "shadow mode: frame-log root to retrain from (occuserve -log-dir)")
+		shadowFrom   = flag.String("shadow-from", "", "shadow mode: active detector bundle used as pseudo-labeler (required with -shadow-log-dir)")
+		shadowFeeds  = flag.String("shadow-feeds", "", "shadow mode: comma-separated feed IDs to train on (empty: every logged feed)")
+		shadowMax    = flag.Int("shadow-max-frames", 0, "shadow mode: cap on total training frames across feeds (0 = no cap)")
+		checkpoint   = flag.String("checkpoint", "", "shadow mode: training checkpoint path (default <model>.ckpt)")
+		ckptEvery    = flag.Int("checkpoint-every", 1, "shadow mode: epochs between checkpoints")
 	)
 	flag.Parse()
+
+	if *shadowLogDir != "" {
+		shadowMain(*shadowLogDir, *shadowFrom, *shadowFeeds, *shadowMax, *checkpoint, *ckptEvery,
+			*model, *hidden, *epochs, *lr, *batch, *seed)
+		return
+	}
+	if *shadowFrom != "" {
+		fail(fmt.Errorf("occutrain: -shadow-from needs -shadow-log-dir"))
+	}
 
 	feat, err := parseFeatures(*featStr)
 	fail(err)
@@ -108,6 +136,59 @@ func main() {
 	st, err := os.Stat(*model)
 	fail(err)
 	fmt.Printf("occutrain: saved %s (%.2f KiB)\n", *model, float64(st.Size())/1024)
+}
+
+// shadowMain is the -shadow-log-dir entry point: retrain a candidate from a
+// serving node's frame logs, pseudo-labeled by the active bundle, and save
+// it as an installable candidate (core.ShadowTrain; DESIGN.md §16).
+func shadowMain(logDir, from, feeds string, maxFrames int, ckpt string, ckptEvery int,
+	model, hidden string, epochs int, lr float64, batch int, seed int64) {
+	if from == "" {
+		fail(fmt.Errorf("occutrain: shadow mode needs -shadow-from (the active detector bundle)"))
+	}
+	active, err := core.LoadDetectorFile(from)
+	fail(err)
+	fmt.Printf("occutrain: shadow mode: pseudo-labeling with %s (%s features)\n", from, active.Features)
+
+	if ckpt == "" {
+		ckpt = model + ".ckpt"
+	}
+	cfg := core.ShadowTrainConfig{
+		LogDir:          logDir,
+		MaxFrames:       maxFrames,
+		CheckpointPath:  ckpt,
+		CheckpointEvery: ckptEvery,
+	}
+	if feeds != "" {
+		for _, f := range strings.Split(feeds, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				cfg.Feeds = append(cfg.Feeds, f)
+			}
+		}
+	}
+	cfg.Detector = core.DefaultDetectorConfig()
+	cfg.Detector.Hidden, err = parseHidden(hidden)
+	fail(err)
+	cfg.Detector.Train.Epochs = epochs
+	cfg.Detector.Train.LR = lr
+	cfg.Detector.Train.BatchSize = batch
+	cfg.Detector.Train.Seed = seed
+	cfg.Detector.Seed = seed
+	cfg.Detector.Train.OnEpoch = func(e int, loss float64) {
+		fmt.Printf("  epoch %2d  loss %.4f\n", e+1, loss)
+	}
+
+	t0 := time.Now()
+	cand, frames, err := core.ShadowTrain(active, cfg)
+	fail(err)
+	fmt.Printf("occutrain: shadow-trained %v on %d logged frames in %.1fs (checkpoint %s)\n",
+		cand.Net, frames, time.Since(t0).Seconds(), ckpt)
+
+	fail(cand.SaveFile(model))
+	st, err := os.Stat(model)
+	fail(err)
+	fmt.Printf("occutrain: saved candidate %s (%.2f KiB) — install it on a serving node via occupancy.Client.InstallModel\n",
+		model, float64(st.Size())/1024)
 }
 
 func parseFeatures(s string) (dataset.FeatureSet, error) {

@@ -115,7 +115,7 @@ func (s *Server) handleClusterGet(w http.ResponseWriter, r *http.Request) {
 		Self:        s.self,
 		Forward:     s.forward,
 		Draining:    s.draining.Load(),
-		ModelSHA256: s.modelSHA,
+		ModelSHA256: s.activeModelSHA(),
 		Map:         s.shard.Map(),
 	})
 }
@@ -202,13 +202,15 @@ func (s *Server) handleFeedLog(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(LogEOF{EOF: true, Frames: n})
 }
 
+// handleModel is the legacy alias for the active version's bundle (PR 9
+// shipped it before versions existed; -model-from still fetches it). It
+// shares writeModelBlob with GET /v1/models/{version}, so bundle
+// distribution has one code path whichever endpoint a client uses.
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
-	if len(s.cfg.ModelBlob) == 0 {
+	v := s.activeVersion()
+	if v == nil {
 		writeError(w, http.StatusNotFound, CodeNoModel, "node serves no model artifact")
 		return
 	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Model-SHA256", s.modelSHA)
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(s.cfg.ModelBlob)
+	writeModelBlob(w, v)
 }

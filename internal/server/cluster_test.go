@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/framelog"
+	"repro/internal/infer"
 	"repro/internal/server"
 	"repro/pkg/occupancy"
 )
@@ -218,12 +219,21 @@ func TestShardMapEndpointEpochs(t *testing.T) {
 	}
 }
 
-// TestModelDistribution: a node serves its model blob on /v1/model and
-// reports its SHA-256 on /v1/cluster, so a cluster can prove weight
-// identity before trusting placement-independent decisions.
+// TestModelDistribution: a node serves its active model version on the
+// legacy /v1/model alias and reports its SHA-256 on /v1/cluster, so a
+// cluster can prove weight identity before trusting placement-independent
+// decisions.
 func TestModelDistribution(t *testing.T) {
 	blob := []byte("detector-bundle-bytes")
-	n0 := newClusterNode(t, "n0", false, func(c *server.Config) { c.ModelBlob = blob })
+	reg := infer.NewRegistry(nil)
+	v, _, err := reg.Install(blob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Activate(v.ID()); err != nil {
+		t.Fatal(err)
+	}
+	n0 := newClusterNode(t, "n0", false, func(c *server.Config) { c.Models = reg })
 	ctx := context.Background()
 
 	got, err := n0.cl.FetchModel(ctx)
@@ -235,11 +245,14 @@ func TestModelDistribution(t *testing.T) {
 	if err != nil || info.ModelSHA256 != hex.EncodeToString(sum[:]) {
 		t.Fatalf("model sha on cluster info: %+v %v", info, err)
 	}
+	if info.ModelSHA256 != v.ID() {
+		t.Fatalf("registry id %s != advertised sha %s", v.ID(), info.ModelSHA256)
+	}
 
-	// A node without a blob answers 404 no_model.
+	// A node without a registry answers 404 no_model.
 	bare := newClusterNode(t, "n1", false, nil)
 	if _, err := bare.cl.FetchModel(ctx); !occupancy.IsCode(err, server.CodeNoModel) {
-		t.Fatalf("fetch model without blob: %v", err)
+		t.Fatalf("fetch model without registry: %v", err)
 	}
 }
 

@@ -20,6 +20,8 @@ const (
 	CodeNoCluster        = "no_cluster"        // 404: node runs without cluster config
 	CodeNoLog            = "no_log"            // 404: durability off, or no log for the feed
 	CodeNoModel          = "no_model"          // 404: node serves no model artifact
+	CodeUnknownModel     = "unknown_model"     // 404: no installed model version under that id
+	CodeModelRejected    = "model_rejected"    // 422: candidate bundle failed the install gate
 	CodeFeedEnded        = "feed_ended"        // 410: feed finished; stream unavailable
 	CodeFeedActive       = "feed_active"       // 409: log pull refused while the feed is live
 	CodeStaleEpoch       = "stale_epoch"       // 409: map epoch <= the installed one

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/drift"
 	"repro/internal/fault"
 	"repro/internal/framelog"
 	"repro/internal/stream"
@@ -36,6 +37,10 @@ type Event struct {
 	Mode       string    `json:"mode"`
 	CSIImputed bool      `json:"csi_imputed,omitempty"`
 	EnvImputed bool      `json:"env_imputed,omitempty"`
+	// ModelVersion is the registry version (SHA-256 id) whose inference
+	// produced this decision. Empty on registry-less servers and on
+	// decisions the primary model did not score (fallback and held modes).
+	ModelVersion string `json:"model_version,omitempty"`
 }
 
 // subscriber is one NDJSON stream client.
@@ -67,6 +72,15 @@ type feed struct {
 	haveLast  bool
 	subs      map[*subscriber]struct{}
 
+	// vp resolves the serving model version per prediction on
+	// registry-backed servers (nil otherwise); lastVer (under mu) is the
+	// version behind the most recent primary decision. drift, when
+	// configured, observes primary decision scores under mu and
+	// re-baselines on version changes.
+	vp      *versionedPredictor
+	drift   *drift.Detector
+	lastVer string
+
 	// log is the feed's durable frame log (nil without durability). Appends
 	// happen under mu, ahead of the queue send, so the log order is exactly
 	// the accepted frame order. recoverN is how many frames run must replay
@@ -90,6 +104,16 @@ func (s *Server) newFeed(id string, seed int64) (*feed, error) {
 		lastFill: time.Now(),
 		subs:     make(map[*subscriber]struct{}),
 		done:     make(chan struct{}),
+	}
+	if s.cfg.Models != nil {
+		f.vp = &versionedPredictor{reg: s.cfg.Models, feed: id, def: s.cfg.Primary}
+	}
+	if s.cfg.Drift.Enabled() {
+		det, err := drift.New(s.cfg.Drift)
+		if err != nil {
+			return nil, err
+		}
+		f.drift = det
 	}
 	if _, err := stream.New(f.runtimeConfig()); err != nil {
 		return nil, err
@@ -129,6 +153,9 @@ func (f *feed) runtimeConfig() stream.Config {
 		Seed:           f.seed,
 		Observer:       cfg.Observer,
 	}
+	if f.vp != nil {
+		sc.Primary = f.vp
+	}
 	if cfg.IdleTimeout < 0 {
 		// Eviction disabled: keep the watchdog practically unreachable.
 		sc.ReadTimeout = time.Minute
@@ -157,8 +184,34 @@ func (f *feed) publish(fr fault.Frame, d stream.Decision) {
 		CSIImputed: d.CSIImputed,
 		EnvImputed: d.EnvImputed,
 	}
+	primary := d.Mode == stream.ModePrimary
+	if f.vp != nil && primary {
+		// lastID was set by the prediction this decision came from; publish
+		// runs on the same goroutine, so the read is ordered after it.
+		ev.ModelVersion = f.vp.lastID
+	}
 	s.m.decisions.Inc()
 	f.mu.Lock()
+	if primary {
+		if f.drift != nil {
+			if ev.ModelVersion != f.lastVer {
+				// A swap (or fallback recovery onto a new version) changes
+				// the score distribution by construction; re-baseline so
+				// drift measures the new model against its own scores.
+				f.drift.Reset()
+			}
+			res := f.drift.Observe(d.P)
+			if res.Evaluated {
+				s.m.driftWindows.Inc()
+				s.m.driftPSI.Set(res.PSI)
+				s.m.driftKS.Set(res.KS)
+				if res.Triggered && res.TriggerSample == res.Sample {
+					s.m.driftTriggers.Inc()
+				}
+			}
+		}
+		f.lastVer = ev.ModelVersion
+	}
 	transition := !f.haveLast || f.last.State != d.State
 	f.last = ev
 	f.haveLast = true

@@ -96,6 +96,49 @@ type FeedInfo struct {
 	ID         string `json:"id"`
 	QueueDepth int    `json:"queue_depth"`
 	Decisions  int64  `json:"decisions"`
+	// ModelVersion is the version behind the feed's latest primary
+	// decision; PinnedModel is its registry pin, if any. Both are empty on
+	// registry-less servers.
+	ModelVersion string `json:"model_version,omitempty"`
+	PinnedModel  string `json:"pinned_model,omitempty"`
+	// Drift reports the feed's drift detector, when one is configured.
+	Drift *DriftStatus `json:"drift,omitempty"`
+}
+
+// DriftStatus is a feed's drift-detector state as exposed on the listing
+// surface: how many windows have been evaluated, the latest window's
+// statistics, and whether drift has latched.
+type DriftStatus struct {
+	Windows       int64   `json:"windows"`
+	PSI           float64 `json:"psi"`
+	KS            float64 `json:"ks"`
+	Triggered     bool    `json:"triggered,omitempty"`
+	TriggerSample int64   `json:"trigger_sample,omitempty"`
+}
+
+// feedInfo snapshots one feed for the listing surface.
+func (s *Server) feedInfo(f *feed) FeedInfo {
+	info := FeedInfo{ID: f.id, QueueDepth: s.cfg.QueueDepth}
+	f.mu.Lock()
+	info.Decisions = int64(f.nextIndex)
+	info.ModelVersion = f.lastVer
+	if f.drift != nil {
+		st := f.drift.State()
+		info.Drift = &DriftStatus{
+			Windows:       st.Windows,
+			PSI:           st.PSI,
+			KS:            st.KS,
+			Triggered:     st.Triggered,
+			TriggerSample: st.TriggerSample,
+		}
+	}
+	f.mu.Unlock()
+	if s.cfg.Models != nil {
+		if v, ok := s.cfg.Models.Pinned(f.id); ok {
+			info.PinnedModel = v.ID()
+		}
+	}
+	return info
 }
 
 // Handler returns the server's HTTP API (the full reference is API.md):
@@ -109,10 +152,17 @@ type FeedInfo struct {
 //	                                 decision, default: state transitions)
 //	GET    /v1/feeds/{id}/log        NDJSON dump of the feed's durable frame
 //	                                 log (handoff source; requires durability)
+//	PUT    /v1/feeds/{id}/model      pin the feed to a model version
+//	DELETE /v1/feeds/{id}/model      unpin the feed (back to the active model)
 //	GET    /v1/cluster               shard map + node identity + model hash
 //	PUT    /v1/cluster               install a newer shard map
 //	POST   /v1/cluster/drain         drain this node and wait for it
-//	GET    /v1/model                 the detector bundle this node serves
+//	GET    /v1/models                list installed model versions
+//	POST   /v1/models                install a candidate bundle (gated)
+//	POST   /v1/models/activate       atomically swap the active version
+//	GET    /v1/models/{version}      one installed version's bundle
+//	GET    /v1/model                 the active version's bundle (legacy alias
+//	                                 of GET /v1/models/{active})
 //	GET    /healthz                  process liveness
 //	GET    /readyz                   503 once draining
 //
@@ -140,6 +190,12 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/cluster", bounded(s.handleClusterGet))
 	mux.Handle("PUT /v1/cluster", bounded(s.handleClusterPut))
 	mux.HandleFunc("POST /v1/cluster/drain", s.handleDrain)
+	mux.Handle("GET /v1/models", bounded(s.handleModelList))
+	mux.Handle("POST /v1/models", bounded(s.handleModelInstall))
+	mux.Handle("POST /v1/models/activate", bounded(s.handleModelActivate))
+	mux.Handle("GET /v1/models/{version}", bounded(s.handleModelGet))
+	mux.Handle("PUT /v1/feeds/{id}/model", bounded(s.handleModelPin))
+	mux.Handle("DELETE /v1/feeds/{id}/model", bounded(s.handleModelUnpin))
 	mux.Handle("GET /v1/model", bounded(s.handleModel))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -193,7 +249,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if existed {
 		code = http.StatusOK
 	}
-	writeJSON(w, code, FeedInfo{ID: f.id, QueueDepth: s.cfg.QueueDepth})
+	writeJSON(w, code, s.feedInfo(f))
 }
 
 func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
@@ -212,14 +268,15 @@ func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	infos := make([]FeedInfo, 0, len(s.feeds))
+	feeds := make([]*feed, 0, len(s.feeds))
 	for _, f := range s.feeds {
-		f.mu.Lock()
-		n := int64(f.nextIndex)
-		f.mu.Unlock()
-		infos = append(infos, FeedInfo{ID: f.id, QueueDepth: s.cfg.QueueDepth, Decisions: n})
+		feeds = append(feeds, f)
 	}
 	s.mu.Unlock()
+	infos := make([]FeedInfo, 0, len(feeds))
+	for _, f := range feeds {
+		infos = append(infos, s.feedInfo(f))
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"feeds": infos})
 }
 

@@ -1,0 +1,345 @@
+package server_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/infer"
+	"repro/internal/server"
+	"repro/internal/stream"
+)
+
+// constPred is a distinguishable fake model: every prediction returns the
+// same probability, so a decision's P proves exactly which version scored
+// it.
+type constPred struct{ p float64 }
+
+func (c constPred) PredictRecord(r *dataset.Record) (float64, int) {
+	if c.p >= 0.5 {
+		return c.p, 1
+	}
+	return c.p, 0
+}
+
+// parseConstModel is the test BuildModel gate: a bundle is the literal text
+// "p=<prob>"; anything else is rejected.
+func parseConstModel(b []byte) (stream.Predictor, error) {
+	var p float64
+	if _, err := fmt.Sscanf(string(b), "p=%f", &p); err != nil {
+		return nil, fmt.Errorf("not a const-model bundle: %q", b)
+	}
+	return constPred{p: p}, nil
+}
+
+// latestEvent polls a feed's latest decision until its Seq reaches at least
+// want, returning it.
+func latestEvent(t *testing.T, base, id string, want int64) server.Event {
+	t.Helper()
+	var ev server.Event
+	waitFor(t, 5*time.Second, fmt.Sprintf("feed %s to reach seq %d", id, want), func() bool {
+		code, body, _ := doReq(t, http.MethodGet, base+"/v1/feeds/"+id+"/occupancy", nil)
+		if code != http.StatusOK {
+			return false
+		}
+		if err := json.Unmarshal(body, &ev); err != nil {
+			return false
+		}
+		return ev.Seq >= want
+	})
+	return ev
+}
+
+// installModel POSTs a raw bundle and decodes the ModelInfo (or fatals on
+// an unexpected status).
+func installModel(t *testing.T, base string, blob []byte, wantCode int) server.ModelInfo {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/models", "application/octet-stream", strings.NewReader(string(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info server.ModelInfo
+	if resp.StatusCode != wantCode {
+		t.Fatalf("install %q: status %d, want %d", blob, resp.StatusCode, wantCode)
+	}
+	if resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return info
+}
+
+func activateModel(t *testing.T, base, id string) {
+	t.Helper()
+	code, body, _ := doReq(t, http.MethodPost, base+"/v1/models/activate", server.ModelActivateRequest{ID: id})
+	if code != http.StatusOK {
+		t.Fatalf("activate %s: status %d, body %s", id, code, body)
+	}
+}
+
+// TestModelAPILifecycle drives the whole versioned-model surface over the
+// wire: install (fresh and deduplicated), list, activate, per-version
+// fetch, the legacy /v1/model alias, pin/unpin, and every error envelope.
+func TestModelAPILifecycle(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	// A registry-less node answers no_model on the whole model surface.
+	for _, ep := range []string{"/v1/models", "/v1/model", "/v1/models/deadbeef"} {
+		code, body, _ := doReq(t, http.MethodGet, ts.URL+ep, nil)
+		if code != http.StatusNotFound || !strings.Contains(string(body), server.CodeNoModel) {
+			t.Fatalf("GET %s without registry: %d %s", ep, code, body)
+		}
+	}
+
+	reg := infer.NewRegistry(nil)
+	_, mts, _ := newTestServer(t, func(c *server.Config) {
+		c.Models = reg
+		c.BuildModel = parseConstModel
+	})
+	base := mts.URL
+
+	// Fresh install answers 201; identical bytes answer 200 with the same
+	// version.
+	a := installModel(t, base, []byte("p=0.90"), http.StatusCreated)
+	dup := installModel(t, base, []byte("p=0.90"), http.StatusOK)
+	if a.ID != dup.ID || a.Seq != dup.Seq {
+		t.Fatalf("dedup broke identity: %+v vs %+v", a, dup)
+	}
+	b := installModel(t, base, []byte("p=0.60"), http.StatusCreated)
+	if b.Seq <= a.Seq {
+		t.Fatalf("install order lost: %d then %d", a.Seq, b.Seq)
+	}
+
+	// A bundle the gate rejects is never installed: 422 on the wire, and
+	// the registry neither lists nor activates it.
+	code, body, _ := doReq(t, http.MethodPost, base+"/v1/models/activate", server.ModelActivateRequest{ID: "no-such"})
+	if code != http.StatusNotFound || !strings.Contains(string(body), server.CodeUnknownModel) {
+		t.Fatalf("activate unknown: %d %s", code, body)
+	}
+	resp, err := http.Post(base+"/v1/models", "application/octet-stream", strings.NewReader("garbage-weights"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := make([]byte, 512)
+	n, _ := resp.Body.Read(rb)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity || !strings.Contains(string(rb[:n]), server.CodeModelRejected) {
+		t.Fatalf("rejected install: %d %s", resp.StatusCode, rb[:n])
+	}
+	rejectedID := infer.BlobID([]byte("garbage-weights"))
+	code, body, _ = doReq(t, http.MethodPost, base+"/v1/models/activate", server.ModelActivateRequest{ID: rejectedID})
+	if code != http.StatusNotFound {
+		t.Fatalf("rejected bundle became activatable: %d %s", code, body)
+	}
+
+	// List: both surviving versions, neither active yet.
+	var list server.ModelsResponse
+	code, body, _ = doReq(t, http.MethodGet, base+"/v1/models", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list: %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Active != "" || len(list.Models) != 2 {
+		t.Fatalf("list before activation: %+v", list)
+	}
+
+	// Activation makes the version serve /v1/model (legacy alias) and the
+	// versioned fetch round-trips bytes + SHA header.
+	activateModel(t, base, a.ID)
+	for _, ep := range []string{"/v1/model", "/v1/models/" + a.ID} {
+		code, blob, hdr := doReq(t, http.MethodGet, base+ep, nil)
+		if code != http.StatusOK || string(blob) != "p=0.90" || hdr.Get("X-Model-SHA256") != a.ID {
+			t.Fatalf("GET %s: %d %q sha=%q", ep, code, blob, hdr.Get("X-Model-SHA256"))
+		}
+	}
+	code, body, _ = doReq(t, http.MethodGet, base+"/v1/models", nil)
+	_ = json.Unmarshal(body, &list)
+	if code != http.StatusOK || list.Active != a.ID {
+		t.Fatalf("list after activation: %d %+v", code, list)
+	}
+
+	// Pinning: the feed serves the pinned version through activations, the
+	// listing reports the pin, and unpin is idempotent.
+	if code, body, _ := doReq(t, http.MethodPut, base+"/v1/feeds/room/model", server.ModelPinRequest{ID: b.ID}); code != http.StatusOK {
+		t.Fatalf("pin: %d %s", code, body)
+	}
+	if code, body, _ := doReq(t, http.MethodPut, base+"/v1/feeds/room", nil); code != http.StatusCreated {
+		t.Fatalf("register: %d %s", code, body)
+	}
+	if _, ir, _ := ingest(t, base, "room", mkFrames(3, 1)); ir.Accepted != 3 {
+		t.Fatalf("ingest accepted %d", ir.Accepted)
+	}
+	ev := latestEvent(t, base, "room", 2)
+	if ev.ModelVersion != b.ID || ev.P != 0.60 {
+		t.Fatalf("pinned feed served %+v, want version %s at p=0.60", ev, b.ID)
+	}
+	var feeds struct{ Feeds []server.FeedInfo }
+	_, body, _ = doReq(t, http.MethodGet, base+"/v1/feeds", nil)
+	if err := json.Unmarshal(body, &feeds); err != nil {
+		t.Fatal(err)
+	}
+	if len(feeds.Feeds) != 1 || feeds.Feeds[0].PinnedModel != b.ID || feeds.Feeds[0].ModelVersion != b.ID {
+		t.Fatalf("feed listing: %+v", feeds.Feeds)
+	}
+	for i := 0; i < 2; i++ { // unpin, then unpin again: idempotent
+		if code, body, _ := doReq(t, http.MethodDelete, base+"/v1/feeds/room/model", nil); code != http.StatusOK {
+			t.Fatalf("unpin #%d: %d %s", i, code, body)
+		}
+	}
+	if _, ir, _ := ingest(t, base, "room", mkFrames(3, 1)); ir.Accepted != 3 {
+		t.Fatal("ingest after unpin")
+	}
+	ev = latestEvent(t, base, "room", 5)
+	if ev.ModelVersion != a.ID || ev.P != 0.90 {
+		t.Fatalf("unpinned feed served %+v, want active version %s", ev, a.ID)
+	}
+}
+
+// TestSwapAtomicity is the hot-swap correctness gate at the unit tier: with
+// activations racing live serving, no decision ever carries a version that
+// was never active, and every decision's probability is exactly the one its
+// tagged version produces — the tag and the arithmetic can never disagree,
+// which is what "atomic pointer flip" must mean on this surface.
+func TestSwapAtomicity(t *testing.T) {
+	reg := infer.NewRegistry(nil)
+	_, ts, _ := newTestServer(t, func(c *server.Config) {
+		c.Models = reg
+		c.BuildModel = parseConstModel
+		c.QueueDepth = 4096
+	})
+	base := ts.URL
+
+	a := installModel(t, base, []byte("p=0.90"), http.StatusCreated)
+	b := installModel(t, base, []byte("p=0.70"), http.StatusCreated)
+	c := installModel(t, base, []byte("p=0.80"), http.StatusCreated) // installed, never activated
+	pOf := map[string]float64{a.ID: 0.90, b.ID: 0.70, c.ID: 0.80}
+	activateModel(t, base, a.ID)
+
+	if code, body, _ := doReq(t, http.MethodPut, base+"/v1/feeds/room", nil); code != http.StatusCreated {
+		t.Fatalf("register: %d %s", code, body)
+	}
+
+	// Subscribe before ingesting so every decision is observed.
+	resp, err := http.Get(base + "/v1/feeds/room/stream?all=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	const total = 600
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // flip A<->B as fast as the API allows, while frames flow
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			id := a.ID
+			if i%2 == 1 {
+				id = b.ID
+			}
+			activateModel(t, base, id)
+		}
+	}()
+	for sent := 0; sent < total; sent += 100 {
+		if _, ir, _ := ingest(t, base, "room", mkFrames(100, 1)); ir.Accepted != 100 {
+			t.Fatalf("ingest batch at %d accepted %d", sent, ir.Accepted)
+		}
+	}
+	wg.Wait()
+
+	sc := bufio.NewScanner(resp.Body)
+	seen := map[string]int{}
+	for i := 0; i < total; i++ {
+		if !sc.Scan() {
+			t.Fatalf("stream ended after %d of %d events: %v", i, total, sc.Err())
+		}
+		var ev server.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Seq != int64(i) {
+			t.Fatalf("event %d has seq %d: decisions lost or reordered", i, ev.Seq)
+		}
+		want, known := pOf[ev.ModelVersion]
+		if !known {
+			t.Fatalf("decision %d tagged with unknown version %q", i, ev.ModelVersion)
+		}
+		if ev.ModelVersion == c.ID {
+			t.Fatalf("decision %d tagged with never-activated version %s", i, c.ID)
+		}
+		if ev.P != want {
+			t.Fatalf("decision %d: version %s but p=%v (version serves %v) — tag and arithmetic disagree",
+				i, ev.ModelVersion, ev.P, want)
+		}
+		seen[ev.ModelVersion]++
+	}
+	if seen[a.ID] == 0 {
+		t.Fatal("version A never served")
+	}
+}
+
+// TestDriftTriggerDeterministic: the drift detector sees exactly the
+// primary decision-score sequence, so the same frames trigger at the same
+// sample on every run — and the trigger is visible on the feed listing and
+// the metrics surface. The shift comes the way production sees it — the
+// same model scoring a changed input distribution (ampPred passes the
+// first subcarrier through as the score).
+func TestDriftTriggerDeterministic(t *testing.T) {
+	runAmp := func() (server.FeedInfo, float64) {
+		_, ts, obsReg := newTestServer(t, func(c *server.Config) {
+			c.QueueDepth = 1024
+			c.Drift.Baseline = 40
+			c.Drift.Window = 20
+			c.Drift.Consecutive = 2
+		})
+		base := ts.URL
+		if code, _, _ := doReq(t, http.MethodPut, base+"/v1/feeds/room", nil); code != http.StatusCreated {
+			t.Fatal("register")
+		}
+		// 40 baseline scores at 0.2, then 60 shifted to 0.9: windows close
+		// at samples 60 and 80 with PSI/KS far over threshold; streak 2
+		// latches the trigger at sample 80.
+		if _, ir, _ := ingest(t, base, "room", mkFrames(40, 0.2)); ir.Accepted != 40 {
+			t.Fatal("baseline ingest")
+		}
+		if _, ir, _ := ingest(t, base, "room", mkFrames(60, 0.9)); ir.Accepted != 60 {
+			t.Fatal("shifted ingest")
+		}
+		latestEvent(t, base, "room", 99)
+
+		var feeds struct{ Feeds []server.FeedInfo }
+		_, body, _ := doReq(t, http.MethodGet, base+"/v1/feeds", nil)
+		if err := json.Unmarshal(body, &feeds); err != nil {
+			t.Fatal(err)
+		}
+		if len(feeds.Feeds) != 1 || feeds.Feeds[0].Drift == nil {
+			t.Fatalf("feed listing without drift status: %+v", feeds.Feeds)
+		}
+		snap := obsReg.Snapshot()
+		trig, _ := snap.Get("server_drift_triggers_total")
+		return feeds.Feeds[0], trig.Value
+	}
+
+	first, trig1 := runAmp()
+	second, trig2 := runAmp()
+	if !first.Drift.Triggered {
+		t.Fatalf("drift did not trigger: %+v", first.Drift)
+	}
+	if first.Drift.TriggerSample != 80 {
+		t.Fatalf("trigger sample %d, want 80", first.Drift.TriggerSample)
+	}
+	if *first.Drift != *second.Drift {
+		t.Fatalf("drift state not deterministic: %+v vs %+v", first.Drift, second.Drift)
+	}
+	if trig1 != 1 || trig2 != 1 {
+		t.Fatalf("server_drift_triggers_total: %v and %v, want 1", trig1, trig2)
+	}
+}

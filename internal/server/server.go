@@ -27,8 +27,6 @@ package server
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"errors"
 	"fmt"
 	"net/http/httputil"
@@ -37,7 +35,9 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/drift"
 	"repro/internal/framelog"
+	"repro/internal/infer"
 	"repro/internal/obs"
 	"repro/internal/stream"
 )
@@ -101,11 +101,32 @@ type Config struct {
 	// keeps the node standalone — every feed is local. See DESIGN.md §15.
 	Cluster *ClusterConfig
 
-	// ModelBlob, when non-nil, is the serialized detector bundle this node
-	// serves on GET /v1/model, with its SHA-256 reported on /v1/cluster —
-	// the artifact-distribution channel that lets every node in a cluster
-	// prove it serves identical trained weights.
-	ModelBlob []byte
+	// Models, when non-nil, is the node's versioned model registry: the
+	// /v1/models surface installs, activates, fetches and pins versions on
+	// it; every feed's primary predictions resolve through it per frame
+	// (pin, else active), so an activation is an atomic hot-swap; and each
+	// primary decision carries the version id that scored it. The active
+	// version's bundle is also what GET /v1/model serves and what
+	// ClusterInfo's model_sha256 advertises. Nil keeps the node
+	// registry-less: Primary serves everything, decisions carry no
+	// version, and the model endpoints answer no_model.
+	Models *infer.Registry
+	// BuildModel gates candidate installs: it turns uploaded bundle bytes
+	// into the predictor the registry will serve, and its error rejects
+	// the candidate (422 model_rejected) without installing anything —
+	// rejected candidates are never activatable. The owner typically
+	// parses the bundle, checks the feature set against the serving one,
+	// and runs the core.RunDivergence gate at the serving precision. Nil
+	// makes installed versions blob-only (distribution without serving;
+	// Primary keeps scoring).
+	BuildModel func(blob []byte) (stream.Predictor, error)
+	// Drift configures per-feed drift detection over primary decision
+	// scores (see internal/drift). The zero value disables it; when
+	// enabled, each feed runs its own deterministic detector, window
+	// statistics surface as the server_drift_* series and per-feed state
+	// on FeedInfo, and the detector re-baselines whenever the feed's
+	// serving model version changes.
+	Drift drift.Config
 }
 
 // ClusterConfig configures a node's place in the sharded cluster.
@@ -146,6 +167,12 @@ func (c Config) Validate() error {
 	}
 	if err := c.Durability.Validate(); err != nil {
 		return err
+	}
+	if err := c.Drift.Validate(); err != nil {
+		return err
+	}
+	if c.BuildModel != nil && c.Models == nil {
+		return errors.New("server: Config.BuildModel set without Config.Models")
 	}
 	if c.Cluster != nil {
 		if err := c.Cluster.Validate(); err != nil {
@@ -199,6 +226,10 @@ type metrics struct {
 	feedsRecovered  *obs.Counter
 	framesRecovered *obs.Counter
 	reqLatency      *obs.Histogram
+	driftWindows    *obs.Counter
+	driftTriggers   *obs.Counter
+	driftPSI        *obs.Gauge
+	driftKS         *obs.Gauge
 }
 
 func newMetrics(o obs.Observer) metrics {
@@ -221,6 +252,10 @@ func newMetrics(o obs.Observer) metrics {
 		feedsRecovered:  o.Counter("server_feeds_recovered_total", "feeds rebuilt from the frame log at startup"),
 		framesRecovered: o.Counter("server_frames_recovered_total", "frames replayed from the frame log into feed runtimes"),
 		reqLatency:      o.Histogram("server_request_seconds", "non-streaming request latency", obs.ExpBuckets(1e-4, 4, 10)),
+		driftWindows:    o.Counter("server_drift_windows_total", "drift evaluation windows closed across all feeds"),
+		driftTriggers:   o.Counter("server_drift_triggers_total", "feeds whose drift detector latched its trigger"),
+		driftPSI:        o.Gauge("server_drift_psi", "PSI of the most recently evaluated drift window (any feed)"),
+		driftKS:         o.Gauge("server_drift_ks", "KS statistic of the most recently evaluated drift window (any feed)"),
 	}
 }
 
@@ -238,12 +273,10 @@ type Server struct {
 	wg       sync.WaitGroup // one entry per live feed runtime
 
 	// shard is the live cluster view (nil on standalone nodes); self and
-	// forward mirror the ClusterConfig. modelSHA caches the hex SHA-256 of
-	// cfg.ModelBlob.
-	shard    *cluster.State
-	self     string
-	forward  bool
-	modelSHA string
+	// forward mirror the ClusterConfig.
+	shard   *cluster.State
+	self    string
+	forward bool
 
 	// proxies caches one reverse proxy per peer address for Forward mode.
 	proxyMu sync.Mutex
@@ -297,10 +330,6 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.shard, s.self, s.forward = st, cfg.Cluster.Self, cfg.Cluster.Forward
-	}
-	if len(cfg.ModelBlob) > 0 {
-		sum := sha256.Sum256(cfg.ModelBlob)
-		s.modelSHA = hex.EncodeToString(sum[:])
 	}
 	if cfg.Durability.Enabled() {
 		if err := s.recoverFeeds(); err != nil {

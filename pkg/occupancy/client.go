@@ -37,6 +37,12 @@ type (
 	// LoggedFrame is one line of a feed's durable-log dump: the frame plus
 	// its log sequence number.
 	LoggedFrame = server.LogFrame
+	// ModelInfo describes one installed model version.
+	ModelInfo = server.ModelInfo
+	// ModelsResponse is the versioned-model listing body.
+	ModelsResponse = server.ModelsResponse
+	// DriftStatus is a feed's drift-detector state on the listing surface.
+	DriftStatus = server.DriftStatus
 )
 
 // APIError is any non-2xx answer from the service, carrying the HTTP status
@@ -67,9 +73,10 @@ type ClientConfig struct {
 	// calls need a client without an overall Timeout.
 	HTTPClient *http.Client
 	// MaxRetries bounds consecutive no-progress retries of a pressure
-	// response (429, or 500 log_error) before Ingest gives up (default 4).
-	// Retries honor Retry-After / retry_after_ms; a batch that makes
-	// partial progress resets the budget.
+	// response (429, 500 log_error, or 503 draining / routing_conflict)
+	// before Ingest gives up (default 4). Retries honor Retry-After /
+	// retry_after_ms; a batch that makes partial progress resets the
+	// budget.
 	MaxRetries int
 	// MaxRetryWait caps one Retry-After sleep (default 5s).
 	MaxRetryWait time.Duration
@@ -338,15 +345,26 @@ func (c *Client) Ingest(ctx context.Context, id string, frames []Frame) (int, er
 		if err := c.sleep(ctx, ae.RetryAfterMS); err != nil {
 			return accepted, err
 		}
+		if ae.Code == server.CodeDraining || ae.Code == server.CodeRoutingConflict {
+			// The topology is moving under us — a drain or a map the nodes
+			// disagree on. Re-resolve the feed's owner before the retry so
+			// the remainder lands where the feed now lives.
+			_ = c.RefreshShardMap(ctx)
+			ep = c.endpointFor(ctx, id)
+		}
 	}
 	return accepted, nil
 }
 
 // retryableCode reports whether an envelope code means "back off and retry
-// the rest of the batch".
+// the rest of the batch". Pressure codes (429, log_error) mean the same
+// node will accept soon; the transitional 503s (draining, routing_conflict)
+// mean another node will — Ingest refreshes the shard map before those
+// retries.
 func retryableCode(code string) bool {
 	switch code {
-	case server.CodeQueueFull, server.CodeRateLimited, server.CodeLogError:
+	case server.CodeQueueFull, server.CodeRateLimited, server.CodeLogError,
+		server.CodeDraining, server.CodeRoutingConflict:
 		return true
 	}
 	return false
@@ -538,6 +556,80 @@ func (c *Client) HandoffFeed(ctx context.Context, id, fromAddr string) (int, err
 // SHA-256 via /v1/cluster when the node is cluster-configured.
 func (c *Client) FetchModel(ctx context.Context) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/model", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Models lists the node's installed model versions and which one is
+// active.
+func (c *Client) Models(ctx context.Context) (ModelsResponse, error) {
+	var out ModelsResponse
+	err := c.do(ctx, http.MethodGet, c.base, "/v1/models", nil, &out)
+	return out, err
+}
+
+// InstallModel uploads a candidate detector bundle to the node at BaseURL.
+// The server gates the bundle (parse, feature-set match, divergence at the
+// serving precision) before it becomes an installed version; a rejected
+// candidate answers 422 model_rejected and is never installed. Identical
+// bytes are deduplicated onto the existing version. Installing does not
+// activate — follow with ActivateModel.
+func (c *Client) InstallModel(ctx context.Context, bundle []byte) (ModelInfo, error) {
+	var info ModelInfo
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/models", bytes.NewReader(bundle))
+	if err != nil {
+		return info, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return info, decodeAPIError(resp)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	return info, err
+}
+
+// ActivateModel atomically swaps the node's active model version. The swap
+// is zero-downtime: no in-flight frame is lost, and every decision carries
+// the version (Decision.ModelVersion) that actually scored it.
+func (c *Client) ActivateModel(ctx context.Context, version string) error {
+	return c.do(ctx, http.MethodPost, c.base, "/v1/models/activate",
+		server.ModelActivateRequest{ID: version}, nil)
+}
+
+// PinFeedModel pins a feed to an installed model version: the feed keeps
+// serving that version through activations until UnpinFeedModel — A/B
+// serving on the versioned-model plumbing. Routed to the feed's owner.
+func (c *Client) PinFeedModel(ctx context.Context, feed, version string) error {
+	return c.do(ctx, http.MethodPut, c.endpointFor(ctx, feed),
+		"/v1/feeds/"+url.PathEscape(feed)+"/model", server.ModelPinRequest{ID: version}, nil)
+}
+
+// UnpinFeedModel removes a feed's version pin (idempotent); the feed
+// returns to the active version.
+func (c *Client) UnpinFeedModel(ctx context.Context, feed string) error {
+	return c.do(ctx, http.MethodDelete, c.endpointFor(ctx, feed),
+		"/v1/feeds/"+url.PathEscape(feed)+"/model", nil, nil)
+}
+
+// FetchModelVersion downloads one installed version's bundle by id.
+// FetchModel remains the active version's bundle via the legacy alias.
+func (c *Client) FetchModelVersion(ctx context.Context, version string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/models/"+url.PathEscape(version), nil)
 	if err != nil {
 		return nil, err
 	}

@@ -7,10 +7,13 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/drift"
 	"repro/internal/framelog"
 	"repro/internal/infer"
 	"repro/internal/obs"
@@ -66,6 +69,52 @@ type ServeConfig struct {
 	// 307 to the owner (or proxies them when Forward is set). Nil keeps
 	// the node standalone.
 	Cluster *ClusterConfig
+
+	// Drift, when enabled, attaches a per-feed drift detector to the
+	// primary decision-score stream (PSI + KS over tumbling windows,
+	// exported on /metrics and the feed listing). The zero value disables
+	// drift detection.
+	Drift DriftConfig
+}
+
+// DriftConfig is the public face of the per-feed drift detector (see
+// internal/drift). The zero value disables detection; setting any field
+// enables it, with the remaining fields defaulted.
+type DriftConfig struct {
+	// Baseline is how many primary decision scores establish the
+	// reference distribution (default 512).
+	Baseline int
+	// Window is the tumbling evaluation window size (default 256).
+	Window int
+	// Bins is the histogram resolution for PSI (default 16).
+	Bins int
+	// PSI and KS are the per-window trigger thresholds (defaults 0.25 and
+	// 0.2; negative disables that statistic).
+	PSI float64
+	KS  float64
+	// Consecutive is how many successive over-threshold windows latch a
+	// drift trigger (default 2).
+	Consecutive int
+}
+
+// Validate reports whether the drift configuration is usable; the zero
+// value is valid (drift detection off).
+func (c DriftConfig) Validate() error { return c.lower().Validate() }
+
+// Enabled reports whether any field is set, i.e. whether the server will
+// attach a drift detector to each feed.
+func (c DriftConfig) Enabled() bool { return c.lower().Enabled() }
+
+// lower converts to the internal/drift form.
+func (c DriftConfig) lower() drift.Config {
+	return drift.Config{
+		Baseline:    c.Baseline,
+		Window:      c.Window,
+		Bins:        c.Bins,
+		PSI:         c.PSI,
+		KS:          c.KS,
+		Consecutive: c.Consecutive,
+	}
 }
 
 // ShardMap is the versioned cluster membership every node and client
@@ -153,6 +202,9 @@ func (c ServeConfig) Validate() error {
 			return err
 		}
 	}
+	if err := c.Drift.Validate(); err != nil {
+		return err
+	}
 	return c.Durability.Validate()
 }
 
@@ -163,6 +215,7 @@ type Server struct {
 	cfg      ServeConfig
 	inner    *server.Server
 	reg      *obs.Registry
+	models   *infer.Registry
 	lis      net.Listener
 	httpSrv  *http.Server
 	engines  []*core.DetectorEngine
@@ -185,29 +238,29 @@ func NewServer(d *Detector, cfg ServeConfig) (*Server, error) {
 		cfg.MaxBatch = 256
 	}
 
-	// Every node serves its detector bundle on /v1/model so a cluster can
-	// verify (by SHA-256 on /v1/cluster) that all members hold identical
-	// weights — the precondition for placement-independent decisions.
+	// Every node serves its detector bundle on /v1/model (and the version
+	// registry) so a cluster can verify (by SHA-256 on /v1/cluster) that
+	// all members hold identical weights — the precondition for
+	// placement-independent decisions.
 	var blob bytes.Buffer
 	if err := d.det.Save(&blob); err != nil {
+		return nil, err
+	}
+	// Serve the *distributed* weights, not the in-memory ones: the bundle
+	// stores weights as float32, so a freshly-trained f64 detector is not
+	// bit-identical to its own saved form. Normalizing to the bundle makes
+	// the boot model indistinguishable from one installed over the wire —
+	// the same frames score identically whether the bundle arrived via
+	// NewServer, -model-from distribution, or POST /v1/models — which is
+	// what lets offline replays of served traffic match bit for bit.
+	d, err := LoadBytes(blob.Bytes())
+	if err != nil {
 		return nil, err
 	}
 	var clusterCfg *server.ClusterConfig
 	if cfg.Cluster != nil {
 		cc := cfg.Cluster.lower()
 		clusterCfg = &cc
-		// A cluster member serves the *distributed* weights, not the
-		// in-memory ones: the bundle stores weights as float32, so a
-		// freshly-trained f64 detector is not bit-identical to its own saved
-		// form. Normalizing to the bundle makes decisions
-		// placement-independent — a node that trained locally and a peer
-		// that fetched the bundle via /v1/model score every frame
-		// identically.
-		nd, err := LoadBytes(blob.Bytes())
-		if err != nil {
-			return nil, err
-		}
-		d = nd
 	}
 
 	reg := obs.NewRegistry()
@@ -217,15 +270,39 @@ func NewServer(d *Detector, cfg ServeConfig) (*Server, error) {
 		return nil, err
 	}
 	engines := []*core.DetectorEngine{primary}
+	closeAll := func() {
+		for _, e := range engines {
+			e.Close()
+		}
+	}
 	var fallback stream.Predictor
 	if cfg.Fallback != nil {
 		fe, err := core.NewDetectorEngine(cfg.Fallback.det, ecfg)
 		if err != nil {
-			primary.Close()
+			closeAll()
 			return nil, err
 		}
 		engines = append(engines, fe)
 		fallback = fe
+	}
+
+	// The model registry: the boot detector is version 1 and active, so
+	// /v1/models, /v1/model and the cluster SHA agree from the first
+	// request. Candidates installed later pass buildModel — the install
+	// gate — before they become visible.
+	models := infer.NewRegistry(reg)
+	buildModel := newInstallGate(d, ecfg)
+	v0, _, err := models.Install(blob.Bytes(), func(b []byte) (any, error) {
+		// The boot bundle's engine already exists; reuse it rather than
+		// re-gating weights the operator handed us directly.
+		return primary, nil
+	})
+	if err == nil {
+		_, err = models.Activate(v0.ID())
+	}
+	if err != nil {
+		closeAll()
+		return nil, err
 	}
 
 	inner, err := server.New(server.Config{
@@ -243,21 +320,19 @@ func NewServer(d *Detector, cfg ServeConfig) (*Server, error) {
 		Observer:       reg,
 		Durability:     cfg.Durability.framelog(reg),
 		Cluster:        clusterCfg,
-		ModelBlob:      blob.Bytes(),
+		Models:         models,
+		BuildModel:     buildModel,
+		Drift:          cfg.Drift.lower(),
 	})
 	if err != nil {
-		for _, e := range engines {
-			e.Close()
-		}
+		closeAll()
 		return nil, err
 	}
 
 	lis, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		inner.Close()
-		for _, e := range engines {
-			e.Close()
-		}
+		closeAll()
 		return nil, err
 	}
 
@@ -269,11 +344,64 @@ func NewServer(d *Detector, cfg ServeConfig) (*Server, error) {
 		cfg:      cfg,
 		inner:    inner,
 		reg:      reg,
+		models:   models,
 		lis:      lis,
 		httpSrv:  &http.Server{Handler: mux},
 		engines:  engines,
 		shutdown: make(chan struct{}),
 	}, nil
+}
+
+// newInstallGate builds the BuildModel hook for candidate bundles: parse,
+// feature-set match against the boot detector, a divergence sweep at the
+// serving precision (skipped at f64, where serving is the bit-exact
+// reference), and only then an engine. Any failure rejects the install —
+// the registry never holds a version that cannot serve.
+func newInstallGate(boot *Detector, ecfg core.ServeConfig) func([]byte) (stream.Predictor, error) {
+	// The divergence sweep needs representative frames; generate a short
+	// synthetic trace lazily (and once), since f64 servers never need it.
+	var (
+		once    sync.Once
+		sweep   []dataset.Record
+		sweepOK error
+	)
+	sweepRecs := func() ([]dataset.Record, error) {
+		once.Do(func() {
+			gcfg := dataset.DefaultGenConfig(2, 11)
+			gcfg.Duration = time.Hour
+			ds, err := dataset.Generate(gcfg)
+			if err != nil {
+				sweepOK = err
+				return
+			}
+			sweep = ds.Records
+		})
+		return sweep, sweepOK
+	}
+	return func(b []byte) (stream.Predictor, error) {
+		nd, err := LoadBytes(b)
+		if err != nil {
+			return nil, fmt.Errorf("parsing candidate bundle: %w", err)
+		}
+		if nd.det.Features != boot.det.Features {
+			return nil, fmt.Errorf("candidate feature set %s does not match the serving set %s",
+				nd.det.Features, boot.det.Features)
+		}
+		if p, _ := infer.ParsePrecision(ecfg.Precision); p != infer.PrecisionF64 {
+			recs, err := sweepRecs()
+			if err != nil {
+				return nil, fmt.Errorf("building divergence sweep: %w", err)
+			}
+			res, err := core.RunDivergence(nd.det, recs, core.DivergenceConfig{Precision: string(p)})
+			if err != nil {
+				return nil, fmt.Errorf("divergence sweep: %w", err)
+			}
+			if !res.Pass {
+				return nil, fmt.Errorf("candidate diverges beyond the serving bounds: %s", res)
+			}
+		}
+		return core.NewDetectorEngine(nd.det, ecfg)
+	}
 }
 
 // Addr returns the bound listen address (useful with ":0").
@@ -325,8 +453,19 @@ func (s *Server) Metrics() string {
 }
 
 func (s *Server) closeEngines() {
+	closed := make(map[*core.DetectorEngine]bool, len(s.engines))
 	for _, e := range s.engines {
 		e.Close()
+		closed[e] = true
+	}
+	// Engines behind versions installed over the wire live in the model
+	// registry, not s.engines; the boot version's payload is the primary
+	// engine already closed above.
+	for _, v := range s.models.All() {
+		if e, ok := v.Payload().(*core.DetectorEngine); ok && !closed[e] {
+			e.Close()
+			closed[e] = true
+		}
 	}
 }
 

@@ -28,7 +28,7 @@ out="${1:-BENCH_$(date +%F).json}"
 if [[ -z "${1:-}" && -e "$out" ]]; then
   out="BENCH_$(date +%FT%H%M%S).json"
 fi
-benches='BenchmarkTable4Full|BenchmarkTrainEpochMLP|BenchmarkMatMul$|BenchmarkInferenceMLPBatch256|BenchmarkInferenceMLPSingleFused|BenchmarkEngineMultiFeed|BenchmarkFrameLogAppend|BenchmarkKernel'
+benches='BenchmarkTable4Full|BenchmarkTrainEpochMLP|BenchmarkMatMul$|BenchmarkInferenceMLPBatch256|BenchmarkInferenceMLPSingleFused|BenchmarkEngineMultiFeed|BenchmarkFrameLogAppend|BenchmarkKernel|BenchmarkModelSwap'
 
 raw="$(go test -bench="$benches" -benchtime=3x -benchmem -run '^$' . 2>&1)"
 echo "$raw"
